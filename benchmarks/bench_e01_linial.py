@@ -1,0 +1,63 @@
+"""E1 — Linial's coloring (Theorems 1 and 2).
+
+Claim: iterated one-round recoloring reaches an O(Δ²) palette in
+O(log* n − log* Δ + 1) rounds.  We sweep n over four orders of magnitude
+at Δ ∈ {2, 8} and check (a) every output is a proper coloring, (b) the
+final palette stays below our construction's fixed point β·Δ², and
+(c) rounds grow log*-slowly (flat to within an additive 3 across the
+whole sweep).
+"""
+
+import random
+
+from repro.algorithms import LinialColoring, linial_fixed_point
+from repro.analysis import ExperimentRecord, Series, log_star
+from repro.core import Model, run_local
+from repro.graphs.generators import path_graph, random_tree_bounded_degree
+from repro.lcl import ProperColoring
+
+SIZES = (256, 2048, 16384, 131072)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E1", "Linial coloring: rounds and palette vs n"
+    )
+    checker = ProperColoring()
+    for delta, make in (
+        (2, lambda n, rng: path_graph(n)),
+        (8, lambda n, rng: random_tree_bounded_degree(n, 8, rng)),
+    ):
+        rounds_series = Series(f"rounds (Δ={delta})")
+        palette_series = Series(f"palette (Δ={delta})")
+        all_proper = True
+        palette_bounded = True
+        for n in SIZES:
+            rng = random.Random(n)
+            g = make(n, rng)
+            result = run_local(g, LinialColoring(), Model.DET)
+            all_proper &= checker.is_solution(g, result.outputs)
+            palette = max(result.outputs) + 1
+            palette_bounded &= palette <= linial_fixed_point(
+                max(1, g.max_degree)
+            )
+            rounds_series.add(n, [result.rounds])
+            palette_series.add(n, [palette])
+        record.add_series(rounds_series)
+        record.add_series(palette_series)
+        record.check(f"proper coloring (Δ={delta})", all_proper)
+        record.check(f"palette <= β·Δ² (Δ={delta})", palette_bounded)
+        means = rounds_series.means
+        record.check(
+            f"log*-flat rounds (Δ={delta})", means[-1] <= means[0] + 3
+        )
+    record.note(
+        f"log* of sweep endpoints: {log_star(SIZES[0])} .. "
+        f"{log_star(SIZES[-1])}"
+    )
+    return record
+
+
+def test_e01_linial(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,61 @@
+"""E2 — Theorem 9: deterministic q-coloring of trees.
+
+Claim: q-coloring trees takes O(log_q n + log* n) rounds, independent
+of Δ.  We sweep n on complete Δ-regular trees for q ∈ {3, 4, 9} (with
+q = Δ this is the deterministic side of the headline separation) and
+check (a) validity, (b) Ω(log n) growth of the n-dependent phases
+(peeling + sweep) against the gap theorem's lower side, and (c) that
+larger q shrinks the number of peeling layers (the log_q n factor).
+"""
+
+from repro.algorithms import barenboim_elkin_coloring
+from repro.analysis import ExperimentRecord, Series
+from repro.graphs.generators import complete_regular_tree_with_size
+from repro.lcl import KColoring
+from repro.lowerbounds import theorem5_rounds
+
+SIZES = (200, 2000, 20000)
+QS = (3, 4, 9)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E2", "Barenboim-Elkin q-coloring of trees: rounds vs n"
+    )
+    layers_at_top = {}
+    for q in QS:
+        series = Series(f"rounds (q=Δ={q})")
+        growing = Series(f"n-dependent rounds (q={q})")
+        valid = True
+        above_lower_bound = True
+        for n in SIZES:
+            g = complete_regular_tree_with_size(q, n)
+            report = barenboim_elkin_coloring(g, q)
+            valid &= KColoring(q).is_solution(g, report.labeling)
+            breakdown = report.breakdown
+            n_dependent = breakdown["peeling"] + breakdown["layer-sweep"]
+            series.add(g.num_vertices, [report.rounds])
+            growing.add(g.num_vertices, [n_dependent])
+            above_lower_bound &= report.rounds >= theorem5_rounds(
+                g.num_vertices, q, epsilon=0.5
+            )
+            layers_at_top[q] = breakdown["peeling"]
+        record.add_series(series)
+        record.add_series(growing)
+        record.check(f"valid {q}-coloring", valid)
+        record.check(f"above Theorem 5 bound (q={q})", above_lower_bound)
+        record.check(
+            f"log-growth of n-dependent phases (q={q})",
+            growing.means[-1] > growing.means[0],
+        )
+    record.check(
+        "larger q -> fewer peeling layers (log_q n)",
+        layers_at_top[QS[-1]] <= layers_at_top[QS[0]],
+    )
+    record.note(f"peeling layers at n~{SIZES[-1]}: {layers_at_top}")
+    return record
+
+
+def test_e02_be_tree(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,81 @@
+"""E3 — the headline exponential separation.
+
+Claim (Theorems 5 + 10): Δ-coloring trees takes Θ(log_Δ n) rounds
+deterministically but only O(log_Δ log n + log* n) rounds randomized.
+We run both on the same complete Δ-regular trees (Δ = 9), sweep n over
+two orders of magnitude, and check:
+
+- both algorithms produce valid Δ-colorings;
+- the deterministic rounds grow, the randomized rounds stay nearly flat;
+- the deterministic *increment* across the sweep dominates the
+  randomized increment (the growth-class separation);
+- every measurement respects the corresponding calculated lower bound.
+"""
+
+from repro.algorithms import (
+    barenboim_elkin_coloring,
+    pettie_su_tree_coloring,
+)
+from repro.analysis import ExperimentRecord, Series
+from repro.graphs.generators import complete_regular_tree_with_size
+from repro.lcl import KColoring
+from repro.lowerbounds import corollary2_rounds, theorem5_rounds
+
+DELTA = 9
+SIZES = (100, 2000, 40000)
+SEEDS = (0, 1, 2)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E3",
+        f"Exponential separation: Δ={DELTA}-coloring trees, "
+        "DetLOCAL vs RandLOCAL",
+    )
+    checker = KColoring(DELTA)
+    det_series = Series("DetLOCAL rounds (Theorem 9, q=Δ)")
+    rand_series = Series("RandLOCAL rounds (Theorem 10)")
+    det_valid = rand_valid = True
+    above_bounds = True
+    for n in SIZES:
+        g = complete_regular_tree_with_size(DELTA, n)
+        det = barenboim_elkin_coloring(g, DELTA)
+        det_valid &= checker.is_solution(g, det.labeling)
+        det_series.add(g.num_vertices, [det.rounds])
+        above_bounds &= det.rounds >= theorem5_rounds(
+            g.num_vertices, DELTA, epsilon=0.5
+        )
+        rand_values = []
+        for seed in SEEDS:
+            rand = pettie_su_tree_coloring(g, seed=seed)
+            rand_valid &= checker.is_solution(g, rand.labeling)
+            rand_values.append(rand.rounds)
+            above_bounds &= rand.rounds >= corollary2_rounds(
+                g.num_vertices, DELTA, epsilon=0.5
+            )
+        rand_series.add(g.num_vertices, rand_values)
+    record.add_series(det_series)
+    record.add_series(rand_series)
+    record.check("deterministic colorings valid", det_valid)
+    record.check("randomized colorings valid", rand_valid)
+    det_increment = det_series.means[-1] - det_series.means[0]
+    rand_increment = rand_series.means[-1] - rand_series.means[0]
+    record.check("deterministic rounds grow", det_increment > 0)
+    record.check(
+        "randomized rounds nearly flat", rand_increment <= 15
+    )
+    record.check(
+        "growth separation (det increment >> rand increment)",
+        det_increment >= max(6.0, 1.8 * rand_increment),
+    )
+    record.check("all measurements above lower bounds", above_bounds)
+    record.note(
+        f"increments over the sweep: det +{det_increment:.1f}, "
+        f"rand +{rand_increment:.1f}"
+    )
+    return record
+
+
+def test_e03_separation(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,75 @@
+"""E5 — graph shattering: residual components are small.
+
+Claim (Theorem 10 analysis): after Phase 1, the *bad* vertices form
+connected components of size O(Δ⁴ log n) with high probability — the
+quantitative heart of the graph-shattering technique that Theorem 3
+proves unavoidable.  We sweep n and Δ, record the largest residual
+component over several seeds, and check every observation against the
+Δ⁴·log n bound (which should hold with room to spare) and for the
+O(log n)-type growth of the maxima.
+"""
+
+import random
+
+from repro.algorithms import ColorBiddingAlgorithm, ColorBiddingConfig
+from repro.algorithms.rand_tree_coloring import BAD, reserved_colors
+from repro.analysis import ExperimentRecord, Series
+from repro.core import Model, run_local
+from repro.graphs.generators import random_tree_bounded_degree
+from repro.transforms import component_size_threshold, shatter
+
+SIZES = (1000, 4000, 16000)
+DELTAS = (9, 16)
+SEEDS = (0, 1, 2)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E5", "Shattering: max bad-component size vs n and Δ"
+    )
+    for delta in DELTAS:
+        series = Series(f"max component (Δ={delta})")
+        bad_series = Series(f"bad vertices (Δ={delta})")
+        within_bound = True
+        for n in SIZES:
+            max_components = []
+            bad_counts = []
+            for seed in SEEDS:
+                rng = random.Random(seed * 1000 + n)
+                g = random_tree_bounded_degree(n, delta, rng)
+                result = run_local(
+                    g,
+                    ColorBiddingAlgorithm(),
+                    Model.RAND,
+                    seed=seed,
+                    global_params={
+                        "config": ColorBiddingConfig(),
+                        "main_palette": delta - reserved_colors(delta),
+                    },
+                )
+                outcome = shatter(g, result.outputs, BAD)
+                max_components.append(outcome.max_component)
+                bad_counts.append(len(outcome.residual))
+                within_bound &= (
+                    outcome.max_component
+                    <= component_size_threshold(n, delta)
+                )
+            series.add(n, max_components)
+            bad_series.add(n, bad_counts)
+        record.add_series(series)
+        record.add_series(bad_series)
+        record.check(f"components within Δ⁴·log n (Δ={delta})", within_bound)
+        record.check(
+            f"components sub-linear in n (Δ={delta})",
+            series.means[-1] <= 0.05 * SIZES[-1],
+        )
+    record.note(
+        "paper bound at the sweep corner: "
+        f"{component_size_threshold(SIZES[-1], DELTAS[-1]):.0f}"
+    )
+    return record
+
+
+def test_e05_shattering(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

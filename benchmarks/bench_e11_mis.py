@@ -1,0 +1,96 @@
+"""E11 — the survey separation (Section I): MIS and matching,
+randomized vs deterministic.
+
+Claims from the survey table: RandLOCAL MIS runs in O(log n) (Luby),
+DetLOCAL MIS in O(poly(Δ) + log* n) (coloring-based); analogously for
+maximal matching.  We sweep n at fixed Δ (the det side must be flat,
+the rand side grows slowly) and sweep Δ at fixed n (the det side grows
+with Δ, the rand side is Δ-insensitive) — the two directions of the
+"exponentially faster in Δ, shattering-limited in n" picture.
+"""
+
+import random
+
+from repro.algorithms import (
+    deterministic_matching,
+    deterministic_mis,
+    luby_mis,
+    randomized_matching,
+)
+from repro.analysis import ExperimentRecord, Series
+from repro.graphs.generators import random_regular_graph
+from repro.lcl import MaximalIndependentSet, MaximalMatching
+
+N_SWEEP = (256, 1024, 4096)
+DELTA_FIXED = 4
+DELTA_SWEEP = (3, 6, 10, 16)
+N_FIXED = 600
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E11", "MIS and matching: rand vs det across n and Δ"
+    )
+    mis = MaximalIndependentSet()
+    matching = MaximalMatching()
+    valid = True
+
+    luby_n = Series("Luby-MIS rounds vs n (Δ=4)")
+    det_n = Series("det-MIS rounds vs n (Δ=4)")
+    for n in N_SWEEP:
+        rng = random.Random(n)
+        g = random_regular_graph(n, DELTA_FIXED, rng)
+        a = luby_mis(g, seed=n)
+        b = deterministic_mis(g)
+        valid &= mis.is_solution(g, a.labeling)
+        valid &= mis.is_solution(g, b.labeling)
+        luby_n.add(n, [a.rounds])
+        det_n.add(n, [b.rounds])
+    record.add_series(luby_n)
+    record.add_series(det_n)
+    record.check(
+        "det MIS flat in n",
+        det_n.means[-1] <= det_n.means[0] + 3,
+    )
+
+    luby_d = Series(f"Luby-MIS rounds vs Δ (n={N_FIXED})")
+    det_d = Series(f"det-MIS rounds vs Δ (n={N_FIXED})")
+    match_d = Series(f"det-matching rounds vs Δ (n={N_FIXED})")
+    rand_match_d = Series(f"rand-matching rounds vs Δ (n={N_FIXED})")
+    for delta in DELTA_SWEEP:
+        rng = random.Random(delta)
+        g = random_regular_graph(N_FIXED, delta, rng)
+        a = luby_mis(g, seed=delta)
+        b = deterministic_mis(g)
+        c = deterministic_matching(g)
+        d = randomized_matching(g, seed=delta)
+        valid &= mis.is_solution(g, a.labeling)
+        valid &= mis.is_solution(g, b.labeling)
+        valid &= matching.is_solution(g, c.labeling)
+        valid &= matching.is_solution(g, d.labeling)
+        luby_d.add(delta, [a.rounds])
+        det_d.add(delta, [b.rounds])
+        match_d.add(delta, [c.rounds])
+        rand_match_d.add(delta, [d.rounds])
+    for series in (luby_d, det_d, match_d, rand_match_d):
+        record.add_series(series)
+
+    record.check("all outputs valid", valid)
+    record.check(
+        "det MIS grows with Δ",
+        det_d.means[-1] > 2 * det_d.means[0],
+    )
+    record.check(
+        "rand MIS Δ-insensitive",
+        luby_d.means[-1] <= 2 * max(luby_d.means[0], 4),
+    )
+    record.check(
+        "rand matching beats det matching at large Δ",
+        rand_match_d.means[-1] < match_d.means[-1],
+    )
+    return record
+
+
+def test_e11_mis(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,94 @@
+"""E14 — the remaining survey problems: edge coloring, ruling sets,
+vertex cover.
+
+Section I's survey frames the paper; these problems complete its table
+in our suite:
+
+- (2Δ-1)-edge coloring ([20]: "much easier than maximal matching"):
+  deterministic rounds must be flat in n;
+- (α, α-1)-ruling sets ([18], [22]): cost scales with the power-graph
+  simulation factor (α-1) but stays flat in n;
+- 2-approximate vertex cover (KMW context, [26]): valid cover with the
+  locally checkable 2-approximation certificate at every sweep point.
+"""
+
+import random
+
+from repro.algorithms import (
+    deterministic_ruling_set,
+    edge_coloring_2delta_minus_1,
+    randomized_vertex_cover,
+)
+from repro.algorithms.vertex_cover import (
+    approximation_certificate,
+    is_vertex_cover,
+)
+from repro.analysis import ExperimentRecord, Series
+from repro.graphs.generators import random_regular_graph
+from repro.lcl import EdgeColoringLCL, RulingSet
+
+DEGREE = 4
+SIZES = (128, 512, 2048)
+ALPHAS = (2, 3, 4)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E14", "Survey extensions: edge coloring, ruling sets, vertex cover"
+    )
+    # Edge coloring: flat in n.
+    edge_series = Series("(2Δ-1)-edge coloring rounds vs n")
+    edge_valid = True
+    for n in SIZES:
+        rng = random.Random(n)
+        g = random_regular_graph(n, DEGREE, rng)
+        report = edge_coloring_2delta_minus_1(g)
+        edge_valid &= EdgeColoringLCL(2 * DEGREE - 1).is_solution(
+            g, report.labeling
+        )
+        edge_series.add(n, [report.rounds])
+    record.add_series(edge_series)
+    record.check("edge colorings valid", edge_valid)
+    record.check(
+        "edge coloring flat in n",
+        edge_series.means[-1] <= edge_series.means[0] + 6,
+    )
+
+    # Ruling sets: cost vs alpha at fixed n.
+    ruling_series = Series("det (α, α-1)-ruling set rounds vs α (n=256)")
+    ruling_valid = True
+    rng = random.Random(7)
+    g = random_regular_graph(256, 3, rng)
+    for alpha in ALPHAS:
+        report = deterministic_ruling_set(g, alpha)
+        ruling_valid &= RulingSet(alpha, alpha - 1).is_solution(
+            g, report.labeling
+        )
+        ruling_series.add(alpha, [report.rounds])
+    record.add_series(ruling_series)
+    record.check("ruling sets valid", ruling_valid)
+    record.check(
+        "ruling-set cost grows with α (power-graph simulation)",
+        ruling_series.means[-1] > ruling_series.means[0],
+    )
+
+    # Vertex cover: certificate at every size.
+    cover_series = Series("rand 2-apx vertex cover rounds vs n")
+    cover_ok = True
+    for n in SIZES:
+        rng = random.Random(n + 1)
+        g = random_regular_graph(n, DEGREE, rng)
+        report = randomized_vertex_cover(g, seed=n)
+        cover_ok &= is_vertex_cover(g, report.labeling)
+        cover_ok &= approximation_certificate(
+            g, report.labeling, report.matching_labels
+        )
+        cover_series.add(n, [report.rounds])
+    record.add_series(cover_series)
+    record.check("covers valid with 2-apx certificate", cover_ok)
+    return record
+
+
+def test_e14_survey_extensions(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

@@ -1,0 +1,82 @@
+"""E15 — Linial's ring lower bound, finitely certified.
+
+The Ω(log* n) bound for coloring rings (which Naor extended to
+RandLOCAL, making it the prototype for every bound in the paper) has a
+finite core: t-round algorithms with IDs from [m] are exactly proper
+colorings of the neighborhood graph B_t(m).  We compute the relevant
+chromatic facts outright:
+
+- t = 0: χ(B_0(m)) = m — no 0-round 3-coloring once m > 3;
+- t = 1: a 3-coloring of B_1(6) exists (so 1 round suffices for ID
+  space [6]) but B_1(7) is **not** 3-colorable — no 1-round algorithm
+  can 3-color oriented rings with IDs from [7], by exhaustive search;
+- cross-check: the library's Cole–Vishkin implementation, run on a ring
+  with IDs from [7], indeed takes more than 1 round.
+
+This turns the paper's oldest citation ([4]) into a machine-checked
+certificate at small scale.
+"""
+
+from repro.algorithms import ColeVishkinColoring, ring_orientation_inputs
+from repro.analysis import ExperimentRecord, Series
+from repro.core import Model, run_local
+from repro.graphs.generators import cycle_graph
+from repro.lcl import KColoring
+from repro.lowerbounds.neighborhood_graph import (
+    neighborhood_graph,
+    ring_chromatic_lower_bound,
+)
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        "E15", "Linial's neighborhood graph: finite ring lower bounds"
+    )
+    sizes = Series("|B_1(m)| vertices")
+    for m in (4, 5, 6, 7):
+        sizes.add(m, [neighborhood_graph(m, 1).num_vertices])
+    record.add_series(sizes)
+
+    record.check(
+        "0 rounds: 3 colors possible iff m <= 3",
+        ring_chromatic_lower_bound(3, 0, 3) is False
+        and ring_chromatic_lower_bound(4, 0, 3) is True,
+    )
+    record.check(
+        "1 round: 3-coloring algorithm exists for ID space [6]",
+        ring_chromatic_lower_bound(6, 1, 3) is False,
+    )
+    record.check(
+        "1 round: no 3-coloring algorithm for ID space [7]",
+        ring_chromatic_lower_bound(7, 1, 3) is True,
+    )
+
+    # Cross-check against the implementation: CV on a 7-ring with IDs
+    # 0..6 must exceed 1 round (it does not contradict the certificate).
+    g = cycle_graph(7)
+    inputs = ring_orientation_inputs(g)
+    result = run_local(
+        g,
+        ColeVishkinColoring(),
+        Model.DET,
+        node_inputs=inputs,
+        global_params={"id_space": 7},
+    )
+    record.check(
+        "Cole-Vishkin with IDs from [7] uses > 1 round",
+        result.rounds > 1,
+    )
+    record.check(
+        "...and still produces a valid 3-coloring",
+        KColoring(3).is_solution(g, result.outputs),
+    )
+    record.note(
+        "χ(B_0(m)) = m and χ(B_1(7)) > 3 are computed by exhaustive "
+        "search — Linial's lower bound as a finite certificate"
+    )
+    return record
+
+
+def test_e15_neighborhood_graph(benchmark, record_experiment):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_experiment(record)

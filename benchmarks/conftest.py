@@ -1,0 +1,41 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_eXX_*.py`` module reproduces one experiment from
+EXPERIMENTS.md (the paper has no numbered tables/figures; the experiment
+index in DESIGN.md §5 defines the targets).  Conventions:
+
+- every test drives its experiment through ``benchmark.pedantic(run,
+  rounds=1, iterations=1)`` so ``pytest benchmarks/ --benchmark-only``
+  executes and times it exactly once;
+- the experiment function returns an
+  :class:`repro.analysis.ExperimentRecord` whose named checks encode the
+  paper-shape assertions (who wins, growth class, bound sandwiches);
+- the rendered record is written to ``benchmarks/results/<id>.txt`` and
+  echoed to stdout, so ``bench_output.txt`` carries the tables.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_experiment():
+    """Persist and display an ExperimentRecord; fail on failed checks."""
+
+    def _record(record):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = record.render()
+        path = RESULTS_DIR / f"{record.experiment_id.lower()}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        assert record.all_checks_pass, (
+            f"{record.experiment_id} checks failed: "
+            f"{[k for k, v in record.checks.items() if not v]}"
+        )
+        return record
+
+    return _record

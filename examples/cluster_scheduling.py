@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Domain scenario: hierarchical coordination in a peer-to-peer overlay.
+
+Large decentralized systems stage coordination hierarchically: pick
+well-spread supervisors (a ruling set), partition the network into
+low-diameter clusters around natural leaders (a network decomposition),
+and schedule conflicting work (a coloring of the cluster structure).
+Each primitive is a LOCAL-model algorithm from the library, and the
+round counts are the protocol's actual synchronization cost.
+
+Run:  python examples/cluster_scheduling.py [n] [delta]
+"""
+
+import random
+import sys
+
+from repro.algorithms import (
+    clusters_are_connected,
+    decomposition_coloring,
+    deterministic_ruling_set,
+    mpx_decomposition,
+)
+from repro.analysis import render_table
+from repro.graphs.generators import random_regular_graph
+from repro.lcl import KColoring, RulingSet
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    delta = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    rng = random.Random(7)
+    overlay = random_regular_graph(n, delta, rng)
+
+    # Supervisors: a (3, 2)-ruling set — pairwise distance >= 3, every
+    # peer within 2 hops of a supervisor.
+    supervisors = deterministic_ruling_set(overlay, alpha=3)
+    RulingSet(3, 2).check(overlay, supervisors.labeling)
+    num_supervisors = sum(supervisors.labeling)
+
+    # Clusters: MPX exponential-shift decomposition.
+    decomposition = mpx_decomposition(overlay, beta=0.35, seed=11)
+    assert clusters_are_connected(overlay, decomposition)
+
+    # Work scheduling: a (Δ+1)-coloring built cluster-by-cluster.
+    schedule = decomposition_coloring(overlay, decomposition, seed=11)
+    KColoring(delta + 1).check(overlay, schedule.labeling)
+
+    print(f"peer-to-peer overlay: n={n}, degree {delta}")
+    print(
+        render_table(
+            ["stage", "rounds", "outcome"],
+            [
+                [
+                    "supervisors (ruling set)",
+                    supervisors.rounds,
+                    f"{num_supervisors} supervisors",
+                ],
+                [
+                    "clustering (MPX)",
+                    decomposition.rounds,
+                    (
+                        f"{len(decomposition.clusters)} clusters, "
+                        f"radius <= {decomposition.max_radius()}"
+                    ),
+                ],
+                [
+                    "work schedule (coloring)",
+                    schedule.rounds,
+                    f"{delta + 1} conflict-free slots",
+                ],
+            ],
+        )
+    )
+    cut = decomposition.cut_edges(overlay)
+    print()
+    print(
+        f"inter-cluster links: {cut}/{overlay.num_edges} "
+        f"({100.0 * cut / overlay.num_edges:.0f}% — tuned by β)"
+    )
+    print("every stage verified by its checker")
+
+
+if __name__ == "__main__":
+    main()

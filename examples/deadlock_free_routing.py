@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Domain scenario: deadlock-free egress in a switch fabric.
+
+Sinkless orientation — the problem behind the paper's Ω(log_Δ log n)
+randomized lower bound — has a concrete systems reading: every switch
+in a fabric must end up with at least one *outgoing* link (an egress it
+can always drain traffic to), with all orientation decisions made
+locally.  A switch with no egress is a potential deadlock.
+
+The script builds a Δ-regular fabric, solves the problem with both the
+RandLOCAL sink-fixing protocol and the full-knowledge DetLOCAL rule,
+and contrasts the measured rounds with the lower bounds the paper's
+machinery yields for this very problem.
+
+Run:  python examples/deadlock_free_routing.py [n] [delta]
+"""
+
+import math
+import random
+import sys
+
+from repro.algorithms import (
+    deterministic_sinkless_orientation,
+    random_sinkless_orientation,
+)
+from repro.analysis import render_table
+from repro.graphs.generators import random_regular_graph
+from repro.lcl import SinklessOrientation, count_sinks, orientation_out_degrees
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    delta = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    rng = random.Random(99)
+    fabric = random_regular_graph(n, delta, rng)
+    problem = SinklessOrientation()
+
+    rand_report, stabilized = random_sinkless_orientation(fabric, seed=3)
+    problem.check(fabric, rand_report.labeling)
+
+    det_report = deterministic_sinkless_orientation(fabric)
+    problem.check(fabric, det_report.labeling)
+
+    print(f"switch fabric: n={n}, degree {delta}")
+    print(
+        render_table(
+            ["strategy", "rounds", "sinks left", "min egress"],
+            [
+                [
+                    "randomized sink-fixing",
+                    stabilized,
+                    count_sinks(fabric, rand_report.labeling),
+                    min(
+                        orientation_out_degrees(
+                            fabric, rand_report.labeling
+                        )
+                    ),
+                ],
+                [
+                    "full-knowledge canonical rule",
+                    det_report.rounds,
+                    count_sinks(fabric, det_report.labeling),
+                    min(
+                        orientation_out_degrees(fabric, det_report.labeling)
+                    ),
+                ],
+            ],
+        )
+    )
+    print()
+    print(
+        "lower bounds for this problem (Brandt et al. via the paper's "
+        "Section IV machinery):"
+    )
+    print(
+        f"  RandLOCAL: Ω(log_Δ log n) ~ "
+        f"{math.log(math.log(n)) / math.log(delta):.1f} rounds"
+    )
+    print(
+        f"  DetLOCAL (via Theorem 3): Ω(log_Δ n) ~ "
+        f"{math.log(n) / math.log(delta):.1f} rounds"
+    )
+    print(
+        "the deterministic algorithm pays Θ(diameter) = Θ(log_Δ n), "
+        "matching its bound's shape; the randomized one stabilizes "
+        "far faster — another face of the exponential separation."
+    )
+
+
+if __name__ == "__main__":
+    main()

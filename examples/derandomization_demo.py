@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Theorem 3, live: turn Luby's randomized MIS into a deterministic
+algorithm by fixing a good seed function.
+
+The theorem's construction — seed function φ: ID -> random bits, union
+bound over the finite graph family 𝒢_{n,Δ} — is doubly exponential at
+full scale (N = 2^(n²)), but completely executable at toy scale.  The
+script enumerates every labeled graph on n <= 4 vertices, searches for
+a φ that makes the seeded Luby succeed on *all* of them at once, and
+then runs the resulting deterministic algorithm.
+
+Run:  python examples/derandomization_demo.py
+"""
+
+from repro.algorithms import LubyMIS
+from repro.analysis import render_table
+from repro.lcl import MaximalIndependentSet
+from repro.transforms import enumerate_family, find_good_seed_function
+
+
+def main() -> None:
+    problem = MaximalIndependentSet()
+    rows = []
+    for n, delta in ((3, 2), (4, 3)):
+        result = find_good_seed_function(
+            lambda: LubyMIS(), problem, n, delta, max_candidates=512
+        )
+        # The derived algorithm is deterministic: replay it twice on
+        # every family member and confirm identical, correct outputs.
+        deterministic = True
+        correct = True
+        for graph in enumerate_family(n, delta):
+            a = result.run(graph)
+            b = result.run(graph)
+            deterministic &= a.outputs == b.outputs
+            correct &= problem.is_solution(graph, a.outputs)
+        rows.append(
+            [
+                n,
+                delta,
+                result.family_checked,
+                result.candidates_tried,
+                "yes" if deterministic else "NO",
+                "yes" if correct else "NO",
+            ]
+        )
+    print("Theorem 3 at toy scale: derandomizing Luby's MIS")
+    print(
+        render_table(
+            [
+                "n",
+                "Δ",
+                "|family|",
+                "seeds tried",
+                "deterministic",
+                "correct on family",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "the same union bound, at full scale, gives "
+        "Det_P(n, Δ) <= Rand_P(2^(n²), Δ): every optimal RandLOCAL "
+        "algorithm secretly contains an optimal DetLOCAL algorithm "
+        "for poly(log n)-size instances — graph shattering is "
+        "unavoidable."
+    )
+
+
+if __name__ == "__main__":
+    main()

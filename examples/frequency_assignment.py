@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Domain scenario: distributed frequency assignment in a radio mesh.
+
+A classic motivation for distributed vertex coloring: radio nodes that
+share an edge interfere and must transmit on different frequencies,
+with no central coordinator and only local message exchange.  Colors =
+frequencies; the number of communication rounds before the network is
+operational is exactly the LOCAL-model round complexity.
+
+The script builds a random Δ-regular mesh and compares three
+self-organizing strategies from the library:
+
+1. (Δ+1) frequencies via Linial + Kuhn–Wattenhofer (DetLOCAL,
+   O(log* n) + O(Δ log Δ) rounds) — few rounds, a few spare channels;
+2. cluster heads via Luby's MIS (RandLOCAL) — a dominating independent
+   set to anchor TDMA clusters;
+3. pairwise link assignment via maximal matching — full-duplex link
+   scheduling.
+
+Run:  python examples/frequency_assignment.py [n] [delta]
+"""
+
+import random
+import sys
+
+from repro.algorithms import (
+    delta_plus_one_coloring,
+    deterministic_matching,
+    luby_mis,
+)
+from repro.analysis import render_table
+from repro.graphs.generators import random_regular_graph
+from repro.lcl import (
+    KColoring,
+    MaximalIndependentSet,
+    MaximalMatching,
+    independent_set_from_labeling,
+    matching_edges,
+    palette_size,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    delta = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    rng = random.Random(2024)
+    mesh = random_regular_graph(n, delta, rng)
+
+    coloring = delta_plus_one_coloring(mesh)
+    KColoring(delta + 1).check(mesh, coloring.labeling)
+
+    heads = luby_mis(mesh, seed=5)
+    MaximalIndependentSet().check(mesh, heads.labeling)
+    head_set = independent_set_from_labeling(heads.labeling)
+
+    links = deterministic_matching(mesh)
+    MaximalMatching().check(mesh, links.labeling)
+    paired = matching_edges(mesh, links.labeling)
+
+    print(f"radio mesh: n={n} nodes, degree {delta}")
+    print(
+        render_table(
+            ["task", "algorithm", "rounds", "result"],
+            [
+                [
+                    "frequencies",
+                    "Linial + KW reduction",
+                    coloring.rounds,
+                    f"{palette_size(coloring.labeling)} channels",
+                ],
+                [
+                    "cluster heads",
+                    "Luby MIS",
+                    heads.rounds,
+                    f"{len(head_set)} heads",
+                ],
+                [
+                    "link pairing",
+                    "matching by color turns",
+                    links.rounds,
+                    f"{len(paired)} full-duplex links",
+                ],
+            ],
+        )
+    )
+    print()
+    uncovered = [
+        v
+        for v in mesh.vertices()
+        if v not in head_set
+        and not any(u in head_set for u in mesh.neighbors(v))
+    ]
+    print(f"nodes without an adjacent cluster head: {len(uncovered)}")
+    print("all three outputs verified by their LCL checkers")
+
+
+if __name__ == "__main__":
+    main()

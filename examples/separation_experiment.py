@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The headline experiment, as a runnable script: watch the exponential
+separation appear.
+
+Sweeps n on complete Δ-regular trees — the extremal instances of
+Theorem 5 — and prints the deterministic (Theorem 9) vs randomized
+(Theorem 10) round counts side by side with the calculated lower
+bounds.  The deterministic column grows like log_Δ n; the randomized
+column stays nearly flat (log_Δ log n + log* n).
+
+Run:  python examples/separation_experiment.py [delta]
+"""
+
+import sys
+
+from repro.algorithms import (
+    barenboim_elkin_coloring,
+    chang_kopelowitz_pettie_coloring,
+    pettie_su_tree_coloring,
+)
+from repro.analysis import Series, ascii_chart, render_table
+from repro.graphs.generators import complete_regular_tree_with_size
+from repro.lcl import KColoring
+from repro.lowerbounds import corollary2_rounds, theorem5_rounds
+
+
+def main() -> None:
+    delta = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    sizes = (100, 1000, 10000, 40000)
+    checker = KColoring(delta)
+    rows = []
+    seen_sizes = set()
+    for target in sizes:
+        tree = complete_regular_tree_with_size(delta, target)
+        n = tree.num_vertices
+        if n in seen_sizes:
+            continue  # depth quantization: same tree as previous target
+        seen_sizes.add(n)
+        det = barenboim_elkin_coloring(tree, delta)
+        if delta >= 9:
+            rand = pettie_su_tree_coloring(tree, seed=1)
+        else:
+            # Below Theorem 10's Δ >= 9 regime, use the Theorem 11
+            # machinery with the guarantee threshold unlocked.
+            rand = chang_kopelowitz_pettie_coloring(
+                tree, seed=1, min_delta=delta
+            )
+        checker.check(tree, det.labeling)
+        checker.check(tree, rand.labeling)
+        rows.append(
+            [
+                n,
+                det.rounds,
+                rand.rounds,
+                f"{theorem5_rounds(n, delta):.1f}",
+                f"{corollary2_rounds(n, delta):.1f}",
+            ]
+        )
+    print(f"Δ = {delta}: Δ-coloring complete Δ-regular trees")
+    print(
+        render_table(
+            [
+                "n",
+                "det rounds",
+                "rand rounds",
+                "det LB (Thm 5)",
+                "rand LB (Cor 2)",
+            ],
+            rows,
+        )
+    )
+    det_series = Series("det (Theorem 9)")
+    rand_series = Series("rand (Theorem 10)")
+    for row in rows:
+        det_series.add(row[0], [row[1]])
+        rand_series.add(row[0], [row[2]])
+    print()
+    print(ascii_chart([det_series, rand_series], height=8))
+    det_growth = rows[-1][1] - rows[0][1]
+    rand_growth = rows[-1][2] - rows[0][2]
+    print()
+    print(
+        f"over a {sizes[-1] // sizes[0]}x size increase: deterministic "
+        f"+{det_growth} rounds, randomized +{rand_growth} rounds"
+    )
+    print(
+        "the deterministic growth tracks log_Δ n; the randomized "
+        "tracks log_Δ log n — Theorem 3 says no randomized algorithm "
+        "can do better than re-running the deterministic one on "
+        "poly(log n)-size shattered pieces"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of Chang, Kopelowitz & Pettie (2016),
+*An Exponential Separation Between Randomized and Deterministic
+Complexity in the LOCAL Model*.
+
+The package is a complete LOCAL-model laboratory:
+
+- :mod:`repro.core` — the synchronous DetLOCAL/RandLOCAL engine;
+- :mod:`repro.graphs` — port-numbered graphs, generators (trees,
+  high-girth regular graphs, ...), edge colorings;
+- :mod:`repro.lcl` — locally checkable labelings and their verifiers;
+- :mod:`repro.algorithms` — Linial coloring, Barenboim–Elkin tree
+  coloring (Thm 9), the paper's randomized Δ-coloring algorithms
+  (Thms 10 and 11), MIS, matching, sinkless orientation;
+- :mod:`repro.transforms` — Theorem 3 derandomization, Theorem 5's
+  det→rand reduction, Theorems 6/8 speedup, graph shattering;
+- :mod:`repro.lowerbounds` — bound calculators, the verified 0-round
+  base case, round-elimination arithmetic, indistinguishability;
+- :mod:`repro.analysis` — sweeps, growth fitting, tables.
+
+Quickstart::
+
+    import random
+    from repro import graphs, algorithms, lcl
+
+    rng = random.Random(0)
+    tree = graphs.generators.random_tree_bounded_degree(2000, 16, rng)
+    report = algorithms.pettie_su_tree_coloring(tree, seed=1)
+    lcl.KColoring(tree.max_degree).check(tree, report.labeling)
+    print(report.rounds, "rounds")
+"""
+
+from . import algorithms, analysis, core, graphs, lcl, lowerbounds, transforms
+from .core import Model, RunResult, run_local
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Model",
+    "RunResult",
+    "algorithms",
+    "analysis",
+    "core",
+    "graphs",
+    "lcl",
+    "lowerbounds",
+    "run_local",
+    "transforms",
+    "__version__",
+]

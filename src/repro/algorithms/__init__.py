@@ -1,0 +1,148 @@
+"""Distributed algorithms: the paper's contributions and every
+subroutine they stand on."""
+
+from .ball import BallCollection
+from .cole_vishkin import (
+    ColeVishkinColoring,
+    ColeVishkinTreeColoring,
+    cv_schedule,
+    cv_step,
+    ring_orientation_inputs,
+    rooted_tree_orientation_inputs,
+)
+from .decomposition import (
+    Decomposition,
+    ExponentialShiftClustering,
+    clusters_are_connected,
+    decomposition_coloring,
+    mpx_decomposition,
+)
+from .delta55 import (
+    GreedyRecolorByClass,
+    PeelByMISAlgorithm,
+    chang_kopelowitz_pettie_coloring,
+)
+from .drivers import AlgorithmReport, Phase, PhaseLog
+from .edge_coloring_alg import (
+    EdgeColoringByTurns,
+    edge_coloring_2delta_minus_1,
+)
+from .linial import (
+    LinialColoring,
+    OrientedLinialColoring,
+    choose_cover_free_params,
+    cover_free_palette_size,
+    cover_free_set,
+    linial_fixed_point,
+    linial_recolor,
+    linial_schedule,
+)
+from .matching import (
+    MatchingFromColoring,
+    RandomizedMatching,
+    deterministic_matching,
+    randomized_matching,
+)
+from .mis import (
+    GhaffariMIS,
+    LubyMIS,
+    MISFromColoring,
+    deterministic_mis,
+    ghaffari_mis,
+    luby_mis,
+)
+from .rand_tree_coloring import (
+    BAD,
+    ColorBiddingAlgorithm,
+    ColorBiddingConfig,
+    ShatteringStats,
+    pettie_su_tree_coloring,
+    reserved_colors,
+)
+from .reduction import ClassByClassReduction, KuhnWattenhoferReduction
+from .ruling_set import deterministic_ruling_set, randomized_ruling_set
+from .sinkless import (
+    RandomSinkFixing,
+    canonical_sinkless_orientation,
+    deterministic_sinkless_orientation,
+    random_sinkless_orientation,
+)
+from .vertex_coloring import delta_plus_one_coloring
+from .vertex_cover import (
+    deterministic_vertex_cover,
+    is_vertex_cover,
+    randomized_vertex_cover,
+)
+from .tree_coloring import (
+    LayerSweepColoring,
+    PeelingAlgorithm,
+    barenboim_elkin_coloring,
+    h_partition,
+    same_layer_ports,
+    up_ports_from_layers,
+)
+
+__all__ = [
+    "AlgorithmReport",
+    "BAD",
+    "BallCollection",
+    "ClassByClassReduction",
+    "ColeVishkinColoring",
+    "ColeVishkinTreeColoring",
+    "Decomposition",
+    "ExponentialShiftClustering",
+    "ColorBiddingAlgorithm",
+    "ColorBiddingConfig",
+    "EdgeColoringByTurns",
+    "GhaffariMIS",
+    "GreedyRecolorByClass",
+    "KuhnWattenhoferReduction",
+    "LayerSweepColoring",
+    "LinialColoring",
+    "LubyMIS",
+    "MISFromColoring",
+    "MatchingFromColoring",
+    "OrientedLinialColoring",
+    "PeelByMISAlgorithm",
+    "PeelingAlgorithm",
+    "Phase",
+    "PhaseLog",
+    "RandomSinkFixing",
+    "RandomizedMatching",
+    "ShatteringStats",
+    "barenboim_elkin_coloring",
+    "canonical_sinkless_orientation",
+    "chang_kopelowitz_pettie_coloring",
+    "clusters_are_connected",
+    "choose_cover_free_params",
+    "cover_free_palette_size",
+    "cover_free_set",
+    "cv_schedule",
+    "cv_step",
+    "decomposition_coloring",
+    "delta_plus_one_coloring",
+    "deterministic_matching",
+    "deterministic_mis",
+    "deterministic_ruling_set",
+    "deterministic_sinkless_orientation",
+    "deterministic_vertex_cover",
+    "edge_coloring_2delta_minus_1",
+    "ghaffari_mis",
+    "h_partition",
+    "linial_fixed_point",
+    "linial_recolor",
+    "is_vertex_cover",
+    "linial_schedule",
+    "luby_mis",
+    "mpx_decomposition",
+    "pettie_su_tree_coloring",
+    "randomized_matching",
+    "randomized_ruling_set",
+    "random_sinkless_orientation",
+    "reserved_colors",
+    "randomized_vertex_cover",
+    "ring_orientation_inputs",
+    "rooted_tree_orientation_inputs",
+    "same_layer_ports",
+    "up_ports_from_layers",
+]

@@ -1,0 +1,83 @@
+"""Full-information ball collection.
+
+The normal form of a t-round LOCAL algorithm: gather everything within
+distance t, then decide locally.  :class:`BallCollection` implements the
+gathering honestly — each round every vertex publishes all topology it
+knows, so after t rounds it knows the ID-labeled ball of radius t (all
+vertices within distance t, all edges with an endpoint within t-1).
+
+Used by the deterministic sinkless-orientation algorithm (collect to the
+diameter, compute a canonical global answer) and by tests that compare
+engine executions against the ball-function normal form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Set, Tuple
+
+from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.context import NodeContext
+
+#: Knowledge = (vertex facts, edge facts): id -> (degree, label), ids pair.
+Knowledge = Tuple[Dict[int, Tuple[int, Any]], Set[Tuple[int, int]]]
+
+
+class BallCollection(SyncAlgorithm):
+    """Collect the radius-``radius`` ball, then apply ``compute``.
+
+    Parameters
+    ----------
+    radius:
+        Number of gathering rounds.
+    compute:
+        ``compute(ctx, vertices, edges) -> output`` where ``vertices``
+        maps each known ID to ``(degree, label)`` and ``edges`` is a set
+        of ID pairs ``(a, b)`` with ``a < b``.
+
+    Node input:
+        ``label`` (optional): an extra payload that travels with the
+        vertex (e.g. input edge colors).
+
+    DetLOCAL only (knowledge is keyed by IDs).
+    """
+
+    name = "ball-collection"
+
+    def __init__(self, radius: int, compute: Callable[..., Any]):
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.radius = radius
+        self.compute = compute
+
+    def setup(self, ctx: NodeContext) -> None:
+        me = ctx.id
+        vertices = {me: (ctx.degree, ctx.input.get("label"))}
+        edges: Set[Tuple[int, int]] = set()
+        ctx.state["vertices"] = vertices
+        ctx.state["edges"] = edges
+        ctx.state["round"] = 0
+        if self.radius == 0:
+            ctx.halt(self.compute(ctx, vertices, edges))
+            return
+        # Publish a copy: our own dict mutates while neighbors read.
+        ctx.publish((me, dict(vertices), set(edges)))
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        me = ctx.id
+        vertices: Dict[int, Tuple[int, Any]] = ctx.state["vertices"]
+        edges: Set[Tuple[int, int]] = ctx.state["edges"]
+        for msg in inbox:
+            if msg is None:
+                continue
+            neighbor_id, their_vertices, their_edges = msg
+            vertices.update(their_vertices)
+            edges |= their_edges
+            key = (me, neighbor_id) if me < neighbor_id else (neighbor_id, me)
+            edges.add(key)
+        ctx.state["round"] += 1
+        if ctx.state["round"] >= self.radius:
+            ctx.halt(self.compute(ctx, vertices, edges))
+            return
+        # Publish copies: neighbors must see this round's snapshot, and
+        # our own dict keeps mutating.
+        ctx.publish((me, dict(vertices), set(edges)))

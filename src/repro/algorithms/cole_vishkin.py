@@ -1,0 +1,265 @@
+"""Cole–Vishkin 3-coloring of oriented rings and paths.
+
+The classic O(log* n) symmetry-breaking algorithm, included both as the
+canonical Δ = 2 upper bound (Theorem 7: every LCL on paths/cycles is
+either O(log* n) or Ω(n) in DetLOCAL) and as the baseline that Linial's
+Ω(log* n) lower bound (which Naor extended to RandLOCAL) shows optimal.
+
+The bit trick: on a consistently oriented ring, vertex v with color c(v)
+compares itself with its successor s(v): let i be the lowest bit index
+where ``c(v)`` and ``c(s(v))`` differ and b that bit of ``c(v)``; the new
+color ``2i + b`` differs from the successor's new color.  Iterating
+shrinks k-bit colors to ~log k bits, reaching the 6-color fixed point in
+log* n iterations; three final class-removal rounds finish at 3 colors.
+
+The orientation (each vertex's successor port) is an *input*: on an
+unoriented cycle finding one is itself a symmetry-breaking problem.  Use
+:func:`ring_orientation_inputs` to build it for generator-made cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.context import NodeContext
+from ..graphs.graph import Graph
+
+
+def cv_step(color: int, successor_color: int) -> int:
+    """One Cole–Vishkin bit-reduction step."""
+    if color == successor_color:
+        raise ValueError("Cole-Vishkin needs a proper input coloring")
+    diff = color ^ successor_color
+    i = (diff & -diff).bit_length() - 1  # lowest differing bit index
+    b = (color >> i) & 1
+    return 2 * i + b
+
+
+def cv_schedule(k0: int) -> List[int]:
+    """Palette sizes of iterated CV steps from ``k0`` until the 6-color
+    fixed point (computable locally by every vertex)."""
+    schedule = [k0]
+    while schedule[-1] > 6:
+        bits = max(1, (schedule[-1] - 1).bit_length())
+        schedule.append(2 * bits)
+    return schedule
+
+
+class ColeVishkinColoring(SyncAlgorithm):
+    """DetLOCAL 3-coloring of consistently oriented rings/paths.
+
+    Node input:
+        ``successor_port``: the port toward the successor, or ``None``
+        for the last vertex of a path (it mirrors its predecessor's
+        schedule with a self-fallback).
+    Globals:
+        ``id_space`` (optional): initial palette bound.
+
+    Runs ``log*`` CV iterations to 6 colors, then 3 class-removal rounds
+    (colors 5, 4, 3 recolor into {0, 1, 2}, legal since degree <= 2).
+    """
+
+    name = "cole-vishkin"
+
+    def setup(self, ctx: NodeContext) -> None:
+        k0 = ctx.globals.get("id_space")
+        if k0 is None:
+            k0 = 1 << max(1, (ctx.n - 1).bit_length())
+        ctx.state["schedule"] = cv_schedule(k0)
+        ctx.state["color"] = ctx.id
+        ctx.state["round"] = 0
+        ctx.publish(ctx.id)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        schedule = ctx.state["schedule"]
+        i = ctx.state["round"]
+        ctx.state["round"] = i + 1
+        reduction_rounds = len(schedule) - 1
+        if i < reduction_rounds:
+            succ = ctx.input["successor_port"]
+            if succ is None:
+                # Path endpoint without successor: fold against a
+                # constant that always differs (flip the lowest bit).
+                other = ctx.state["color"] ^ 1
+            else:
+                other = inbox[succ]
+            ctx.state["color"] = cv_step(ctx.state["color"], other)
+            ctx.publish(ctx.state["color"])
+            return
+        # Class-removal phase: rounds process colors 5, 4, 3.
+        processed = 5 - (i - reduction_rounds)
+        if ctx.state["color"] == processed:
+            taken = {x for x in inbox if isinstance(x, int)}
+            for c in range(3):
+                if c not in taken:
+                    ctx.state["color"] = c
+                    break
+            ctx.publish(ctx.state["color"])
+        if processed == 3:
+            ctx.halt(ctx.state["color"])
+
+
+class ColeVishkinTreeColoring(SyncAlgorithm):
+    """DetLOCAL 3-coloring of rooted trees in O(log* n) rounds.
+
+    Node input:
+        ``successor_port``: port toward the parent (``None`` at roots),
+        as built by :func:`rooted_tree_orientation_inputs`.
+
+    The CV bit-reduction phase is identical to the ring version (each
+    vertex folds against its parent).  The 6 -> 3 finish, however, must
+    handle unbounded degree: each removal round is preceded by a
+    *shift-down* (every vertex adopts its parent's color; roots rotate
+    to a fresh color), after which all children of any vertex share one
+    color, so a recoloring vertex faces at most two distinct neighbor
+    colors and {0, 1, 2} always has a free one.
+    """
+
+    name = "cole-vishkin-tree"
+
+    def setup(self, ctx: NodeContext) -> None:
+        k0 = ctx.globals.get("id_space")
+        if k0 is None:
+            k0 = 1 << max(1, (ctx.n - 1).bit_length())
+        ctx.state["schedule"] = cv_schedule(k0)
+        ctx.state["color"] = ctx.id
+        ctx.publish(ctx.id)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        schedule = ctx.state["schedule"]
+        reduction_rounds = len(schedule) - 1
+        i = ctx.now
+        parent_port = ctx.input["successor_port"]
+        if i < reduction_rounds:
+            if parent_port is None:
+                other = ctx.state["color"] ^ 1
+            else:
+                other = inbox[parent_port]
+            ctx.state["color"] = cv_step(ctx.state["color"], other)
+            ctx.publish(ctx.state["color"])
+            return
+        # Finish: pairs of (shift-down, remove class 5/4/3) rounds.
+        offset = i - reduction_rounds
+        pair, phase = divmod(offset, 2)
+        if phase == 0:
+            # Shift-down: adopt the parent's color.  Roots switch to a
+            # low color different from their current one — staying in
+            # {0, 1, 2} never reintroduces an already-removed class.
+            if parent_port is None:
+                old = ctx.state["color"]
+                ctx.state["color"] = next(
+                    c for c in range(3) if c != old
+                )
+            else:
+                ctx.state["color"] = inbox[parent_port]
+            ctx.publish(ctx.state["color"])
+            return
+        processed = 5 - pair
+        if ctx.state["color"] == processed:
+            taken = set()
+            if parent_port is not None:
+                taken.add(inbox[parent_port])
+            for p in ctx.ports:
+                if p != parent_port:
+                    taken.add(inbox[p])  # all children share one color
+            for c in range(3):
+                if c not in taken:
+                    ctx.state["color"] = c
+                    break
+            ctx.publish(ctx.state["color"])
+        if processed == 3:
+            ctx.halt(ctx.state["color"])
+
+
+def ring_orientation_inputs(graph: Graph) -> List[dict]:
+    """Successor ports giving a consistent orientation of each cycle or
+    path component (a *promise* input, as in the oriented-ring model).
+
+    For cycles the successor follows one fixed traversal direction; for
+    paths the orientation runs from one endpoint to the other, the last
+    vertex getting ``successor_port = None``.
+    """
+    n = graph.num_vertices
+    inputs: List[dict] = [{"successor_port": None} for _ in range(n)]
+    seen = [False] * n
+    for start in graph.vertices():
+        if seen[start] or graph.degree(start) == 0:
+            seen[start] = True
+            continue
+        if graph.degree(start) > 2:
+            raise ValueError("orientation inputs need a path/cycle graph")
+        if seen[start]:
+            continue
+        # Walk from an endpoint if one exists (path), else anywhere.
+        origin = start
+        component = _collect_component(graph, start)
+        endpoints = [v for v in component if graph.degree(v) == 1]
+        if endpoints:
+            origin = min(endpoints)
+        prev = -1
+        v = origin
+        while True:
+            seen[v] = True
+            nxt_port = None
+            for p, u in enumerate(graph.neighbors(v)):
+                if u != prev:
+                    nxt_port = p
+                    break
+            if nxt_port is None:  # path end
+                inputs[v] = {"successor_port": None}
+                break
+            u = graph.endpoint(v, nxt_port)
+            if seen[u] and u != origin:
+                inputs[v] = {"successor_port": None}
+                break
+            inputs[v] = {"successor_port": nxt_port}
+            if u == origin:  # cycle closed
+                break
+            prev, v = v, u
+    return inputs
+
+
+def rooted_tree_orientation_inputs(graph: Graph, root: int = 0) -> List[dict]:
+    """Successor ports for a rooted tree: every vertex points at its
+    parent (the root gets ``None``).
+
+    Cole–Vishkin needs only a *successor function* with no 2-cycles in
+    the "compare with successor" relation; parent pointers qualify, so
+    the same bit trick 3-colors rooted trees of any degree in
+    O(log* n) rounds — the classic generalization.
+    """
+    if not graph.is_forest():
+        raise ValueError("rooted orientation needs a forest")
+    n = graph.num_vertices
+    inputs: List[dict] = [{"successor_port": None} for _ in range(n)]
+    seen = [False] * n
+    for start in [root] + list(range(n)):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = [start]
+        while queue:
+            v = queue.pop()
+            for p, u in enumerate(graph.neighbors(v)):
+                if not seen[u]:
+                    seen[u] = True
+                    inputs[u] = {
+                        "successor_port": graph.reverse_port(v, p)
+                    }
+                    queue.append(u)
+    return inputs
+
+
+def _collect_component(graph: Graph, start: int) -> List[int]:
+    out = [start]
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                out.append(u)
+                stack.append(u)
+    return out

@@ -1,0 +1,72 @@
+"""Multi-phase driver utilities.
+
+The paper's algorithms are pipelines: "compute a coloring, then reduce
+it, then shatter, then finish on the components".  Each stage is an
+honest engine run; a :class:`PhaseLog` accumulates the exact round
+counts so a pipeline reports the *sum* of its stages — the round
+complexity a single monolithic LOCAL algorithm would incur, since every
+stage's length is computable from common knowledge (all vertices switch
+phases in lockstep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..core.engine import RunResult
+
+
+@dataclass
+class Phase:
+    """One completed stage of a pipeline."""
+
+    name: str
+    rounds: int
+    messages: int = 0
+
+
+@dataclass
+class PhaseLog:
+    """Accumulates stages; ``total_rounds`` is the pipeline's cost."""
+
+    phases: List[Phase] = field(default_factory=list)
+
+    def add(self, name: str, result: RunResult) -> RunResult:
+        """Record an engine run as a stage and pass the result through."""
+        self.phases.append(Phase(name, result.rounds, result.messages))
+        return result
+
+    def add_rounds(self, name: str, rounds: int, messages: int = 0) -> None:
+        """Record a stage whose cost is known without an engine run
+        (e.g. a single information-exchange round)."""
+        self.phases.append(Phase(name, rounds, messages))
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(p.rounds for p in self.phases)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(p.messages for p in self.phases)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Phase-name -> rounds mapping (later same-named phases merge)."""
+        out: Dict[str, int] = {}
+        for p in self.phases:
+            out[p.name] = out.get(p.name, 0) + p.rounds
+        return out
+
+
+@dataclass
+class AlgorithmReport:
+    """Uniform return type for pipeline drivers: the labeling plus the
+    exact cost accounting."""
+
+    labeling: List[Any]
+    rounds: int
+    log: PhaseLog
+
+    @property
+    def breakdown(self) -> Dict[str, int]:
+        return self.log.breakdown()

@@ -1,0 +1,215 @@
+"""Maximal independent set algorithms.
+
+Two sides of the survey table in Section I:
+
+- :class:`LubyMIS` — the classic RandLOCAL algorithm: O(log n) rounds
+  with high probability, no IDs needed.
+- :class:`MISFromColoring` — the DetLOCAL workhorse: given a proper
+  m-coloring, sweep the color classes; combined with Linial's coloring
+  (Theorem 2) this gives deterministic MIS in O(Δ² + log* n) rounds
+  (our Linial fixed point is O(Δ²); the O(Δ + log* n) of [9] trades a
+  much more intricate reduction for the Δ² term — same n-dependence).
+
+Both are exercised head-to-head in experiment E11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .drivers import AlgorithmReport, PhaseLog
+from .linial import LinialColoring
+from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.context import Model, NodeContext
+from ..core.engine import run_local
+from ..graphs.graph import Graph
+from ..lcl.mis import IN, OUT
+
+
+class LubyMIS(SyncAlgorithm):
+    """Luby's RandLOCAL MIS.
+
+    Iterations take two rounds each.  In the *bid* round every undecided
+    vertex draws 64 random bits and publishes them; in the *decide*
+    round a vertex whose bid is strictly smaller than every undecided
+    neighbor's bid joins the MIS and halts (publishing ``("in",)``).
+    A vertex seeing an ``("in",)`` neighbor halts with OUT at its next
+    bid round.  Ties (probability ~2^-64 per edge per iteration) simply
+    stall one iteration; correctness is unaffected.
+    """
+
+    name = "luby-mis"
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.state["phase"] = "bid"
+        ctx.publish(("undecided",))
+        if ctx.degree == 0:
+            ctx.publish(("in",))
+            ctx.halt(IN)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.state["phase"] == "bid":
+            if any(msg[0] == "in" for msg in inbox):
+                ctx.publish(("out",))
+                ctx.halt(OUT)
+                return
+            bid = ctx.random.getrandbits(64)
+            ctx.state["bid"] = bid
+            ctx.state["phase"] = "decide"
+            ctx.publish(("bid", bid))
+        else:
+            my_bid = ctx.state["bid"]
+            wins = all(
+                not (msg[0] == "bid" and msg[1] <= my_bid) for msg in inbox
+            )
+            ctx.state["phase"] = "bid"
+            if wins:
+                ctx.publish(("in",))
+                ctx.halt(IN)
+            else:
+                ctx.publish(("undecided",))
+
+
+class GhaffariMIS(SyncAlgorithm):
+    """Ghaffari's RandLOCAL MIS ([11] in the paper's survey),
+    simplified: the *desire level* dynamics.
+
+    Every vertex keeps a desire ``p_v`` (initially 1/2).  Each
+    iteration (two rounds), vertices mark themselves with probability
+    ``p_v``; a marked vertex with no marked neighbor joins the MIS.
+    Desires adapt to the *effective degree* ``d_v = Σ_{u ∈ N(v)} p_u``:
+    halve when ``d_v >= 2``, else double (capped at 1/2).  Per-vertex
+    settling time is O(log Δ) + shattering tail — the survey's
+    O(log Δ + 2^O(√log log n)) headline, whose second term Theorem 3
+    proves necessary.
+    """
+
+    name = "ghaffari-mis"
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.state["p"] = 0.5
+        ctx.state["phase"] = "mark"
+        ctx.publish(("undecided", 0.5, False))
+        if ctx.degree == 0:
+            ctx.publish(("in",))
+            ctx.halt(IN)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.state["phase"] == "mark":
+            if any(msg[0] == "in" for msg in inbox):
+                ctx.publish(("out",))
+                ctx.halt(OUT)
+                return
+            # Adapt the desire to the neighbors' last-published levels.
+            effective = sum(
+                msg[1] for msg in inbox if msg[0] in ("undecided", "bid")
+            )
+            p = ctx.state["p"]
+            p = p / 2.0 if effective >= 2.0 else min(0.5, 2.0 * p)
+            ctx.state["p"] = p
+            marked = ctx.random.random() < p
+            ctx.state["marked"] = marked
+            ctx.state["phase"] = "decide"
+            ctx.publish(("bid", p, marked))
+        else:
+            ctx.state["phase"] = "mark"
+            if ctx.state["marked"] and not any(
+                msg[0] == "bid" and msg[2] for msg in inbox
+            ):
+                ctx.publish(("in",))
+                ctx.halt(IN)
+            else:
+                ctx.publish(("undecided", ctx.state["p"], False))
+
+
+def ghaffari_mis(
+    graph: Graph, seed: Optional[int] = None, max_rounds: int = 100_000
+) -> AlgorithmReport:
+    """Run Ghaffari's MIS; returns IN/OUT labels and exact rounds."""
+    log = PhaseLog()
+    result = log.add(
+        "ghaffari",
+        run_local(
+            graph, GhaffariMIS(), Model.RAND, seed=seed, max_rounds=max_rounds
+        ),
+    )
+    return AlgorithmReport(result.outputs, log.total_rounds, log)
+
+
+class MISFromColoring(SyncAlgorithm):
+    """DetLOCAL: MIS by sweeping the classes of a proper coloring.
+
+    Node input:
+        ``color``: this vertex's color in a proper ``m``-coloring.
+    Globals:
+        ``palette``: m.
+
+    Round ``j`` decides color class ``j``: a class-``j`` vertex joins
+    the MIS unless a neighbor already joined.  ``m`` rounds total.
+    """
+
+    name = "mis-from-coloring"
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.publish(("wait",))
+        ctx.sleep_until(ctx.input["color"])
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if any(
+            isinstance(msg, tuple) and msg[0] == "in" for msg in inbox
+        ):
+            ctx.publish(("out",))
+            ctx.halt(OUT)
+        else:
+            ctx.publish(("in",))
+            ctx.halt(IN)
+
+
+def luby_mis(
+    graph: Graph, seed: Optional[int] = None, max_rounds: int = 100_000
+) -> AlgorithmReport:
+    """Run Luby's MIS; returns IN/OUT labels and the exact round count."""
+    log = PhaseLog()
+    result = log.add(
+        "luby",
+        run_local(
+            graph, LubyMIS(), Model.RAND, seed=seed, max_rounds=max_rounds
+        ),
+    )
+    return AlgorithmReport(result.outputs, log.total_rounds, log)
+
+
+def deterministic_mis(
+    graph: Graph,
+    ids: Optional[Sequence[int]] = None,
+    id_space: Optional[int] = None,
+) -> AlgorithmReport:
+    """DetLOCAL MIS: Linial O(Δ²)-coloring, then a class sweep."""
+    log = PhaseLog()
+    globals_params = {}
+    if id_space is not None:
+        globals_params["id_space"] = id_space
+    coloring_run = log.add(
+        "linial-coloring",
+        run_local(
+            graph,
+            LinialColoring(),
+            Model.DET,
+            ids=ids,
+            global_params=globals_params,
+        ),
+    )
+    colors: List[int] = coloring_run.outputs
+    palette = max(colors) + 1 if colors else 1
+    mis_run = log.add(
+        "class-sweep",
+        run_local(
+            graph,
+            MISFromColoring(),
+            Model.DET,
+            ids=ids,
+            node_inputs=[{"color": c} for c in colors],
+            global_params={"palette": palette},
+        ),
+    )
+    return AlgorithmReport(mis_run.outputs, log.total_rounds, log)

@@ -1,0 +1,401 @@
+"""Sinkless orientation algorithms (the Brandt et al. problem).
+
+The paper uses sinkless orientation only through its *lower* bound
+(Ω(log log n) randomized / Ω(log n) deterministic on Δ-regular graphs);
+experiment E10 complements that with the upper-bound side, so the
+measured sandwich  lower-bound <= measured rounds  is visible:
+
+- :class:`RandomSinkFixing` — RandLOCAL: orient every edge toward the
+  endpoint with the larger random rank; then, each round, every sink
+  grabs a uniformly random incident edge (two adjacent vertices are
+  never both sinks, so grabs never collide).  On regular graphs with
+  Δ >= 3 the sink population decays rapidly; the driver measures rounds
+  until sink-free.
+- :func:`deterministic_sinkless_orientation` — DetLOCAL: every vertex
+  collects the entire ID-labeled graph (Θ(diameter) = Θ(log_Δ n) rounds
+  on regular graphs) and evaluates one shared canonical orientation rule
+  (:func:`canonical_sinkless_orientation`): hanging trees point toward
+  the 2-core, each core component is DFS-oriented from a canonical root
+  chosen on a cycle (tree edges child→parent, back edges
+  ancestor→descendant).  Matches the deterministic Ω(log n) lower bound
+  up to constants — the gap theorem (Corollary 3) says nothing faster
+  than O(log* n) exists unless the problem is trivial, and it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ball import BallCollection
+from .drivers import AlgorithmReport, PhaseLog
+from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.context import Model, NodeContext
+from ..core.engine import run_local
+from ..core.errors import AlgorithmFailure
+from ..graphs.graph import Graph, GraphError
+
+
+class RandomSinkFixing(SyncAlgorithm):
+    """RandLOCAL sink-fixing heuristic.
+
+    Globals:
+        ``budget``: number of fixing rounds to run before stopping
+        (RandLOCAL algorithms run a prescribed number of rounds).
+
+    Output per vertex: ``(orientation, last_sink_round)`` where
+    ``orientation`` is the out-direction tuple (True = outgoing) and
+    ``last_sink_round`` is the last round the vertex was a sink
+    (-1 if never) — the driver turns the maximum into the effective
+    stabilization time.
+    """
+
+    name = "random-sink-fixing"
+
+    def setup(self, ctx: NodeContext) -> None:
+        rank = ctx.random.getrandbits(64)
+        ctx.state["rank"] = rank
+        ctx.state["out"] = [False] * ctx.degree
+        ctx.state["last_sink_round"] = -1
+        ctx.state["initialized"] = False
+        ctx.publish(("rank", rank))
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        out: List[bool] = ctx.state["out"]
+        if not ctx.state["initialized"]:
+            my_rank = ctx.state["rank"]
+            for p in ctx.ports:
+                msg = inbox[p]
+                their_rank = msg[1]
+                if their_rank == my_rank:
+                    ctx.fail("rank collision (probability ~2^-64)")
+                    return
+                out[p] = my_rank < their_rank
+            ctx.state["initialized"] = True
+        else:
+            # Apply neighbors' grabs from last round: a neighbor that
+            # grabbed the edge on our port p now owns its direction.
+            reverse_ports: List[int] = ctx.input["reverse_ports"]
+            for p in ctx.ports:
+                msg = inbox[p]
+                if (
+                    isinstance(msg, tuple)
+                    and msg[0] == "grab"
+                    and reverse_ports[p] in msg[1]
+                ):
+                    out[p] = False
+        is_sink = ctx.degree > 0 and not any(out)
+        if is_sink:
+            ctx.state["last_sink_round"] = ctx.now
+        if ctx.now + 1 >= ctx.globals["budget"]:
+            # Final round: apply-only.  Grabbing now would be lost on
+            # neighbors (everyone halts simultaneously), leaving the
+            # two endpoints disagreeing about the edge's direction.
+            ctx.halt((tuple(out), ctx.state["last_sink_round"]))
+            return
+        grabbed: Set[int] = set()
+        if is_sink:
+            p = ctx.random.randrange(ctx.degree)
+            out[p] = True
+            grabbed = {p}
+        ctx.publish(("grab", grabbed))
+
+
+def random_sinkless_orientation(
+    graph: Graph,
+    seed: Optional[int] = None,
+    budget: Optional[int] = None,
+    max_rounds: int = 100_000,
+) -> Tuple[AlgorithmReport, int]:
+    """Run :class:`RandomSinkFixing`; returns the report (labeling =
+    orientation tuples) and the stabilization round (last round any
+    vertex was a sink, +1; equals the budget if sinks survived).
+
+    Raises
+    ------
+    AlgorithmFailure
+        If sinks remain after the budget (caller may retry with more).
+    """
+    n = graph.num_vertices
+    if budget is None:
+        budget = max(8, 4 * max(1, n.bit_length()))
+    log = PhaseLog()
+    run = log.add(
+        "sink-fixing",
+        run_local(
+            graph,
+            RandomSinkFixing(),
+            Model.RAND,
+            seed=seed,
+            global_params={"budget": budget},
+            max_rounds=max_rounds,
+        ),
+    )
+    if run.failures:
+        raise AlgorithmFailure("rank collision during initialization")
+    orientations = [out for out, _ in run.outputs]
+    last_sink = max(last for _, last in run.outputs)
+    if any(
+        graph.degree(v) > 0 and not any(orientations[v])
+        for v in graph.vertices()
+    ):
+        raise AlgorithmFailure(
+            f"sinks remain after {budget} fixing rounds"
+        )
+    report = AlgorithmReport(orientations, log.total_rounds, log)
+    return report, last_sink + 1
+
+
+# ----------------------------------------------------------------------
+# Deterministic: full knowledge + canonical rule
+# ----------------------------------------------------------------------
+def canonical_sinkless_orientation(
+    n: int, edges: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], Tuple[int, int]]:
+    """A canonical sinkless orientation of the graph ``(n, edges)``.
+
+    Returns ``{(a, b): (tail, head)}`` for every edge key ``a < b``.
+    Deterministic in the vertex numbering (which, in the distributed
+    algorithm, is the shared ID space — every vertex evaluates the same
+    function on the same collected graph).
+
+    Raises
+    ------
+    GraphError
+        If some component is acyclic (no sinkless orientation exists).
+    """
+    graph = Graph(n, edges)
+    orientation: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for component in graph.connected_components():
+        if len(component) >= 2:
+            sub, _ = graph.induced_subgraph(component)
+            if sub.is_forest():
+                raise GraphError(
+                    "an acyclic component has no sinkless orientation"
+                )
+
+    # Peel the 1-shell: repeatedly remove degree-<=1 vertices; removed
+    # vertices orient their remaining edge toward the survivors.
+    degree = {v: graph.degree(v) for v in graph.vertices()}
+    removed: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(degree):
+            if v in removed or degree[v] > 1:
+                continue
+            for u in graph.neighbors(v):
+                if u in removed:
+                    continue
+                key = (v, u) if v < u else (u, v)
+                if key not in orientation:
+                    orientation[key] = (v, u)  # point toward the core
+                    degree[u] -= 1
+                    changed = True
+            degree[v] = 0
+            removed.add(v)
+    core = [v for v in graph.vertices() if v not in removed]
+    if not core:
+        return orientation  # forest components were rejected above
+
+    core_set = set(core)
+    seen: Set[int] = set()
+    for root_candidate in core:
+        if root_candidate in seen:
+            continue
+        component = _core_component(graph, root_candidate, core_set)
+        seen |= component
+        root = _canonical_cyclic_root(graph, component)
+        if root is None:
+            raise GraphError(
+                "a 2-core component contains no cycle — no sinkless "
+                "orientation exists"
+            )
+        _dfs_orient(graph, root, component, orientation)
+    # Self-check: the rule must leave no sinks (every vertex with an
+    # incident edge has at least one outgoing edge).
+    out_degree = [0] * graph.num_vertices
+    for tail, _head in orientation.values():
+        out_degree[tail] += 1
+    for v in graph.vertices():
+        if graph.degree(v) > 0 and out_degree[v] == 0:
+            raise AssertionError(
+                f"canonical orientation left vertex {v} a sink"
+            )
+    return orientation
+
+
+def _core_component(graph: Graph, start: int, core: Set[int]) -> Set[int]:
+    out = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            if u in core and u not in out:
+                out.add(u)
+                stack.append(u)
+    return out
+
+
+def _canonical_cyclic_root(
+    graph: Graph, component: Set[int]
+) -> Optional[int]:
+    """The smallest vertex of the component that lies on a cycle
+    (equivalently: has an incident non-bridge edge within the
+    component)."""
+    bridges = _bridges_within(graph, component)
+    for v in sorted(component):
+        for u in graph.neighbors(v):
+            if u in component:
+                key = (v, u) if v < u else (u, v)
+                if key not in bridges:
+                    return v
+    return None
+
+
+def _bridges_within(
+    graph: Graph, component: Set[int]
+) -> Set[Tuple[int, int]]:
+    """Bridge edges of the induced subgraph (iterative Tarjan)."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    bridges: Set[Tuple[int, int]] = set()
+    counter = [0]
+    for start in sorted(component):
+        if start in index:
+            continue
+        stack: List[Tuple[int, int, int]] = [(start, -1, 0)]
+        while stack:
+            v, parent, child_index = stack.pop()
+            if child_index == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+            neighbors = [u for u in graph.neighbors(v) if u in component]
+            advanced = False
+            while child_index < len(neighbors):
+                u = neighbors[child_index]
+                child_index += 1
+                if u == parent:
+                    continue
+                if u in index:
+                    low[v] = min(low[v], index[u])
+                else:
+                    stack.append((v, parent, child_index))
+                    stack.append((u, v, 0))
+                    advanced = True
+                    break
+            if not advanced and parent != -1:
+                low[parent] = min(low.get(parent, index[parent]), low[v])
+                if low[v] > index[parent]:
+                    key = (v, parent) if v < parent else (parent, v)
+                    bridges.add(key)
+    return bridges
+
+
+def _dfs_orient(
+    graph: Graph,
+    root: int,
+    component: Set[int],
+    orientation: Dict[Tuple[int, int], Tuple[int, int]],
+) -> None:
+    """DFS from ``root`` (neighbors in ascending order): tree edges
+    child→parent, back edges ancestor→descendant."""
+    parent: Dict[int, int] = {}
+    order: Dict[int, int] = {}
+    counter = 0
+    stack2: List[Tuple[int, int]] = [(root, -1)]
+    while stack2:
+        v, par = stack2.pop()
+        if v in order:
+            continue
+        order[v] = counter
+        counter += 1
+        parent[v] = par
+        for u in sorted(
+            (u for u in graph.neighbors(v) if u in component), reverse=True
+        ):
+            if u not in order:
+                stack2.append((u, v))
+    for v in component:
+        for u in graph.neighbors(v):
+            if u not in component or u < v:
+                continue
+            key = (v, u)
+            if key in orientation:
+                continue
+            if parent.get(u) == v:
+                orientation[key] = (u, v)  # child u -> parent v
+            elif parent.get(v) == u:
+                orientation[key] = (v, u)
+            else:
+                # Back edge: ancestor (smaller preorder) -> descendant.
+                if order[v] < order[u]:
+                    orientation[key] = (v, u)
+                else:
+                    orientation[key] = (u, v)
+
+
+def deterministic_sinkless_orientation(
+    graph: Graph,
+    ids: Optional[Sequence[int]] = None,
+    radius: Optional[int] = None,
+    max_rounds: int = 100_000,
+) -> AlgorithmReport:
+    """DetLOCAL sinkless orientation by full-graph collection.
+
+    ``radius`` defaults to diameter + 1 — the extra round ensures every
+    vertex learns even the edges joining two antipodal vertices, so all
+    vertices evaluate the canonical rule on the *same* graph.  On
+    Δ-regular graphs this is Θ(log_Δ n), matching the Ω(log n) DetLOCAL
+    lower bound for this problem up to constants.
+
+    Output per vertex: the tuple of out-directions per port.
+    """
+    if radius is None:
+        radius = graph.diameter() + 1
+    if ids is None:
+        ids = list(range(graph.num_vertices))
+
+    def compute(ctx: NodeContext, vertices, edges) -> Tuple[bool, ...]:
+        id_list = sorted(vertices)
+        rank = {vid: i for i, vid in enumerate(id_list)}
+        local_edges = [(rank[a], rank[b]) for a, b in edges]
+        orientation = canonical_sinkless_orientation(
+            len(id_list), local_edges
+        )
+        me = rank[ctx.id]
+        out = []
+        for p in ctx.ports:
+            neighbor_rank = None
+            # Identify the neighbor on port p by its ID, learned during
+            # collection via the label channel.
+            neighbor_id = ctx.input["neighbor_ids"][p]
+            neighbor_rank = rank[neighbor_id]
+            key = (
+                (me, neighbor_rank)
+                if me < neighbor_rank
+                else (neighbor_rank, me)
+            )
+            tail, _head = orientation[key]
+            out.append(tail == me)
+        return tuple(out)
+
+    # One pre-round so every vertex knows its neighbors' IDs per port.
+    log = PhaseLog()
+    log.add_rounds("neighbor-id-exchange", 1, messages=2 * graph.num_edges)
+    neighbor_ids = [
+        [ids[u] for u in graph.neighbors(v)] for v in graph.vertices()
+    ]
+    run = log.add(
+        "ball-collection",
+        run_local(
+            graph,
+            BallCollection(radius, compute),
+            Model.DET,
+            ids=ids,
+            node_inputs=[
+                {"neighbor_ids": neighbor_ids[v]} for v in graph.vertices()
+            ],
+            max_rounds=max_rounds,
+        ),
+    )
+    return AlgorithmReport(run.outputs, log.total_rounds, log)

@@ -1,0 +1,76 @@
+"""Distributed 2-approximate minimum vertex cover.
+
+Section I's survey discusses approximate vertex cover around the KMW
+lower bound (Ω(min(log Δ/log log Δ, √(log n/log log n))) for O(1)-
+approximation) and the matching (2+ε)-approximation upper bound of
+Bar-Yehuda et al.  The textbook 2-approximation — both endpoints of any
+maximal matching — is a one-liner on top of our matching algorithms and
+rounds out the survey problems: the same KMW bound applies to it, so
+experiment E9's sandwich covers it too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from .drivers import AlgorithmReport, PhaseLog
+from .matching import deterministic_matching, randomized_matching
+from ..graphs.graph import Graph
+from ..lcl.matching import UNMATCHED
+
+
+def cover_from_matching_labels(labels: Sequence) -> List[int]:
+    """0/1 cover labels: matched vertices in, unmatched out."""
+    return [0 if port is UNMATCHED else 1 for port in labels]
+
+
+def is_vertex_cover(graph: Graph, labels: Sequence[int]) -> bool:
+    """Whether the 1-labeled vertices touch every edge."""
+    return all(
+        labels[u] == 1 or labels[v] == 1 for u, v in graph.edges()
+    )
+
+
+def approximation_certificate(
+    graph: Graph, labels: Sequence[int], matching_labels: Sequence
+) -> bool:
+    """Verify the 2-approximation *locally checkable* certificate: the
+    cover is exactly the endpoint set of a maximal matching, so
+    |cover| = 2·|M| <= 2·OPT (every cover needs one endpoint per
+    matched edge)."""
+    cover: Set[int] = {v for v, x in enumerate(labels) if x == 1}
+    matched = {
+        v for v, port in enumerate(matching_labels) if port is not UNMATCHED
+    }
+    return cover == matched and is_vertex_cover(graph, labels)
+
+
+def randomized_vertex_cover(
+    graph: Graph, seed: Optional[int] = None
+) -> AlgorithmReport:
+    """RandLOCAL 2-approximate vertex cover (endpoints of the
+    randomized maximal matching; +0 extra rounds — the conversion is
+    local relabeling)."""
+    base = randomized_matching(graph, seed=seed)
+    log = PhaseLog()
+    for phase in base.log.phases:
+        log.add_rounds(phase.name, phase.rounds, phase.messages)
+    labels = cover_from_matching_labels(base.labeling)
+    report = AlgorithmReport(labels, log.total_rounds, log)
+    report.matching_labels = base.labeling  # type: ignore[attr-defined]
+    return report
+
+
+def deterministic_vertex_cover(
+    graph: Graph, ids: Optional[Sequence[int]] = None
+) -> AlgorithmReport:
+    """DetLOCAL 2-approximate vertex cover via the deterministic
+    maximal matching."""
+    base = deterministic_matching(graph, ids=ids)
+    log = PhaseLog()
+    for phase in base.log.phases:
+        log.add_rounds(phase.name, phase.rounds, phase.messages)
+    labels = cover_from_matching_labels(base.labeling)
+    report = AlgorithmReport(labels, log.total_rounds, log)
+    report.matching_labels = base.labeling  # type: ignore[attr-defined]
+    return report

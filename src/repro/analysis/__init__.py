@@ -1,0 +1,37 @@
+"""Experiment harness: sweeps, growth fitting, table rendering."""
+
+from .charts import ascii_chart, growth_summary, sparkline
+from .experiments import ExperimentRecord, Point, Series, run_sweep
+from .fitting import (
+    CANDIDATE_SHAPES,
+    Fit,
+    best_shape,
+    classify_growth,
+    growth_exponent_ratio,
+    separation_factor,
+)
+from .mathx import ceil_log2, log_base, log_delta, log_log, log_star
+from .tables import render_kv, render_table
+
+__all__ = [
+    "CANDIDATE_SHAPES",
+    "ExperimentRecord",
+    "Fit",
+    "Point",
+    "Series",
+    "ascii_chart",
+    "best_shape",
+    "ceil_log2",
+    "classify_growth",
+    "growth_exponent_ratio",
+    "growth_summary",
+    "log_base",
+    "log_delta",
+    "log_log",
+    "log_star",
+    "render_kv",
+    "render_table",
+    "run_sweep",
+    "separation_factor",
+    "sparkline",
+]

@@ -1,0 +1,82 @@
+"""Plain-text charts for experiment series.
+
+The benchmark tables record exact numbers; these renderers make the
+*shapes* — the thing the reproduction is about — visible in a terminal
+with no plotting dependencies.  Used by the examples and by
+EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .experiments import Series
+
+#: Glyphs from low to high for sparklines.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of the values."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _SPARKS[0] * len(values)
+    out = []
+    for v in values:
+        index = int((v - lo) / (hi - lo) * (len(_SPARKS) - 1))
+        out.append(_SPARKS[index])
+    return "".join(out)
+
+
+def ascii_chart(
+    series_list: Sequence[Series],
+    height: int = 10,
+    width: Optional[int] = None,
+    markers: str = "*o+x#@",
+) -> str:
+    """A fixed-grid ASCII chart of one or more series (shared axes).
+
+    X positions are the series' sample indices (experiment sweeps are
+    log-spaced, so index spacing reads as log scale); Y is linear over
+    the joint value range.  Each series gets one marker; a legend line
+    maps markers to names.
+    """
+    series_list = [s for s in series_list if s.points]
+    if not series_list:
+        return "(no data)"
+    columns = width or max(len(s.points) for s in series_list)
+    all_values = [p.mean for s in series_list for p in s.points]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    grid: List[List[str]] = [
+        [" "] * columns for _ in range(height)
+    ]
+    for index, series in enumerate(series_list):
+        marker = markers[index % len(markers)]
+        for x, point in enumerate(series.points[:columns]):
+            y = int((point.mean - lo) / span * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        value = hi - span * row_index / (height - 1)
+        lines.append(f"{value:10.1f} | " + " ".join(row))
+    lines.append(" " * 10 + " +-" + "--" * columns)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {s.name}"
+        for i, s in enumerate(series_list)
+    )
+    lines.append(" " * 13 + legend)
+    return "\n".join(lines)
+
+
+def growth_summary(series: Series) -> str:
+    """One line: name, sparkline, first -> last means."""
+    means = series.means
+    return (
+        f"{series.name}: {sparkline(means)}  "
+        f"{means[0]:.3g} -> {means[-1]:.3g}"
+    )

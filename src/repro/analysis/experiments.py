@@ -1,0 +1,135 @@
+"""Experiment harness: parameter sweeps with seeds and aggregation.
+
+Benchmarks and examples share this machinery: a :class:`Sweep` runs a
+measurement function over a parameter grid with several seeds, collects
+:class:`Series` of (x, mean, min, max), and renders them through
+:mod:`repro.analysis.tables`.  Keeping it here (rather than in each
+bench file) makes every experiment's shape identical: generate → run →
+verify → record.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Point:
+    """One aggregated measurement."""
+
+    x: float
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+@dataclass
+class Series:
+    """A named sequence of aggregated measurements."""
+
+    name: str
+    points: List[Point] = field(default_factory=list)
+
+    def add(self, x: float, values: Iterable[float]) -> None:
+        values = list(values)
+        if not values:
+            raise ValueError(f"series {self.name!r}: empty sample at x={x}")
+        self.points.append(Point(x, values))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def means(self) -> List[float]:
+        return [p.mean for p in self.points]
+
+    def as_rows(self) -> List[Sequence[Any]]:
+        return [
+            (p.x, round(p.mean, 2), p.minimum, p.maximum)
+            for p in self.points
+        ]
+
+
+def run_sweep(
+    name: str,
+    xs: Sequence[float],
+    measure: Callable[[float, int], float],
+    seeds: Sequence[int] = (0, 1, 2),
+    skip_failures: bool = False,
+) -> Series:
+    """Measure ``measure(x, seed)`` over a grid × seeds.
+
+    With ``skip_failures`` (for randomized algorithms with a declared
+    failure mode), failed runs are dropped; a point with *no* surviving
+    run still raises.
+    """
+    series = Series(name)
+    for x in xs:
+        values = []
+        for seed in seeds:
+            try:
+                values.append(float(measure(x, seed)))
+            except Exception:
+                if not skip_failures:
+                    raise
+        series.add(x, values)
+    return series
+
+
+@dataclass
+class ExperimentRecord:
+    """A finished experiment: series plus free-form annotations.
+
+    ``checks`` holds named boolean outcomes (e.g. "all outputs verified
+    by the LCL checker", "every measurement respects the Theorem 4
+    bound") so bench output states its own validity.
+    """
+
+    experiment_id: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def check(self, name: str, ok: bool) -> None:
+        self.checks[name] = bool(ok)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        from .tables import render_table
+
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for series in self.series:
+            lines.append(f"-- {series.name}")
+            lines.append(
+                render_table(
+                    ["x", "mean", "min", "max"], series.as_rows()
+                )
+            )
+        for name, ok in self.checks.items():
+            lines.append(f"check {name}: {'PASS' if ok else 'FAIL'}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

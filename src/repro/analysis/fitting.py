@@ -1,0 +1,119 @@
+"""Growth-class identification for measured round counts.
+
+The paper's claims are asymptotic *shapes* — Θ(log_Δ n) deterministic
+vs Θ(log_Δ log n) randomized, O(log* n) for Linial — so the experiment
+harness needs a principled way to say "this series grows like log n,
+that one like log log n".  :func:`classify_growth` fits each candidate
+shape ``rounds ≈ a·shape(n) + b`` by least squares (a >= 0) and reports
+the best normalized residual; :func:`growth_exponent_ratio` offers the
+scale-doubling diagnostic (how much the measurement grows when n is
+squared: ×2 for log, ×1 + o(1) for log log, ~×1 for log*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .mathx import log_log, log_star
+
+Shape = Callable[[float], float]
+
+#: The candidate growth shapes the paper's theorems distinguish.
+CANDIDATE_SHAPES: Dict[str, Shape] = {
+    "constant": lambda n: 1.0,
+    "log*": lambda n: float(log_star(n)),
+    "loglog": lambda n: log_log(n),
+    "log": lambda n: math.log2(max(n, 2.0)),
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass
+class Fit:
+    """One shape's least-squares fit."""
+
+    shape: str
+    scale: float
+    offset: float
+    rmse: float
+    normalized_rmse: float
+
+
+def _fit_shape(
+    xs: Sequence[float], ys: Sequence[float], shape: Shape
+) -> Tuple[float, float, float]:
+    """Least squares for y ≈ a·shape(x) + b with a >= 0."""
+    fx = [shape(x) for x in xs]
+    n = len(xs)
+    mean_f = sum(fx) / n
+    mean_y = sum(ys) / n
+    var_f = sum((f - mean_f) ** 2 for f in fx)
+    if var_f == 0:
+        a = 0.0
+    else:
+        cov = sum((f - mean_f) * (y - mean_y) for f, y in zip(fx, ys))
+        a = max(0.0, cov / var_f)
+    b = mean_y - a * mean_f
+    rmse = math.sqrt(
+        sum((a * f + b - y) ** 2 for f, y in zip(fx, ys)) / n
+    )
+    return a, b, rmse
+
+
+def classify_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    shapes: Sequence[str] = ("constant", "log*", "loglog", "log", "linear"),
+) -> List[Fit]:
+    """Fit each candidate shape; return fits sorted best-first.
+
+    ``normalized_rmse`` divides by the spread of y so different series
+    are comparable; a value near 0 is a good fit.
+    """
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need at least 3 aligned samples")
+    spread = max(ys) - min(ys)
+    if spread == 0:
+        spread = max(abs(y) for y in ys) or 1.0
+    fits = []
+    for name in shapes:
+        a, b, rmse = _fit_shape(xs, ys, CANDIDATE_SHAPES[name])
+        fits.append(Fit(name, a, b, rmse, rmse / spread))
+    fits.sort(key=lambda fit: fit.rmse)
+    return fits
+
+
+def best_shape(xs: Sequence[float], ys: Sequence[float], **kw) -> str:
+    """Name of the best-fitting candidate shape."""
+    return classify_growth(xs, ys, **kw)[0].shape
+
+
+def growth_exponent_ratio(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Diagnostic ratio ``(y_last - y_first) / (shape_log(x_last) -
+    shape_log(x_first))`` — the per-doubling increment if growth is
+    logarithmic.  Near-zero increments indicate sub-logarithmic growth.
+    """
+    if len(xs) < 2:
+        raise ValueError("need at least 2 samples")
+    dlog = math.log2(max(xs[-1], 2)) - math.log2(max(xs[0], 2))
+    if dlog == 0:
+        return 0.0
+    return (ys[-1] - ys[0]) / dlog
+
+
+def separation_factor(
+    slow: Sequence[float], fast: Sequence[float]
+) -> float:
+    """How much the ``slow`` series outgrew the ``fast`` one over the
+    sweep: (slow_last/slow_first) / (fast_last/fast_first).  Values
+    substantially above 1 certify a separation in growth."""
+    if len(slow) < 2 or len(fast) < 2:
+        raise ValueError("need at least 2 samples per series")
+    slow_growth = slow[-1] / max(slow[0], 1e-9)
+    fast_growth = fast[-1] / max(fast[0], 1e-9)
+    return slow_growth / max(fast_growth, 1e-9)

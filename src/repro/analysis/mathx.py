@@ -1,0 +1,44 @@
+"""Small math helpers used throughout: log*, log_Δ, and friends."""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """The iterated logarithm log* x: how many times log must be
+    applied before the value drops to <= 1."""
+    if x <= 1:
+        return 0
+    count = 0
+    while x > 1:
+        x = math.log(x, base)
+        count += 1
+        if count > 1_000:
+            raise ValueError("log* did not converge (base <= 1?)")
+    return count
+
+
+def log_base(x: float, base: float) -> float:
+    """log_base(x), guarded: base is clamped to >= 2 so that log_Δ with
+    Δ < 2 stays finite (the convention used in round bounds)."""
+    return math.log(max(x, 1.0)) / math.log(max(base, 2.0))
+
+
+def log_delta(x: float, delta: int) -> float:
+    """``log_Δ x`` with the Δ >= 2 clamp."""
+    return log_base(x, float(delta))
+
+
+def log_log(x: float) -> float:
+    """``log log x`` (base 2), 0 for small x."""
+    if x <= 2:
+        return 0.0
+    return math.log2(math.log2(x))
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest k with 2^k >= x (0 for x <= 1)."""
+    if x <= 1:
+        return 0
+    return (x - 1).bit_length()

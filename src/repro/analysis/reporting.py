@@ -1,0 +1,111 @@
+"""Experiment-result aggregation.
+
+``python -m repro.analysis.reporting [results_dir]`` scans the
+``benchmarks/results/`` directory the benchmark suite writes and prints
+a pass/fail matrix — the one-screen answer to "did the reproduction
+hold?".  The same parser is importable for tests and notebooks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .tables import render_table
+
+PathLike = Union[str, pathlib.Path]
+
+_HEADER = re.compile(r"^== (?P<id>\S+): (?P<title>.*) ==$")
+_CHECK = re.compile(r"^check (?P<name>.*): (?P<verdict>PASS|FAIL)$")
+_NOTE = re.compile(r"^note: (?P<text>.*)$")
+
+
+@dataclass
+class ExperimentSummary:
+    """Parsed record of one experiment's rendered output."""
+
+    experiment_id: str
+    title: str
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.checks) and all(self.checks.values())
+
+
+def parse_record(text: str) -> Optional[ExperimentSummary]:
+    """Parse one rendered ExperimentRecord; ``None`` if not one."""
+    summary: Optional[ExperimentSummary] = None
+    for line in text.splitlines():
+        header = _HEADER.match(line)
+        if header:
+            summary = ExperimentSummary(
+                experiment_id=header.group("id"),
+                title=header.group("title"),
+            )
+            continue
+        if summary is None:
+            continue
+        check = _CHECK.match(line)
+        if check:
+            summary.checks[check.group("name")] = (
+                check.group("verdict") == "PASS"
+            )
+            continue
+        note = _NOTE.match(line)
+        if note:
+            summary.notes.append(note.group("text"))
+    return summary
+
+
+def collect(results_dir: PathLike) -> List[ExperimentSummary]:
+    """Parse every ``*.txt`` record in a results directory, sorted by
+    experiment id."""
+    directory = pathlib.Path(results_dir)
+    summaries = []
+    for path in sorted(directory.glob("*.txt")):
+        summary = parse_record(path.read_text())
+        if summary is not None:
+            summaries.append(summary)
+    summaries.sort(key=lambda s: (len(s.experiment_id), s.experiment_id))
+    return summaries
+
+
+def render_summary(summaries: List[ExperimentSummary]) -> str:
+    """The pass/fail matrix as an aligned table."""
+    rows = []
+    for s in summaries:
+        passed = sum(1 for ok in s.checks.values() if ok)
+        rows.append(
+            [
+                s.experiment_id,
+                "PASS" if s.passed else "FAIL",
+                f"{passed}/{len(s.checks)}",
+                s.title[:60],
+            ]
+        )
+    return render_table(["id", "verdict", "checks", "title"], rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = pathlib.Path(
+        args[0] if args else "benchmarks/results"
+    )
+    if not results_dir.is_dir():
+        print(f"no results directory at {results_dir}", file=sys.stderr)
+        return 2
+    summaries = collect(results_dir)
+    if not summaries:
+        print(f"no experiment records in {results_dir}", file=sys.stderr)
+        return 2
+    print(render_summary(summaries))
+    return 0 if all(s.passed for s in summaries) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

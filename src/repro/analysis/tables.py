@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output.
+
+The paper being reproduced has no numbered tables; our benches print
+these tables as the experiment artifacts recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    table = [list(map(_format_cell, headers))]
+    for row in rows:
+        table.append([_format_cell(cell) for cell in row])
+    widths = [
+        max(len(table[r][c]) for r in range(len(table)))
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    for r, row in enumerate(table):
+        line = "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row))
+        lines.append(line)
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[Any]]) -> str:
+    """Render a two-column key/value block with a title."""
+    body = render_table(["key", "value"], pairs)
+    return f"{title}\n{body}"

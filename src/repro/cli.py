@@ -1,0 +1,198 @@
+"""Command-line front door: run the paper's experiments from a shell.
+
+``python -m repro.cli list`` shows the available demos;
+``python -m repro.cli separation --delta 9 --sizes 100,2000,20000``
+runs the headline experiment and prints its table.  Everything the CLI
+does is a thin wrapper over the library — the same calls the examples
+and benchmarks make.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List
+
+from .algorithms import (
+    barenboim_elkin_coloring,
+    delta_plus_one_coloring,
+    deterministic_mis,
+    luby_mis,
+    pettie_su_tree_coloring,
+)
+from .algorithms.delta55 import chang_kopelowitz_pettie_coloring
+from .analysis import render_table
+from .graphs.generators import (
+    complete_regular_tree_with_size,
+    random_regular_graph,
+    random_tree_preferential,
+)
+from .lcl import KColoring, MaximalIndependentSet
+from .lowerbounds import corollary2_rounds, theorem5_rounds
+
+
+def _sizes(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _rand_delta_coloring(tree, delta, seed):
+    """Theorem 10 for Δ >= 9, the Theorem 11 machinery below that."""
+    if delta >= 9:
+        return pettie_su_tree_coloring(tree, seed=seed)
+    return chang_kopelowitz_pettie_coloring(
+        tree, seed=seed, min_delta=delta
+    )
+
+
+def cmd_separation(args: argparse.Namespace) -> int:
+    delta = args.delta
+    rows = []
+    checker = KColoring(delta)
+    for target in _sizes(args.sizes):
+        tree = complete_regular_tree_with_size(delta, target)
+        n = tree.num_vertices
+        det = barenboim_elkin_coloring(tree, delta)
+        rand = _rand_delta_coloring(tree, delta, args.seed)
+        checker.check(tree, det.labeling)
+        checker.check(tree, rand.labeling)
+        rows.append(
+            [
+                n,
+                det.rounds,
+                rand.rounds,
+                f"{theorem5_rounds(n, delta):.1f}",
+                f"{corollary2_rounds(n, delta):.1f}",
+            ]
+        )
+    print(f"Δ-coloring complete Δ-regular trees, Δ = {delta}")
+    print(
+        render_table(
+            ["n", "det", "rand", "det LB", "rand LB"], rows
+        )
+    )
+    return 0
+
+
+def cmd_coloring(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    tree = random_tree_preferential(
+        args.n, args.delta, rng, seed_hub=True
+    )
+    delta = tree.max_degree
+    rand = _rand_delta_coloring(tree, delta, args.seed)
+    KColoring(delta).check(tree, rand.labeling)
+    stats = rand.log.stats
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["n", tree.num_vertices],
+                ["Δ", delta],
+                ["rounds", rand.rounds],
+                ["bad vertices after phase 1", stats.bad_vertices],
+                ["largest shattered component", stats.max_component],
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_mis(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    g = random_regular_graph(args.n, args.delta, rng)
+    problem = MaximalIndependentSet()
+    a = luby_mis(g, seed=args.seed)
+    b = deterministic_mis(g)
+    problem.check(g, a.labeling)
+    problem.check(g, b.labeling)
+    print(
+        render_table(
+            ["algorithm", "rounds"],
+            [["Luby (RandLOCAL)", a.rounds], ["coloring-based (DetLOCAL)", b.rounds]],
+        )
+    )
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    g = random_regular_graph(args.n, args.delta, rng)
+    report = delta_plus_one_coloring(g)
+    KColoring(args.delta + 1).check(g, report.labeling)
+    print(
+        render_table(
+            ["phase", "rounds"],
+            sorted(report.breakdown.items()),
+        )
+    )
+    print(f"total: {report.rounds} rounds")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reporting import main as report_main
+
+    return report_main([args.results_dir])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "LOCAL-model separation laboratory (Chang-Kopelowitz-"
+            "Pettie 2016 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser(
+        "separation", help="the headline det-vs-rand Δ-coloring sweep"
+    )
+    p.add_argument("--delta", type=int, default=9)
+    p.add_argument("--sizes", default="100,1000,10000")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_separation)
+
+    p = sub.add_parser(
+        "coloring", help="run Theorem 10 on one random tree"
+    )
+    p.add_argument("--n", type=int, default=5000)
+    p.add_argument("--delta", type=int, default=16)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_coloring)
+
+    p = sub.add_parser("mis", help="Luby vs deterministic MIS")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--delta", type=int, default=6)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_mis)
+
+    p = sub.add_parser(
+        "baseline", help="the (Δ+1)-coloring pipeline with phase breakdown"
+    )
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--delta", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser(
+        "report", help="pass/fail matrix over recorded experiment results"
+    )
+    p.add_argument("results_dir", nargs="?", default="benchmarks/results")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

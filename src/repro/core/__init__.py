@@ -1,0 +1,68 @@
+"""Core LOCAL simulation engine: models, contexts, rounds, views, IDs."""
+
+from .algorithm import SyncAlgorithm, addressed, unpack_addressed
+from .context import Model, NodeContext
+from .engine import (
+    DEFAULT_MAX_ROUNDS,
+    RoundTrace,
+    RunResult,
+    build_contexts,
+    make_node_rngs,
+    run_local,
+)
+from .errors import (
+    AlgorithmFailure,
+    DuplicateIDError,
+    ModelViolationError,
+    ReproError,
+    SimulationError,
+    VerificationError,
+)
+from .ids import (
+    bfs_order_ids,
+    check_unique_ids,
+    id_bit_length,
+    reversed_ids,
+    sequential_ids,
+    shuffled_ids,
+    sparse_random_ids,
+)
+from .views import (
+    View,
+    collect_view,
+    tree_canonical_form,
+    views_equivalent_as_trees,
+    views_identical,
+)
+
+__all__ = [
+    "AlgorithmFailure",
+    "DEFAULT_MAX_ROUNDS",
+    "DuplicateIDError",
+    "Model",
+    "ModelViolationError",
+    "NodeContext",
+    "ReproError",
+    "RoundTrace",
+    "RunResult",
+    "SimulationError",
+    "SyncAlgorithm",
+    "VerificationError",
+    "View",
+    "addressed",
+    "bfs_order_ids",
+    "build_contexts",
+    "check_unique_ids",
+    "collect_view",
+    "id_bit_length",
+    "make_node_rngs",
+    "reversed_ids",
+    "run_local",
+    "sequential_ids",
+    "shuffled_ids",
+    "sparse_random_ids",
+    "tree_canonical_form",
+    "unpack_addressed",
+    "views_equivalent_as_trees",
+    "views_identical",
+]

@@ -1,0 +1,77 @@
+"""Algorithm interface for the synchronous LOCAL engine.
+
+An algorithm is a *node program*: every vertex runs the same code
+(Section I).  The engine drives it in synchronized rounds:
+
+1. :meth:`SyncAlgorithm.setup` runs once at every vertex (round 0, no
+   communication has happened yet — the vertex knows only its own
+   degree, inputs, globals, and its ID / random stream).
+2. Each round, :meth:`SyncAlgorithm.step` runs at every non-halted
+   vertex with ``inbox[p]`` = the value the neighbor on port ``p``
+   published at the end of the previous round.
+
+Publishing a value is the LOCAL-model "send an unbounded message to all
+neighbors"; per-port addressed messages are built on top with
+:func:`addressed` / :func:`unpack_addressed` (publish a dict keyed by the
+*receiver's* port, which the sender knows via the graph's reverse ports —
+the engine injects them into ``ctx.input['reverse_ports']``).
+
+This shared-state formulation is round-for-round equivalent to explicit
+message passing and keeps node programs short and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .context import NodeContext
+
+Inbox = Sequence[Any]
+
+
+class SyncAlgorithm:
+    """Base class for node programs.  Subclasses override
+    :meth:`setup` and :meth:`step`.
+
+    Instances must be stateless with respect to individual vertices: all
+    per-vertex state lives in ``ctx.state``.  (One instance is shared by
+    all vertices, mirroring "all vertices run the same algorithm".)
+    """
+
+    #: Human-readable name used in traces and experiment output.
+    name = "sync-algorithm"
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Initialize per-vertex state; may publish and may halt."""
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        """Execute one round.  ``inbox[p]`` is the neighbor on port
+        ``p``'s published value from the previous round."""
+        raise NotImplementedError
+
+
+def addressed(per_port: Dict[int, Any]) -> Dict[int, Any]:
+    """Package per-port messages for publication.
+
+    ``per_port`` maps *this sender's* port to a message; the dict is
+    published as-is.  Keying by the sender's own port is the only
+    unambiguous scheme under broadcast: every receiver knows the
+    sender's port for their shared edge (its reverse port) and looks
+    that up with :func:`unpack_addressed`.  (Keying by receiver ports
+    would be ambiguous — two different neighbors of the sender can have
+    numerically equal ports toward it.)
+    """
+    return dict(per_port)
+
+
+def unpack_addressed(
+    ctx: NodeContext, inbox: Inbox, my_port: int
+) -> Optional[Any]:
+    """Extract the message the neighbor on ``my_port`` addressed to us:
+    look up the sender's port for our shared edge (our reverse port)
+    in its published dict.  ``None`` if nothing was addressed to us."""
+    packet = inbox[my_port]
+    if not isinstance(packet, dict):
+        return None
+    sender_port = ctx.input["reverse_ports"][my_port]
+    return packet.get(sender_port)

@@ -1,0 +1,268 @@
+"""The synchronous round engine for DetLOCAL and RandLOCAL.
+
+:func:`run_local` executes a :class:`~repro.core.algorithm.SyncAlgorithm`
+on a port-numbered graph under a chosen model, and returns a
+:class:`RunResult` whose ``rounds`` field is the paper's only cost
+measure — the number of synchronized communication rounds until every
+vertex has halted.
+
+Faithfulness guarantees:
+
+- a vertex only ever reads values published by its graph neighbors in
+  the *previous* round (double buffering — no same-round information
+  leaks);
+- local computation is free and messages are unbounded, as in the model;
+- DetLOCAL vertices receive unique IDs and no randomness; RandLOCAL
+  vertices receive private random streams and no IDs
+  (:class:`~repro.core.context.NodeContext` enforces this);
+- a run that exceeds ``max_rounds`` raises instead of under-reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .algorithm import SyncAlgorithm
+from .context import Model, NodeContext
+from .errors import DuplicateIDError, SimulationError
+from .ids import check_unique_ids, sequential_ids
+from ..graphs.graph import Graph
+
+#: Default safety cap on rounds; generously above any algorithm here.
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class _Clock:
+    """Shared round counter visible to contexts via ``ctx.now``."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+
+@dataclass
+class RoundTrace:
+    """Per-round observability snapshot (opt-in via ``trace=True``)."""
+
+    #: Vertices not yet halted at the start of the round.
+    active: int
+    #: Vertices that actually executed a step (not sleeping).
+    awake: int
+    #: Vertices that halted during the round.
+    halted: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    #: Per-vertex outputs (``None`` where a vertex failed or never halted).
+    outputs: List[Any]
+    #: Number of communication rounds executed (setup is round-free).
+    rounds: int
+    #: Total point-to-point messages delivered (2m per executed round).
+    messages: int
+    #: Vertices that declared failure, as ``{vertex: reason}``.
+    failures: Dict[int, str] = field(default_factory=dict)
+    #: Per-round activity snapshots (empty unless ``trace=True``).
+    trace: List[RoundTrace] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no vertex declared failure."""
+        return not self.failures
+
+    def activity_profile(self) -> List[int]:
+        """Awake-vertex counts per round (empty without tracing)."""
+        return [t.awake for t in self.trace]
+
+    def work(self) -> int:
+        """Total vertex-steps executed (empty trace -> 0)."""
+        return sum(t.awake for t in self.trace)
+
+
+def make_node_rngs(n: int, seed: Optional[int]) -> List[random.Random]:
+    """Independent per-vertex random streams derived from a master seed.
+
+    The derivation uses the engine-internal vertex index, which is never
+    visible to the algorithm — RandLOCAL vertices stay undifferentiated.
+    """
+    master = random.Random(seed)
+    return [random.Random(master.getrandbits(64)) for _ in range(n)]
+
+
+def build_contexts(
+    graph: Graph,
+    model: Model,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+) -> List[NodeContext]:
+    """Construct one context per vertex, validated for the model.
+
+    ``rng_factory(v)`` (RandLOCAL only) overrides the per-vertex random
+    stream — the hook used by the Theorem 3 derandomizer, which replaces
+    true randomness with ``Random(φ(ID(v)))`` for a fixed seed function φ
+    (making the whole execution a deterministic algorithm).
+
+    ``allow_duplicate_ids`` waives the global-uniqueness configuration
+    check: Theorems 5 and 6 deliberately run algorithms under IDs that
+    are unique only within the algorithm's horizon.  The caller asserts
+    that the algorithm never compares IDs of farther-apart vertices.
+    """
+    n = graph.num_vertices
+    max_degree = graph.max_degree
+    if model is Model.DET:
+        if ids is None:
+            ids = sequential_ids(n)
+        if len(ids) != n:
+            raise DuplicateIDError(f"need {n} IDs, got {len(ids)}")
+        if not allow_duplicate_ids:
+            check_unique_ids(ids)
+        rngs: List[Optional[random.Random]] = [None] * n
+    else:
+        if ids is not None:
+            raise SimulationError(
+                "RandLOCAL vertices are undifferentiated; do not pass IDs"
+            )
+        ids = [None] * n  # type: ignore[list-item]
+        if rng_factory is not None:
+            rngs = [rng_factory(v) for v in range(n)]
+        else:
+            rngs = list(make_node_rngs(n, seed))
+    contexts = []
+    for v in range(n):
+        node_input: Dict[str, Any] = dict(node_inputs[v]) if node_inputs else {}
+        node_input["reverse_ports"] = [
+            graph.reverse_port(v, p) for p in range(graph.degree(v))
+        ]
+        contexts.append(
+            NodeContext(
+                index=v,
+                degree=graph.degree(v),
+                n=n,
+                max_degree=max_degree,
+                model=model,
+                node_id=ids[v],
+                rng=rngs[v],
+                node_input=node_input,
+                global_params=dict(global_params or {}),
+            )
+        )
+    return contexts
+
+
+def run_local(
+    graph: Graph,
+    algorithm: SyncAlgorithm,
+    model: Model,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+    trace: bool = False,
+) -> RunResult:
+    """Run ``algorithm`` on ``graph`` under ``model``.
+
+    Parameters
+    ----------
+    ids:
+        DetLOCAL only — unique vertex IDs (defaults to ``0..n-1``).
+    seed:
+        RandLOCAL only — master seed for the per-vertex random streams.
+    node_inputs:
+        Optional per-vertex input labels, e.g.
+        ``{"edge_colors": [c_port0, c_port1, ...]}`` for the sinkless
+        problems.
+    global_params:
+        Extra common-knowledge parameters, available as ``ctx.globals``.
+    max_rounds:
+        Safety cap; exceeding it raises :class:`SimulationError`.
+
+    Returns
+    -------
+    RunResult
+        Outputs, exact round count, message count, declared failures.
+    """
+    contexts = build_contexts(
+        graph,
+        model,
+        ids=ids,
+        seed=seed,
+        node_inputs=node_inputs,
+        global_params=global_params,
+        rng_factory=rng_factory,
+        allow_duplicate_ids=allow_duplicate_ids,
+    )
+    n = graph.num_vertices
+    clock = _Clock()
+    for ctx in contexts:
+        ctx._clock = clock
+        algorithm.setup(ctx)
+        ctx._commit()
+
+    rounds = 0
+    messages = 0
+    messages_per_round = 2 * graph.num_edges
+    traces: List[RoundTrace] = []
+    active = [v for v in range(n) if not contexts[v].halted]
+    while active:
+        if rounds >= max_rounds:
+            raise SimulationError(
+                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                f"n={n} (likely non-terminating)"
+            )
+        clock.now = rounds
+        snapshot = [ctx._pub for ctx in contexts]
+        dirty = False
+        awake = 0
+        halted_this_round = 0
+        for v in active:
+            ctx = contexts[v]
+            wake = ctx._wake_round
+            if wake is not None and wake > rounds:
+                continue
+            ctx._wake_round = None
+            awake += 1
+            inbox = [snapshot[u] for u in graph.neighbors(v)]
+            algorithm.step(ctx, inbox)
+            if ctx.halted:
+                dirty = True
+                halted_this_round += 1
+        for v in active:
+            contexts[v]._commit()
+        if trace:
+            traces.append(
+                RoundTrace(
+                    active=len(active),
+                    awake=awake,
+                    halted=halted_this_round,
+                )
+            )
+        if dirty:
+            active = [v for v in active if not contexts[v].halted]
+        rounds += 1
+        messages += messages_per_round
+
+    failures = {
+        v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
+    }
+    outputs = [ctx.output for ctx in contexts]
+    return RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        messages=messages,
+        failures=failures,
+        trace=traces,
+    )

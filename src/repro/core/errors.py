@@ -1,0 +1,36 @@
+"""Exception hierarchy for the LOCAL simulation engine."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The engine could not run the algorithm (bad configuration,
+    round-limit exceeded, malformed messages)."""
+
+
+class ModelViolationError(SimulationError):
+    """An algorithm accessed state its model forbids — e.g. reading
+    ``ctx.id`` in RandLOCAL (vertices are undifferentiated) or
+    ``ctx.random`` in DetLOCAL (no random bits)."""
+
+
+class DuplicateIDError(SimulationError):
+    """A DetLOCAL run was configured with non-unique vertex IDs."""
+
+
+class AlgorithmFailure(ReproError):
+    """A randomized algorithm declared failure.
+
+    RandLOCAL algorithms run for a specified number of rounds and may
+    fail with some probability (Section I).  Algorithms in this library
+    *detect and declare* failure rather than silently emitting an invalid
+    labeling; experiment harnesses catch this and count the failure.
+    """
+
+
+class VerificationError(ReproError):
+    """An output labeling failed its LCL verifier."""

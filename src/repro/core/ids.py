@@ -1,0 +1,95 @@
+"""Vertex identifier assignment for DetLOCAL runs.
+
+In DetLOCAL every vertex holds a unique Θ(log n)-bit ID; the algorithm
+designer does not control the assignment, so experiments should exercise
+several schemes (natural, shuffled, adversarial, sparse-from-large-space).
+IDs are inputs to the simulation, never the engine's internal indices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .errors import DuplicateIDError
+from ..graphs.graph import Graph
+
+
+def check_unique_ids(ids: Sequence[int]) -> None:
+    """Raise :class:`DuplicateIDError` unless all IDs are distinct and
+    non-negative."""
+    if any(i < 0 for i in ids):
+        raise DuplicateIDError("IDs must be non-negative integers")
+    if len(set(ids)) != len(ids):
+        raise DuplicateIDError("IDs must be unique")
+
+
+def id_bit_length(ids: Sequence[int]) -> int:
+    """Number of bits needed to write the largest ID (at least 1)."""
+    return max(1, max(ids).bit_length()) if ids else 1
+
+
+def sequential_ids(n: int) -> List[int]:
+    """IDs ``0 .. n-1`` in vertex order — the friendliest assignment."""
+    return list(range(n))
+
+
+def shuffled_ids(n: int, rng: random.Random) -> List[int]:
+    """A uniformly random permutation of ``0 .. n-1``."""
+    ids = list(range(n))
+    rng.shuffle(ids)
+    return ids
+
+
+def sparse_random_ids(n: int, bits: int, rng: random.Random) -> List[int]:
+    """``n`` distinct uniform IDs from ``{0, .., 2^bits - 1}``.
+
+    This matches the model's Θ(log n)-bit ID space, where IDs are sparse
+    in a range polynomially larger than n.  Raises
+    :class:`DuplicateIDError` if the space is too small to be sampled
+    distinctly with reasonable probability.
+    """
+    space = 1 << bits
+    if space < 2 * n:
+        raise DuplicateIDError(
+            f"ID space 2^{bits} too small for {n} distinct sparse IDs"
+        )
+    chosen = set()
+    while len(chosen) < n:
+        chosen.add(rng.randrange(space))
+    ids = list(chosen)
+    rng.shuffle(ids)
+    return ids
+
+
+def bfs_order_ids(graph: Graph, root: int = 0) -> List[int]:
+    """IDs in BFS order from ``root`` — an adversarial assignment for
+    algorithms that exploit ID locality (neighbors get close IDs, so
+    ID-based symmetry breaking degenerates)."""
+    n = graph.num_vertices
+    order: List[int] = []
+    seen = [False] * n
+    for start in [root] + list(range(n)):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = [start]
+        while queue:
+            nxt: List[int] = []
+            for v in queue:
+                order.append(v)
+                for u in graph.neighbors(v):
+                    if not seen[u]:
+                        seen[u] = True
+                        nxt.append(u)
+            queue = nxt
+    ids = [0] * n
+    for rank, v in enumerate(order):
+        ids[v] = rank
+    return ids
+
+
+def reversed_ids(ids: Sequence[int]) -> List[int]:
+    """Mirror an assignment inside its own range (order-reversing)."""
+    top = max(ids) if ids else 0
+    return [top - i for i in ids]

@@ -1,0 +1,176 @@
+"""Radius-t views: the information a vertex can gather in t rounds.
+
+In the LOCAL model, a t-round algorithm is exactly a function of the
+radius-t ball around the vertex (topology + port numbering + any vertex
+labels inside the ball).  This module extracts such balls in a
+*canonical* form so that two balls compare equal iff they are isomorphic
+as rooted port-numbered labeled graphs — the formal statement behind the
+indistinguishability principle used in Theorem 5 and Linial's lower
+bound, and the machinery behind experiment E12.
+
+Canonicalization: traverse the ball by BFS from the center, visiting each
+vertex's neighbors in port order.  For port-numbered graphs this
+traversal order is determined by the ball's structure alone, so the
+re-indexed adjacency-with-ports tuple is a canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+from ..graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class View:
+    """A canonical rooted radius-t view.
+
+    Attributes
+    ----------
+    radius:
+        The collection radius t.
+    adjacency:
+        ``adjacency[i][p]`` is the canonical index of the vertex on port
+        ``p`` of canonical vertex ``i``, or ``-1`` when that port leads
+        outside the ball (beyond the horizon).  Canonical vertex 0 is
+        the center.
+    labels:
+        ``labels[i]`` is the label of canonical vertex ``i`` (``None``
+        where no labeling was supplied).
+    """
+
+    radius: int
+    adjacency: Tuple[Tuple[int, ...], ...]
+    labels: Tuple[Any, ...]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        return (
+            self.radius == other.radius
+            and self.adjacency == other.adjacency
+            and self.labels == other.labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.radius, self.adjacency, self.labels))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.adjacency)
+
+    def is_tree_view(self) -> bool:
+        """Whether the ball contains no cycle (every non-tree port pair
+        is absent)."""
+        # Count edges inside the ball: each internal edge appears twice.
+        internal = sum(
+            1
+            for row in self.adjacency
+            for target in row
+            if target >= 0
+        )
+        return internal // 2 == self.num_vertices - 1
+
+
+def collect_view(
+    graph: Graph,
+    center: int,
+    radius: int,
+    labels: Optional[Sequence[Any]] = None,
+) -> View:
+    """Extract the canonical radius-``radius`` view around ``center``.
+
+    ``labels[v]`` (if given) travels with vertex ``v`` — use it for IDs,
+    input colors, or anything else a t-round algorithm could see.
+    """
+    dist: Dict[int, int] = {center: 0}
+    order: List[int] = [center]
+    index: Dict[int, int] = {center: 0}
+    head = 0
+    while head < len(order):
+        v = order[head]
+        head += 1
+        if dist[v] == radius:
+            continue
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                index[u] = len(order)
+                order.append(u)
+    adjacency = []
+    for v in order:
+        if dist[v] < radius:
+            row = tuple(index.get(u, -1) for u in graph.neighbors(v))
+        else:
+            # Horizon vertices: only their edges back toward the ball's
+            # interior are learnable in ``radius`` rounds.  Edges among
+            # two horizon vertices are invisible (their endpoints' round-1
+            # knowledge cannot reach the center in time), so they are
+            # masked as -1 exactly like edges leaving the ball.
+            row = tuple(
+                index[u] if dist.get(u, radius + 1) < radius else -1
+                for u in graph.neighbors(v)
+            )
+        adjacency.append(row)
+    if labels is None:
+        view_labels: Tuple[Any, ...] = tuple(None for _ in order)
+    else:
+        view_labels = tuple(labels[v] for v in order)
+    return View(radius=radius, adjacency=tuple(adjacency), labels=view_labels)
+
+
+def tree_canonical_form(view: View) -> tuple:
+    """Port-oblivious canonical form of an acyclic view (AHU encoding).
+
+    Two tree views get the same form iff they are isomorphic as rooted
+    *unordered* labeled trees — the right equivalence when the port
+    numbering is adversarial/arbitrary rather than part of the input.
+    Horizon stubs (masked ports) are encoded as anonymous leaves, since
+    a t-round algorithm knows an edge leaves the ball but nothing more.
+
+    Raises
+    ------
+    ValueError
+        If the view contains a visible cycle.
+    """
+    if not view.is_tree_view():
+        raise ValueError("view contains a cycle; no tree canonical form")
+
+    def encode(vertex: int, parent: int) -> tuple:
+        children = []
+        stubs = 0
+        for target in view.adjacency[vertex]:
+            if target == -1:
+                stubs += 1
+            elif target != parent:
+                children.append(encode(target, vertex))
+        children.sort()
+        return (view.labels[vertex], stubs, tuple(children))
+
+    return encode(0, -1)
+
+
+def views_equivalent_as_trees(view_a: View, view_b: View) -> bool:
+    """Whether two acyclic views are indistinguishable up to port
+    renumbering (equal AHU canonical forms and equal radii)."""
+    if view_a.radius != view_b.radius:
+        return False
+    return tree_canonical_form(view_a) == tree_canonical_form(view_b)
+
+
+def views_identical(
+    graph_a: Graph,
+    center_a: int,
+    graph_b: Graph,
+    center_b: int,
+    radius: int,
+    labels_a: Optional[Sequence[Any]] = None,
+    labels_b: Optional[Sequence[Any]] = None,
+) -> bool:
+    """Whether two centered balls are indistinguishable to any t-round
+    LOCAL algorithm (same canonical view)."""
+    va = collect_view(graph_a, center_a, radius, labels_a)
+    vb = collect_view(graph_b, center_b, radius, labels_b)
+    return va == vb

@@ -1,0 +1,31 @@
+"""Graph substrate: port-numbered graphs, generators, edge colorings."""
+
+from . import generators, io, metrics
+from .edge_coloring import (
+    EdgeColoring,
+    bipartite_regular_edge_coloring,
+    bipartite_sides,
+    edge_key,
+    is_proper_edge_coloring,
+    misra_gries_edge_coloring,
+    num_edge_colors,
+    ports_coloring,
+)
+from .graph import Graph, GraphError, from_edge_list
+
+__all__ = [
+    "EdgeColoring",
+    "Graph",
+    "GraphError",
+    "bipartite_regular_edge_coloring",
+    "bipartite_sides",
+    "edge_key",
+    "from_edge_list",
+    "generators",
+    "io",
+    "metrics",
+    "is_proper_edge_coloring",
+    "misra_gries_edge_coloring",
+    "num_edge_colors",
+    "ports_coloring",
+]

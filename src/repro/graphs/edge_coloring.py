@@ -1,0 +1,267 @@
+"""Edge colorings: construction and validation.
+
+The Δ-sinkless problems (Section II) take as *input* a Δ-regular graph
+equipped with a proper Δ-edge coloring.  Bipartite instances get their
+coloring for free from the permutation model
+(:func:`repro.graphs.generators.bipartite.random_regular_bipartite_graph`);
+this module supplies colorings for everything else:
+
+- :func:`misra_gries_edge_coloring` — proper (Δ+1)-edge coloring of any
+  simple graph (Vizing's bound, constructive).
+- :func:`bipartite_regular_edge_coloring` — proper Δ-edge coloring of a
+  Δ-regular bipartite graph by repeated perfect-matching extraction
+  (König's theorem, via Hopcroft–Karp-style augmenting paths).
+- :func:`is_proper_edge_coloring` / :func:`ports_coloring` — validation
+  and the per-vertex port view consumed by the simulation engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .graph import Graph, GraphError
+
+EdgeColoring = Dict[Tuple[int, int], int]
+
+
+def edge_key(u: int, v: int) -> Tuple[int, int]:
+    """Canonical dictionary key for the undirected edge {u, v}."""
+    return (u, v) if u < v else (v, u)
+
+
+def is_proper_edge_coloring(graph: Graph, coloring: EdgeColoring) -> bool:
+    """Whether ``coloring`` assigns a color to every edge and no two
+    edges sharing a vertex get the same color."""
+    for u, v in graph.edges():
+        if edge_key(u, v) not in coloring:
+            return False
+    for v in graph.vertices():
+        seen: Set[int] = set()
+        for u in graph.neighbors(v):
+            c = coloring[edge_key(u, v)]
+            if c in seen:
+                return False
+            seen.add(c)
+    return True
+
+
+def num_edge_colors(coloring: EdgeColoring) -> int:
+    """Number of distinct colors used."""
+    return len(set(coloring.values()))
+
+
+def ports_coloring(graph: Graph, coloring: EdgeColoring) -> List[List[int]]:
+    """Per-vertex port view of an edge coloring.
+
+    ``result[v][p]`` is the color of the edge on port ``p`` of vertex
+    ``v`` — the form in which a LOCAL algorithm receives the input edge
+    coloring (a vertex knows the colors of its incident edges, indexed by
+    port, and nothing else).
+    """
+    view: List[List[int]] = []
+    for v in graph.vertices():
+        view.append(
+            [coloring[edge_key(v, u)] for u in graph.neighbors(v)]
+        )
+    return view
+
+
+# ----------------------------------------------------------------------
+# Misra–Gries (Δ+1)-edge coloring
+# ----------------------------------------------------------------------
+def misra_gries_edge_coloring(graph: Graph) -> EdgeColoring:
+    """A proper edge coloring with at most Δ+1 colors (Misra & Gries 1992).
+
+    Colors are ``0 .. Δ``.  This is a centralized substrate routine (the
+    paper's inputs *carry* an edge coloring; producing one is not part of
+    the measured distributed computation).
+    """
+    delta = graph.max_degree
+    num_colors = delta + 1
+    color: Dict[Tuple[int, int], int] = {}
+    # used[v][c] = neighbor joined to v by an edge of color c, or -1.
+    used: List[List[int]] = [[-1] * num_colors for _ in range(graph.num_vertices)]
+
+    def free_color(v: int) -> int:
+        for c in range(num_colors):
+            if used[v][c] == -1:
+                return c
+        raise AssertionError("vertex has no free color — degree bound violated")
+
+    def is_free(v: int, c: int) -> bool:
+        return used[v][c] == -1
+
+    def set_color(u: int, v: int, c: Optional[int]) -> None:
+        old = color.get(edge_key(u, v))
+        if old is not None:
+            used[u][old] = -1
+            used[v][old] = -1
+        if c is None:
+            color.pop(edge_key(u, v), None)
+        else:
+            color[edge_key(u, v)] = c
+            used[u][c] = v
+            used[v][c] = u
+
+    def invert_cd_path(start: int, c: int, d: int) -> None:
+        """Flip colors along the maximal path from ``start`` alternating
+        colors d, c, d, c, ... (starting with an edge of color d)."""
+        v = start
+        want = d
+        path: List[Tuple[int, int]] = []
+        while used[v][want] != -1:
+            u = used[v][want]
+            path.append((v, u))
+            v = u
+            want = c if want == d else d
+        # Uncolor the path, then recolor with swapped colors.
+        swaps = []
+        for x, y in path:
+            old = color[edge_key(x, y)]
+            swaps.append((x, y, c if old == d else d))
+            set_color(x, y, None)
+        for x, y, new in swaps:
+            set_color(x, y, new)
+
+    for u, v in graph.edges():
+        # Build a maximal fan of u starting at v.
+        fan = [v]
+        in_fan = {v}
+        grown = True
+        while grown:
+            grown = False
+            tail = fan[-1]
+            for w in graph.neighbors(u):
+                if w in in_fan:
+                    continue
+                cw = color.get(edge_key(u, w))
+                if cw is not None and is_free(tail, cw):
+                    fan.append(w)
+                    in_fan.add(w)
+                    grown = True
+                    break
+        c = free_color(u)
+        d = free_color(fan[-1])
+        if not is_free(u, d):
+            invert_cd_path(u, c, d)
+        # After inversion d is free at u.  Choose w in the fan such that
+        # d is free at w AND the prefix fan[0..w] is still a valid fan
+        # under the post-inversion colors (the Misra-Gries lemma
+        # guarantees such a w exists).
+        w_index = None
+        for j, x in enumerate(fan):
+            if not is_free(x, d):
+                continue
+            prefix_ok = True
+            for i in range(j):
+                edge_color = color.get(edge_key(u, fan[i + 1]))
+                if edge_color is None or not is_free(fan[i], edge_color):
+                    prefix_ok = False
+                    break
+            if prefix_ok:
+                w_index = j
+                break
+        if w_index is None:
+            raise AssertionError(
+                "Misra-Gries invariant violated: no rotatable fan prefix"
+            )
+        # Rotate the fan prefix: shift colors down toward v.  Uncolor
+        # first, then recolor — a naive in-place shift would transiently
+        # give two edges at u the same color and desync the used-table.
+        shifted = [
+            color[edge_key(u, fan[i + 1])] for i in range(w_index)
+        ]
+        for i in range(w_index + 1):
+            set_color(u, fan[i], None)
+        for i in range(w_index):
+            set_color(u, fan[i], shifted[i])
+        set_color(u, fan[w_index], d)
+
+    return color
+
+
+# ----------------------------------------------------------------------
+# Δ-edge coloring of Δ-regular bipartite graphs via matchings
+# ----------------------------------------------------------------------
+def bipartite_sides(graph: Graph) -> Optional[Tuple[Set[int], Set[int]]]:
+    """Two-color the graph if bipartite, returning the two sides, else
+    ``None``."""
+    side: Dict[int, int] = {}
+    for start in graph.vertices():
+        if start in side:
+            continue
+        side[start] = 0
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y in graph.neighbors(x):
+                if y not in side:
+                    side[y] = 1 - side[x]
+                    stack.append(y)
+                elif side[y] == side[x]:
+                    return None
+    left = {v for v, s in side.items() if s == 0}
+    right = {v for v, s in side.items() if s == 1}
+    return left, right
+
+
+def bipartite_regular_edge_coloring(graph: Graph) -> EdgeColoring:
+    """A proper Δ-edge coloring of a Δ-regular bipartite graph.
+
+    König's theorem: a Δ-regular bipartite graph decomposes into Δ
+    perfect matchings.  We peel matchings one at a time with augmenting
+    paths (Kuhn's algorithm on the residual graph).
+
+    Raises
+    ------
+    GraphError
+        If the graph is not bipartite or not regular.
+    """
+    if graph.num_edges == 0:
+        return {}
+    sides = bipartite_sides(graph)
+    if sides is None:
+        raise GraphError("graph is not bipartite")
+    if not graph.is_regular():
+        raise GraphError("graph is not regular")
+    left = sorted(sides[0])
+    degree = graph.degree(left[0]) if left else 0
+
+    remaining: Dict[int, List[int]] = {
+        v: list(graph.neighbors(v)) for v in graph.vertices()
+    }
+    coloring: EdgeColoring = {}
+    for c in range(degree):
+        match = _perfect_matching_on_left(left, remaining)
+        for u, v in match.items():
+            coloring[edge_key(u, v)] = c
+            remaining[u].remove(v)
+            remaining[v].remove(u)
+    return coloring
+
+
+def _perfect_matching_on_left(
+    left: List[int], adjacency: Dict[int, List[int]]
+) -> Dict[int, int]:
+    """A matching saturating ``left`` in the bipartite residual graph
+    given by ``adjacency`` (Kuhn's augmenting-path algorithm).  In a
+    regular residual graph a perfect matching always exists."""
+    match_right: Dict[int, int] = {}
+
+    def try_augment(u: int, visited: Set[int]) -> bool:
+        for v in adjacency[u]:
+            if v in visited:
+                continue
+            visited.add(v)
+            if v not in match_right or try_augment(match_right[v], visited):
+                match_right[v] = u
+                return True
+        return False
+
+    for u in left:
+        if not try_augment(u, set()):
+            raise GraphError(
+                "no perfect matching in residual graph — input was not a "
+                "regular bipartite graph"
+            )
+    return {u: v for v, u in match_right.items()}

@@ -1,0 +1,69 @@
+"""Graph generators for every instance family the experiments use."""
+
+from .basic import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from .bipartite import (
+    double_cover,
+    random_regular_bipartite_graph,
+)
+from .high_girth import (
+    girth_target,
+    high_girth_bipartite_graph,
+    high_girth_regular_graph,
+    tree_like_radius,
+)
+from .regular import (
+    circulant_graph,
+    random_regular_graph,
+    ring_of_cycles,
+)
+from .trees import (
+    caterpillar_graph,
+    complete_dary_tree,
+    complete_regular_tree,
+    complete_regular_tree_with_size,
+    complete_tree_with_max_degree,
+    random_forest,
+    random_tree_bounded_degree,
+    random_tree_preferential,
+    random_tree_prufer,
+    spider_graph,
+    tree_from_prufer,
+)
+
+__all__ = [
+    "caterpillar_graph",
+    "circulant_graph",
+    "complete_bipartite_graph",
+    "complete_dary_tree",
+    "complete_graph",
+    "complete_regular_tree",
+    "complete_regular_tree_with_size",
+    "complete_tree_with_max_degree",
+    "cycle_graph",
+    "double_cover",
+    "empty_graph",
+    "girth_target",
+    "high_girth_bipartite_graph",
+    "high_girth_regular_graph",
+    "hypercube_graph",
+    "path_graph",
+    "random_forest",
+    "random_regular_bipartite_graph",
+    "random_regular_graph",
+    "random_tree_bounded_degree",
+    "random_tree_preferential",
+    "random_tree_prufer",
+    "ring_of_cycles",
+    "spider_graph",
+    "star_graph",
+    "tree_from_prufer",
+    "tree_like_radius",
+]

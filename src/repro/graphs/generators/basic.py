@@ -1,0 +1,67 @@
+"""Elementary graph families: paths, cycles, stars, complete graphs.
+
+These are the degenerate/extremal inputs used throughout the tests and the
+Δ = 2 experiments (Theorem 7 concerns Δ = 2, where the DetLOCAL complexity
+of every LCL is either Ω(n) or O(log* n)).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphError
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices."""
+    return Graph(n, [])
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` vertices, ``0 - 1 - ... - n-1``."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n`` vertices.
+
+    Raises
+    ------
+    GraphError
+        If ``n < 3`` (shorter cycles are not simple graphs).
+    """
+    if n < 3:
+        raise GraphError(f"cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: vertex 0 joined to ``leaves`` leaves."""
+    return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph on ``n`` vertices."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with left side ``0..a-1`` and right side ``a..a+b-1``."""
+    return Graph(a + b, [(u, a + v) for u in range(a) for v in range(b)])
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube (2^dim vertices, girth 4).
+
+    A deterministic ``dim``-regular bipartite graph; useful as a fixed
+    regular edge-colorable instance (coordinate = edge color).
+    """
+    if dim < 0:
+        raise GraphError(f"dimension must be non-negative, got {dim}")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for bit in range(dim):
+            u = v ^ (1 << bit)
+            if u > v:
+                edges.append((v, u))
+    return Graph(n, edges)

@@ -1,0 +1,197 @@
+"""High-girth regular graph construction with *verified* girth.
+
+The paper's lower bounds (Theorem 4, Theorem 5) and the
+indistinguishability experiments (E12) need Δ-regular graphs whose girth
+is Ω(log_Δ n): within radius < girth/2, every vertex's view is a tree, so
+a tree algorithm cannot distinguish the graph from a tree.
+
+The existence results the paper cites ([29] Dahan, [30] Bollobás) are
+non-constructive or intricate; our substitute is random regular graphs
+plus **girth repair**: while a cycle shorter than the target exists, pick
+an edge on a shortest cycle and double-edge-swap it with a random edge
+elsewhere.  Each swap destroys a witness cycle and creates a new short
+cycle only with small probability, so the process converges whenever the
+target is below the girth capacity ~log_{Δ-1} n of the family.  The final
+girth is *checked*, never assumed.
+
+For bipartite instances the swaps stay inside one permutation class, so
+both bipartiteness and the free proper Δ-edge coloring (matching index =
+color) are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph import Graph, GraphError
+from .bipartite import EdgeColoring
+from .regular import random_regular_graph
+
+
+def girth_target(n: int, degree: int, slack: float = 0.5) -> int:
+    """A girth target ``max(4, floor(slack * log_{Δ-1} n))``; with
+    ``slack <= ~0.8`` girth repair reaches it quickly."""
+    if degree <= 2:
+        return 4
+    return max(4, int(slack * math.log(max(n, 2)) / math.log(degree - 1)))
+
+
+def high_girth_regular_graph(
+    n: int,
+    degree: int,
+    min_girth: int,
+    rng: random.Random,
+    max_swaps: int = 200_000,
+) -> Graph:
+    """A ``degree``-regular simple graph on ``n`` vertices with verified
+    girth >= ``min_girth``, by girth repair on a random regular graph.
+
+    Raises
+    ------
+    GraphError
+        If repair does not converge in ``max_swaps`` swaps (target above
+        the family's girth capacity for this ``n``/``degree``).
+    """
+    if degree <= 1:
+        return random_regular_graph(n, degree, rng)
+    graph = random_regular_graph(n, degree, rng)
+    edges: Set[Tuple[int, int]] = set(graph.edges())
+    swaps = 0
+    edge_list = sorted(edges)
+    while True:
+        graph = Graph(n, edge_list)
+        batch = graph.short_cycles(min_girth)
+        if not batch:
+            return graph
+        # Break each witness cycle: swap one of its edges with a random
+        # disjoint edge, keeping the graph simple.
+        for cycle in batch:
+            for _ in range(1000):
+                swaps += 1
+                if swaps > max_swaps:
+                    raise GraphError(
+                        f"girth repair for {degree}-regular n={n} did not "
+                        f"reach girth {min_girth} within {max_swaps} swaps"
+                    )
+                i = rng.randrange(len(cycle))
+                u, v = cycle[i], cycle[(i + 1) % len(cycle)]
+                old_a = (min(u, v), max(u, v))
+                if old_a not in edges:
+                    break  # already re-routed by an earlier swap
+                x, y = edge_list[rng.randrange(len(edge_list))]
+                if (min(x, y), max(x, y)) not in edges:
+                    continue  # stale entry from this batch's swaps
+                if rng.random() < 0.5:
+                    x, y = y, x
+                if len({u, v, x, y}) < 4:
+                    continue
+                new_a = (min(u, x), max(u, x))
+                new_b = (min(v, y), max(v, y))
+                old_b = (min(x, y), max(x, y))
+                if new_a in edges or new_b in edges:
+                    continue
+                edges.remove(old_a)
+                edges.remove(old_b)
+                edges.add(new_a)
+                edges.add(new_b)
+                break
+        edge_list = sorted(edges)
+
+
+def high_girth_bipartite_graph(
+    half: int,
+    degree: int,
+    min_girth: int,
+    rng: random.Random,
+    max_swaps: int = 200_000,
+) -> Tuple[Graph, EdgeColoring]:
+    """A ``degree``-regular bipartite graph on ``2 * half`` vertices with
+    verified girth >= ``min_girth``, plus its proper ``degree``-edge
+    coloring (matching index), by color-preserving girth repair on the
+    permutation model.
+
+    This is exactly the input family of Theorem 4: Δ-regular, high
+    girth, bipartite (hence Δ-edge colorable, and any Δ-coloring of it
+    is also a valid Δ-sinkless coloring).
+    """
+    if degree < 0 or half < 0:
+        raise GraphError("half and degree must be non-negative")
+    if degree > half:
+        raise GraphError(
+            f"degree {degree} impossible with {half} vertices per side"
+        )
+    if degree == 0:
+        return Graph(2 * half, []), {}
+    # perms[c][left] = right-side partner (local index) in matching c.
+    perms: List[List[int]] = []
+    for _ in range(degree):
+        perm = list(range(half))
+        rng.shuffle(perm)
+        perms.append(perm)
+
+    def build() -> Tuple[Optional[Graph], EdgeColoring, Optional[Tuple[int, int]]]:
+        used: Dict[Tuple[int, int], int] = {}
+        for c, perm in enumerate(perms):
+            for left, right in enumerate(perm):
+                key = (left, half + right)
+                if key in used:
+                    # Collision: colors `used[key]` and `c` both carry
+                    # this edge; report (color, left index) to repair.
+                    return None, {}, (c, left)
+                used[key] = c
+        return Graph(2 * half, sorted(used)), dict(used), None
+
+    def swap_in_color(c: int, left_a: int, left_b: int) -> None:
+        perm = perms[c]
+        perm[left_a], perm[left_b] = perm[left_b], perm[left_a]
+
+    swaps = 0
+    while True:
+        graph, coloring, collision = build()
+        if graph is None:
+            # Parallel edge across two matchings: re-route the colliding
+            # left vertex inside one of the offending colors.
+            assert collision is not None
+            c, left = collision
+            other = rng.randrange(half)
+            if other == left:
+                other = (other + 1) % half
+            swap_in_color(c, left, other)
+            swaps += 1
+            if swaps > max_swaps:
+                raise GraphError("bipartite repair did not simplify graph")
+            continue
+        batch = graph.short_cycles(min_girth)
+        if not batch:
+            return graph, coloring
+        for cycle in batch:
+            # Pick an edge on the witness cycle, swap in its color class.
+            i = rng.randrange(len(cycle))
+            u, v = cycle[i], cycle[(i + 1) % len(cycle)]
+            left = min(u, v)
+            if (min(u, v), max(u, v)) not in coloring:
+                # A previous swap in this batch re-routed this edge.
+                continue
+            c = coloring[(min(u, v), max(u, v))]
+            other = rng.randrange(half)
+            if other == left:
+                other = (other + 1) % half
+            swap_in_color(c, left, other)
+            swaps += 1
+        if swaps > max_swaps:
+            raise GraphError(
+                f"bipartite girth repair for degree={degree} half={half} "
+                f"did not reach girth {min_girth} within {max_swaps} swaps"
+            )
+
+
+def tree_like_radius(graph: Graph) -> Optional[int]:
+    """The largest radius ``t`` such that every radius-``t`` ball in
+    ``graph`` is acyclic (i.e. ``t = ceil(girth / 2) - 1``), or ``None``
+    if the graph itself is acyclic (every radius works)."""
+    girth = graph.girth()
+    if girth is None:
+        return None
+    return (girth + 1) // 2 - 1

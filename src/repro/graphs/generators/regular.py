@@ -1,0 +1,140 @@
+"""Regular graph generators.
+
+The lower-bound constructions of Section IV run on Δ-regular graphs with
+girth Ω(log_Δ n); the paper cites existence results ([29], [30]) and uses
+them non-constructively.  We *generate* such graphs: random regular graphs
+(configuration model) and random regular bipartite graphs (permutation
+model, see :mod:`.bipartite`) have girth Ω(log_Δ n) with constant
+probability, and :mod:`.high_girth` retries until an explicit girth target
+is verified.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import Graph, GraphError
+
+
+def random_regular_graph(
+    n: int, degree: int, rng: random.Random, max_tries: int = 200
+) -> Graph:
+    """A uniformly-flavored random ``degree``-regular simple graph on
+    ``n`` vertices via the configuration (pairing) model with rejection.
+
+    Each vertex contributes ``degree`` half-edge stubs; stubs are paired
+    uniformly at random, and the pairing is rejected if it creates a self
+    loop or parallel edge.  For ``degree`` fixed and ``n`` large the
+    rejection probability is bounded away from 1, so a handful of tries
+    suffices.
+
+    Raises
+    ------
+    GraphError
+        If ``n * degree`` is odd, ``degree >= n``, or all tries fail.
+    """
+    if degree < 0 or n < 0:
+        raise GraphError("n and degree must be non-negative")
+    if (n * degree) % 2 != 0:
+        raise GraphError(f"n*degree must be even, got n={n} degree={degree}")
+    if degree >= n and n > 0:
+        raise GraphError(f"degree {degree} impossible on {n} vertices")
+    if degree == 0:
+        return Graph(n, [])
+    for _ in range(max_tries):
+        edges = _pairing_with_repair(n, degree, rng)
+        if edges is not None:
+            return Graph(n, edges)
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices "
+        f"after {max_tries} tries"
+    )
+
+
+def _pairing_with_repair(
+    n: int, degree: int, rng: random.Random, max_swaps: int = 100_000
+) -> Optional[List[Tuple[int, int]]]:
+    """One configuration-model pairing, then random double-edge swaps
+    until no self loops or parallel edges remain.
+
+    Full rejection has acceptance probability ~exp(-(d²-1)/4), hopeless
+    for d >= 5; swap repair converges in O(#conflicts) expected swaps and
+    leaves the distribution asymptotically uniform (the standard
+    practical compromise, cf. the NetworkX implementation).
+    """
+    stubs = [v for v in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    pairs: List[List[int]] = [
+        [stubs[i], stubs[i + 1]] for i in range(0, len(stubs), 2)
+    ]
+
+    def key(pair: List[int]) -> Tuple[int, int]:
+        a, b = pair
+        return (a, b) if a < b else (b, a)
+
+    counts: Dict[Tuple[int, int], int] = {}
+    for pair in pairs:
+        counts[key(pair)] = counts.get(key(pair), 0) + 1
+
+    def is_bad(pair: List[int]) -> bool:
+        return pair[0] == pair[1] or counts[key(pair)] > 1
+
+    bad = [i for i, pair in enumerate(pairs) if is_bad(pair)]
+    swaps = 0
+    while bad:
+        if swaps >= max_swaps:
+            return None
+        swaps += 1
+        i = bad[-1]
+        if not is_bad(pairs[i]):
+            bad.pop()
+            continue
+        j = rng.randrange(len(pairs))
+        if j == i:
+            continue
+        # Swap one endpoint between pairs i and j.
+        for pair in (pairs[i], pairs[j]):
+            counts[key(pair)] -= 1
+        side = rng.randrange(2)
+        pairs[i][1], pairs[j][side] = pairs[j][side], pairs[i][1]
+        for pair in (pairs[i], pairs[j]):
+            counts[key(pair)] = counts.get(key(pair), 0) + 1
+        if is_bad(pairs[j]):
+            bad.append(j)
+    return [key(pair) for pair in pairs]
+
+
+def circulant_graph(n: int, offsets: List[int]) -> Graph:
+    """The circulant graph ``C_n(offsets)``: vertex ``v`` is adjacent to
+    ``v ± s (mod n)`` for each offset ``s``.
+
+    A deterministic ``2|offsets|``-regular graph (when all offsets are
+    distinct, nonzero, and no offset equals ``n/2``); with offsets spread
+    out, a cheap source of regular graphs of moderate girth.
+    """
+    if n < 3:
+        raise GraphError(f"circulant needs at least 3 vertices, got {n}")
+    edges = set()
+    for s in offsets:
+        s %= n
+        if s == 0:
+            raise GraphError("offset 0 would create self loops")
+        for v in range(n):
+            u = (v + s) % n
+            key = (v, u) if v < u else (u, v)
+            edges.add(key)
+    return Graph(n, sorted(edges))
+
+
+def ring_of_cycles(num_blocks: int, block_size: int) -> Graph:
+    """``num_blocks`` disjoint cycles of ``block_size`` vertices each —
+    a disconnected 2-regular graph used in Δ = 2 tests."""
+    if block_size < 3:
+        raise GraphError(f"cycle blocks need >= 3 vertices, got {block_size}")
+    edges = []
+    for b in range(num_blocks):
+        base = b * block_size
+        for i in range(block_size):
+            edges.append((base + i, base + (i + 1) % block_size))
+    return Graph(num_blocks * block_size, edges)

@@ -1,0 +1,112 @@
+"""Graph and experiment-artifact serialization.
+
+Reproducibility plumbing: instances and labelings can be written to a
+portable JSON format so an experiment's exact inputs travel with its
+recorded outputs (the benchmarks keep only printed tables; tests and
+downstream users can persist full instances).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .edge_coloring import EdgeColoring, edge_key
+from .graph import Graph
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format tag written into every file, for forward compatibility.
+FORMAT = "repro-graph-v1"
+
+
+def graph_to_dict(
+    graph: Graph,
+    edge_coloring: Optional[EdgeColoring] = None,
+    labeling: Optional[List[Any]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A JSON-ready description of a graph and optional attachments.
+
+    Edge order is preserved, so port numbers survive a round trip —
+    essential, since port-numbered views are part of the model.
+    """
+    payload: Dict[str, Any] = {
+        "format": FORMAT,
+        "n": graph.num_vertices,
+        "edges": [list(e) for e in graph.edges()],
+    }
+    if edge_coloring is not None:
+        payload["edge_coloring"] = [
+            [u, v, color] for (u, v), color in sorted(edge_coloring.items())
+        ]
+    if labeling is not None:
+        payload["labeling"] = _encode_labels(labeling)
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> Graph:
+    """Rebuild the graph (attachments via the ``load_*`` helpers)."""
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported format {payload.get('format')!r}; expected {FORMAT}"
+        )
+    return Graph(payload["n"], [tuple(e) for e in payload["edges"]])
+
+
+def edge_coloring_from_dict(payload: Dict[str, Any]) -> EdgeColoring:
+    """Extract the edge coloring (empty dict if absent)."""
+    return {
+        edge_key(u, v): color
+        for u, v, color in payload.get("edge_coloring", [])
+    }
+
+
+def labeling_from_dict(payload: Dict[str, Any]) -> Optional[List[Any]]:
+    """Extract the vertex labeling, or ``None`` if absent."""
+    if "labeling" not in payload:
+        return None
+    return _decode_labels(payload["labeling"])
+
+
+def save_graph(
+    path: PathLike,
+    graph: Graph,
+    edge_coloring: Optional[EdgeColoring] = None,
+    labeling: Optional[List[Any]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a graph (plus attachments) as JSON."""
+    payload = graph_to_dict(graph, edge_coloring, labeling, metadata)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_graph(path: PathLike) -> Dict[str, Any]:
+    """Read a saved file; returns the payload dict (use the ``*_from_
+    dict`` helpers to materialize the pieces)."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _encode_labels(labeling: List[Any]) -> List[Any]:
+    """JSON-encode labels, preserving tuples (JSON would silently turn
+    them into lists)."""
+    encoded = []
+    for label in labeling:
+        if isinstance(label, tuple):
+            encoded.append({"t": list(label)})
+        else:
+            encoded.append(label)
+    return encoded
+
+
+def _decode_labels(encoded: List[Any]) -> List[Any]:
+    decoded = []
+    for item in encoded:
+        if isinstance(item, dict) and set(item) == {"t"}:
+            decoded.append(tuple(item["t"]))
+        else:
+            decoded.append(item)
+    return decoded

@@ -1,0 +1,127 @@
+"""Structural graph metrics used by the experiments and by Remark 1.
+
+The paper's Remark 1 notes that Theorem 3 (and the toolbox generally)
+works when complexities depend on quantitative graph parameters beyond
+n and Δ — local sparsity, arboricity/degeneracy, neighborhood growth.
+These estimators supply those parameters for instance characterization
+and for choosing peeling thresholds (Theorem 9 generalizes to
+arboricity-λ graphs with threshold ~2λ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import Graph
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    histogram: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def degeneracy(graph: Graph) -> Tuple[int, List[int]]:
+    """The degeneracy d and a d-elimination order (min-degree peeling).
+
+    Every subgraph of the graph has a vertex of degree <= d; the
+    returned order lists vertices so that each has <= d neighbors
+    *later* in the order.  Degeneracy sandwiches arboricity:
+    arboricity <= degeneracy <= 2·arboricity − 1.
+    """
+    n = graph.num_vertices
+    remaining_degree = [graph.degree(v) for v in range(n)]
+    removed = [False] * n
+    # Bucket queue over degrees.
+    buckets: Dict[int, set] = {}
+    for v in range(n):
+        buckets.setdefault(remaining_degree[v], set()).add(v)
+    order: List[int] = []
+    best = 0
+    for _ in range(n):
+        d = 0
+        while d not in buckets or not buckets[d]:
+            d += 1
+        v = min(buckets[d])
+        buckets[d].discard(v)
+        removed[v] = True
+        order.append(v)
+        best = max(best, d)
+        for u in graph.neighbors(v):
+            if removed[u]:
+                continue
+            old = remaining_degree[u]
+            buckets[old].discard(u)
+            remaining_degree[u] = old - 1
+            buckets.setdefault(old - 1, set()).add(u)
+    return best, order
+
+
+def arboricity_bounds(graph: Graph) -> Tuple[int, int]:
+    """(lower, upper) bounds on the arboricity.
+
+    Lower: the Nash-Williams density bound on the whole graph,
+    ``ceil(m / (n - 1))`` (for n >= 2).  Upper: the degeneracy (every
+    d-degenerate graph decomposes into d forests).
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    lower = 0
+    if n >= 2 and m > 0:
+        lower = -(-m // (n - 1))  # ceil division
+    upper, _ = degeneracy(graph)
+    return max(lower, 1 if m else 0), max(upper, lower)
+
+
+def peeling_profile(graph: Graph, threshold: int) -> List[int]:
+    """Sizes of the layers produced by iterated <=-threshold peeling —
+    the H-partition structure of Theorem 9, computed centrally for
+    instance characterization (the distributed version is
+    :class:`repro.algorithms.tree_coloring.PeelingAlgorithm`).
+
+    Raises
+    ------
+    ValueError
+        If peeling stalls (threshold below the graph's degeneracy).
+    """
+    n = graph.num_vertices
+    active = [True] * n
+    degree = [graph.degree(v) for v in range(n)]
+    remaining = n
+    sizes: List[int] = []
+    while remaining:
+        peel = [
+            v for v in range(n) if active[v] and degree[v] <= threshold
+        ]
+        if not peel:
+            raise ValueError(
+                f"peeling stalled with {remaining} vertices left; "
+                f"threshold {threshold} is below the degeneracy"
+            )
+        for v in peel:
+            active[v] = False
+            for u in graph.neighbors(v):
+                if active[u]:
+                    degree[u] -= 1
+        remaining -= len(peel)
+        sizes.append(len(peel))
+    return sizes
+
+
+def ball_growth(graph: Graph, radius: int, samples: int = 16) -> List[float]:
+    """Average ball sizes |N^r(v)| for r = 0..radius over evenly spaced
+    sample vertices — the neighborhood-growth parameter of [28]."""
+    n = graph.num_vertices
+    if n == 0:
+        return [0.0] * (radius + 1)
+    step = max(1, n // samples)
+    chosen = list(range(0, n, step))
+    totals = [0] * (radius + 1)
+    for v in chosen:
+        dist = graph.bfs_distances(v, cutoff=radius)
+        for r in range(radius + 1):
+            totals[r] += sum(1 for d in dist.values() if d <= r)
+    return [t / len(chosen) for t in totals]

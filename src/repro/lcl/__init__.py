@@ -1,0 +1,44 @@
+"""LCL problem specifications and verifiers (Section II of the paper)."""
+
+from .coloring import (
+    KColoring,
+    ProperColoring,
+    WeakColoring,
+    list_coloring_respects,
+    palette_size,
+)
+from .edge_coloring_lcl import EdgeColoringLCL
+from .matching import UNMATCHED, MaximalMatching, matching_edges
+from .mis import IN, OUT, MaximalIndependentSet, independent_set_from_labeling
+from .problem import Labeling, LCLProblem, Violation
+from .ruling_set import RulingSet
+from .sinkless import (
+    SinklessColoring,
+    SinklessOrientation,
+    count_sinks,
+    orientation_out_degrees,
+)
+
+__all__ = [
+    "EdgeColoringLCL",
+    "IN",
+    "KColoring",
+    "LCLProblem",
+    "Labeling",
+    "MaximalIndependentSet",
+    "MaximalMatching",
+    "OUT",
+    "ProperColoring",
+    "RulingSet",
+    "SinklessColoring",
+    "SinklessOrientation",
+    "UNMATCHED",
+    "Violation",
+    "WeakColoring",
+    "count_sinks",
+    "independent_set_from_labeling",
+    "list_coloring_respects",
+    "matching_edges",
+    "orientation_out_degrees",
+    "palette_size",
+]

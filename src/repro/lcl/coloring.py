@@ -1,0 +1,117 @@
+"""Vertex coloring LCLs: k-coloring and list-coloring variants."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+
+class KColoring(LCLProblem):
+    """Proper vertex coloring with colors ``0 .. k-1`` (Section II).
+
+    The paper's headline problem is the instance ``k = Δ``
+    (Δ-coloring); ``k = Δ + 1`` is the classic symmetry-breaking
+    benchmark.
+    """
+
+    radius = 1
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"number of colors must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-coloring"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        color = labeling[v]
+        if not isinstance(color, int) or not 0 <= color < self.k:
+            return f"label {color!r} is not a color in 0..{self.k - 1}"
+        for u in graph.neighbors(v):
+            if labeling[u] == color:
+                return f"neighbor {u} has the same color {color}"
+        return None
+
+
+class ProperColoring(LCLProblem):
+    """Proper coloring with an *unbounded* palette of non-negative
+    integers — properness only, no palette-size constraint.
+
+    Useful for checking intermediate colorings (e.g. Linial's O(Δ²)
+    stage) where the palette is a moving target; pair with
+    :func:`palette_size` to assert the size separately.
+    """
+
+    radius = 1
+    name = "proper-coloring"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        color = labeling[v]
+        if not isinstance(color, int) or color < 0:
+            return f"label {color!r} is not a non-negative integer color"
+        for u in graph.neighbors(v):
+            if labeling[u] == color:
+                return f"neighbor {u} has the same color {color}"
+        return None
+
+
+class WeakColoring(LCLProblem):
+    """Weak c-coloring: every non-isolated vertex has at least one
+    neighbor with a different color (Naor–Stockmeyer's example of a
+    nontrivial O(1)-checkable problem)."""
+
+    radius = 1
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"number of colors must be >= 1, got {k}")
+        self.k = k
+        self.name = f"weak-{k}-coloring"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        color = labeling[v]
+        if not isinstance(color, int) or not 0 <= color < self.k:
+            return f"label {color!r} is not a color in 0..{self.k - 1}"
+        if graph.degree(v) == 0:
+            return None
+        if all(labeling[u] == color for u in graph.neighbors(v)):
+            return "all neighbors share this vertex's color"
+        return None
+
+
+def palette_size(labeling: Sequence[int]) -> int:
+    """Number of distinct colors a labeling uses."""
+    return len(set(labeling))
+
+
+def list_coloring_respects(
+    graph: Graph, labeling: Sequence[int], lists: Sequence[Sequence[int]]
+) -> bool:
+    """Whether a proper coloring also respects per-vertex allowed lists
+    (the list-coloring constraint used inside Theorem 9's layer steps)."""
+    for v in graph.vertices():
+        if labeling[v] not in lists[v]:
+            return False
+        for u in graph.neighbors(v):
+            if labeling[u] == labeling[v]:
+                return False
+    return True

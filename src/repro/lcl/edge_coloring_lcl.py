@@ -1,0 +1,59 @@
+"""Proper k-edge coloring as an LCL.
+
+Labels are per-vertex tuples assigning a color to every port; radius-1
+checkability covers both endpoint agreement and properness at each
+vertex.  The ``(2Δ-1)``-edge coloring instance is one of the survey
+problems from Section I.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+
+class EdgeColoringLCL(LCLProblem):
+    """Proper edge coloring with colors ``0 .. k-1``, labels = per-port
+    color tuples that must agree across every edge."""
+
+    radius = 1
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"number of colors must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-edge-coloring"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        label = labeling[v]
+        degree = graph.degree(v)
+        if not isinstance(label, tuple) or len(label) != degree:
+            return f"label {label!r} is not a tuple of {degree} port colors"
+        seen = set()
+        for port in range(degree):
+            c = label[port]
+            if not isinstance(c, int) or not 0 <= c < self.k:
+                return f"port {port} color {c!r} not in 0..{self.k - 1}"
+            if c in seen:
+                return f"two incident edges share color {c}"
+            seen.add(c)
+            u = graph.endpoint(v, port)
+            back = graph.reverse_port(v, port)
+            other = labeling[u]
+            if (
+                isinstance(other, tuple)
+                and len(other) == graph.degree(u)
+                and other[back] != c
+            ):
+                return (
+                    f"edge to {u} colored {c} here but {other[back]} there"
+                )
+        return None

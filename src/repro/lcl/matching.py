@@ -1,0 +1,61 @@
+"""Maximal matching as an LCL.
+
+Labels encode, per vertex, the port of its matched edge (or ``None``).
+Radius 1 suffices: consistency is that the two endpoints of a matched
+edge point at each other; maximality is that no edge has both endpoints
+unmatched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+#: Label of an unmatched vertex.
+UNMATCHED = None
+
+
+class MaximalMatching(LCLProblem):
+    """Maximal matching with labels Σ = {None, 0, 1, .., Δ-1}."""
+
+    radius = 1
+    name = "maximal-matching"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        port = labeling[v]
+        if port is UNMATCHED:
+            for u in graph.neighbors(v):
+                if labeling[u] is UNMATCHED:
+                    return f"edge to {u} has both endpoints unmatched"
+            return None
+        if not isinstance(port, int) or not 0 <= port < graph.degree(v):
+            return f"label {port!r} is not a valid port"
+        u = graph.endpoint(v, port)
+        back = labeling[u]
+        if (
+            back is UNMATCHED
+            or not isinstance(back, int)
+            or not 0 <= back < graph.degree(u)
+            or graph.endpoint(u, back) != v
+        ):
+            return f"matched to {u} but {u} does not point back"
+        return None
+
+
+def matching_edges(graph: Graph, labeling: Labeling) -> set:
+    """The matched edge set ``{(u, v): u < v}`` encoded by a labeling."""
+    edges = set()
+    for v in graph.vertices():
+        port = labeling[v]
+        if port is not UNMATCHED:
+            u = graph.endpoint(v, port)
+            edges.add((v, u) if v < u else (u, v))
+    return edges

@@ -1,0 +1,47 @@
+"""Maximal independent set as an LCL (Section II)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+#: Label meaning "in the independent set".
+IN = 1
+#: Label meaning "not in the independent set".
+OUT = 0
+
+
+class MaximalIndependentSet(LCLProblem):
+    """MIS with labels Σ = {0, 1}: ``N(v) ∩ I = ∅`` iff ``v ∈ I``.
+
+    - Independence: a 1-labeled vertex has no 1-labeled neighbor.
+    - Maximality: a 0-labeled vertex has at least one 1-labeled
+      neighbor (otherwise it could join).
+    """
+
+    radius = 1
+    name = "maximal-independent-set"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        label = labeling[v]
+        if label not in (IN, OUT):
+            return f"label {label!r} is not in {{0, 1}}"
+        neighbor_in = any(labeling[u] == IN for u in graph.neighbors(v))
+        if label == IN and neighbor_in:
+            return "vertex in MIS has a neighbor in MIS"
+        if label == OUT and not neighbor_in:
+            return "vertex outside MIS has no neighbor in MIS"
+        return None
+
+
+def independent_set_from_labeling(labeling: Labeling) -> set:
+    """The set of vertices labeled IN."""
+    return {v for v, label in enumerate(labeling) if label == IN}

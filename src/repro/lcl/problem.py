@@ -1,0 +1,102 @@
+"""Locally Checkable Labelings (Naor–Stockmeyer), as executable checkers.
+
+An LCL problem (Section II) is given by a radius ``r``, a finite label
+alphabet Σ, and a set C of acceptable labeled radius-``r``
+neighborhoods: a labeling is a solution iff *every* vertex's radius-``r``
+labeled neighborhood is acceptable.
+
+:class:`LCLProblem` encodes exactly that structure: subclasses implement
+:meth:`LCLProblem.check_vertex`, which may inspect only ``N^r(v)``, and
+the generic :meth:`LCLProblem.violations` applies it everywhere.  The
+per-vertex check *is* the O(1)-round distributed verifier that makes the
+problem an LCL.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.errors import VerificationError
+from ..graphs.graph import Graph
+
+#: A labeling assigns one label (an element of the problem's Σ) per vertex.
+Labeling = Sequence[Any]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One locally-detected violation."""
+
+    vertex: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"vertex {self.vertex}: {self.message}"
+
+
+class LCLProblem(abc.ABC):
+    """Base class for locally checkable labeling problems."""
+
+    #: Human-readable problem name.
+    name: str = "lcl"
+    #: Checking radius r; every problem in this project has r = 1.
+    radius: int = 1
+
+    @abc.abstractmethod
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        """Check the labeled radius-r neighborhood of ``v``.
+
+        Returns ``None`` if acceptable, else a violation message.
+        Implementations must only consult vertices within distance
+        :attr:`radius` of ``v`` (that is what makes the problem an LCL).
+        """
+
+    def violations(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> List[Violation]:
+        """All violations in the labeling (empty iff it is a solution)."""
+        if len(labeling) != graph.num_vertices:
+            raise VerificationError(
+                f"{self.name}: labeling has {len(labeling)} entries for "
+                f"{graph.num_vertices} vertices"
+            )
+        found = []
+        for v in graph.vertices():
+            message = self.check_vertex(graph, v, labeling, inputs)
+            if message is not None:
+                found.append(Violation(v, message))
+        return found
+
+    def is_solution(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Whether the labeling is a legal solution."""
+        return not self.violations(graph, labeling, inputs)
+
+    def check(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Raise :class:`VerificationError` listing the first few
+        violations, if any."""
+        found = self.violations(graph, labeling, inputs)
+        if found:
+            preview = "; ".join(str(x) for x in found[:5])
+            more = f" (+{len(found) - 5} more)" if len(found) > 5 else ""
+            raise VerificationError(f"{self.name}: {preview}{more}")

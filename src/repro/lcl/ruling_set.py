@@ -1,0 +1,55 @@
+"""(α, β)-ruling sets as LCLs.
+
+A set S ⊆ V is an (α, β)-ruling set if every two distinct members are
+at distance >= α and every vertex is within distance β of a member.
+MIS is the (2, 1) case; t-ruling sets ((2, t) here) are the relaxation
+behind several of the shattering-based algorithms the paper cites
+([18], [22]).  The problem is an LCL of radius max(α-1, β): both the
+spacing and the domination conditions are ball-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+
+class RulingSet(LCLProblem):
+    """(α, β)-ruling set with labels Σ = {0, 1} (1 = in S)."""
+
+    def __init__(self, alpha: int, beta: int):
+        if alpha < 1 or beta < 0:
+            raise ValueError(
+                f"need alpha >= 1 and beta >= 0, got ({alpha}, {beta})"
+            )
+        self.alpha = alpha
+        self.beta = beta
+        self.radius = max(alpha - 1, beta)
+        self.name = f"({alpha},{beta})-ruling-set"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        label = labeling[v]
+        if label not in (0, 1):
+            return f"label {label!r} is not in {{0, 1}}"
+        distances = graph.bfs_distances(v, cutoff=self.radius)
+        if label == 1:
+            for u, d in distances.items():
+                if u != v and 1 <= d < self.alpha and labeling[u] == 1:
+                    return (
+                        f"member {u} at distance {d} < α={self.alpha}"
+                    )
+        nearest = min(
+            (d for u, d in distances.items() if labeling[u] == 1),
+            default=None,
+        )
+        if nearest is None or nearest > self.beta:
+            return f"no member within β={self.beta}"
+        return None

@@ -1,0 +1,124 @@
+"""The Brandt et al. problems: Δ-sinkless orientation and Δ-sinkless
+coloring (Section II definitions).
+
+Both problems take as *input* a Δ-regular graph with a proper Δ-edge
+coloring.  The coloring is passed to the checker through
+``inputs["edge_colors"]`` — a per-vertex list of port colors, as produced
+by :func:`repro.graphs.edge_coloring.ports_coloring`.
+
+Labels:
+
+- Sinkless orientation: Σ = {→, ←}^Δ, encoded as a tuple of booleans per
+  port — ``True`` meaning the edge is oriented *outward* from the vertex.
+  Consistency (checkable at radius 1): the two endpoints of every edge
+  declare opposite directions.  Forbidden configuration: a vertex with
+  out-degree 0 (a *sink*).
+- Sinkless coloring: a vertex color in ``0 .. Δ-1``.  Forbidden
+  configuration: an edge whose two endpoints and the edge itself all
+  share one color.  (Any proper Δ-coloring is in particular a sinkless
+  coloring — the bridge Theorem 4 exploits.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .problem import Labeling, LCLProblem
+from ..graphs.graph import Graph
+
+
+def _port_colors(
+    inputs: Optional[Dict[str, Any]], v: int
+) -> Optional[List[int]]:
+    if inputs is None or "edge_colors" not in inputs:
+        return None
+    return inputs["edge_colors"][v]
+
+
+class SinklessOrientation(LCLProblem):
+    """Δ-sinkless orientation: orient all edges so every vertex has
+    out-degree >= 1."""
+
+    radius = 1
+    name = "sinkless-orientation"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        label = labeling[v]
+        degree = graph.degree(v)
+        if (
+            not isinstance(label, tuple)
+            or len(label) != degree
+            or not all(isinstance(x, bool) for x in label)
+        ):
+            return f"label {label!r} is not a tuple of {degree} booleans"
+        if degree > 0 and not any(label):
+            return "vertex is a sink (out-degree 0)"
+        for port in range(degree):
+            u = graph.endpoint(v, port)
+            back = graph.reverse_port(v, port)
+            other = labeling[u]
+            if (
+                isinstance(other, tuple)
+                and len(other) == graph.degree(u)
+                and other[back] == label[port]
+            ):
+                return (
+                    f"edge to {u} has inconsistent orientation "
+                    f"(both endpoints claim {label[port]})"
+                )
+        return None
+
+
+class SinklessColoring(LCLProblem):
+    """Δ-sinkless coloring: vertex colors in ``0 .. Δ-1`` such that no
+    edge has ``color(u) == color(v) == color({u, v})``."""
+
+    radius = 1
+
+    def __init__(self, delta: int):
+        if delta < 1:
+            raise ValueError(f"Δ must be >= 1, got {delta}")
+        self.delta = delta
+        self.name = f"{delta}-sinkless-coloring"
+
+    def check_vertex(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        color = labeling[v]
+        if not isinstance(color, int) or not 0 <= color < self.delta:
+            return f"label {color!r} is not a color in 0..{self.delta - 1}"
+        port_colors = _port_colors(inputs, v)
+        if port_colors is None:
+            return "checker needs inputs['edge_colors'] (the Δ-edge coloring)"
+        for port in range(graph.degree(v)):
+            u = graph.endpoint(v, port)
+            if labeling[u] == color and port_colors[port] == color:
+                return (
+                    f"monochromatic configuration: edge to {u} and both "
+                    f"endpoints all have color {color}"
+                )
+        return None
+
+
+def orientation_out_degrees(graph: Graph, labeling: Labeling) -> List[int]:
+    """Out-degree of every vertex under an orientation labeling."""
+    return [sum(1 for x in labeling[v] if x) for v in graph.vertices()]
+
+
+def count_sinks(graph: Graph, labeling: Labeling) -> int:
+    """Number of vertices with out-degree 0 (ignoring isolated vertices)."""
+    return sum(
+        1
+        for v in graph.vertices()
+        if graph.degree(v) > 0 and not any(labeling[v])
+    )

@@ -1,0 +1,90 @@
+"""Lower-bound machinery: bound formulas, the verified 0-round base
+case, round-elimination arithmetic, and indistinguishability checks."""
+
+from .bounds import (
+    corollary2_rounds,
+    gap_theorem_threshold,
+    kmw_lower_bound,
+    linial_lower_bound,
+    theorem3_size_transfer,
+    theorem4_rounds,
+    theorem5_rounds,
+)
+from .indistinguishability import (
+    all_views_are_trees,
+    far_perturbation,
+    matching_view_pairs,
+    outputs_match_on_ball,
+)
+from .neighborhood_graph import (
+    is_k_colorable,
+    linial_ring_certificate,
+    neighborhood_graph,
+    ring_chromatic_lower_bound,
+    smallest_hard_id_space,
+)
+from .roundeliminator import (
+    BipartiteProblem,
+    edge_grabbing_problem,
+    is_fixed_point,
+    perfect_matching_problem,
+    problems_equivalent,
+    round_eliminate,
+    sinkless_orientation_problem,
+    survives_elimination,
+)
+from .round_elimination import (
+    amplification_chain,
+    girth_requirement,
+    lemma1_failure,
+    lemma2_failure,
+    max_eliminable_rounds,
+    one_round_elimination,
+    paper_amplified_failure,
+)
+from .zero_round import (
+    closed_form_optimum,
+    monochromatic_probability,
+    optimal_zero_round_failure,
+    port_aware_failure,
+    worst_edge_failure,
+)
+
+__all__ = [
+    "BipartiteProblem",
+    "all_views_are_trees",
+    "amplification_chain",
+    "closed_form_optimum",
+    "corollary2_rounds",
+    "edge_grabbing_problem",
+    "far_perturbation",
+    "gap_theorem_threshold",
+    "girth_requirement",
+    "is_fixed_point",
+    "is_k_colorable",
+    "kmw_lower_bound",
+    "lemma1_failure",
+    "lemma2_failure",
+    "linial_lower_bound",
+    "linial_ring_certificate",
+    "matching_view_pairs",
+    "max_eliminable_rounds",
+    "monochromatic_probability",
+    "neighborhood_graph",
+    "one_round_elimination",
+    "perfect_matching_problem",
+    "problems_equivalent",
+    "ring_chromatic_lower_bound",
+    "round_eliminate",
+    "sinkless_orientation_problem",
+    "smallest_hard_id_space",
+    "survives_elimination",
+    "optimal_zero_round_failure",
+    "outputs_match_on_ball",
+    "paper_amplified_failure",
+    "port_aware_failure",
+    "theorem3_size_transfer",
+    "theorem4_rounds",
+    "theorem5_rounds",
+    "worst_edge_failure",
+]

@@ -1,0 +1,81 @@
+"""Closed-form lower-bound calculators (Theorems 4 and 5, and the
+survey bounds of Section I).
+
+Lower bounds are proofs, not programs; what *is* executable is their
+arithmetic.  Every function here returns the bound's value with its
+constants exposed (the paper's "sufficiently small ε" becomes an
+explicit parameter), and experiment E9 checks that every *measured*
+upper bound in the suite sits above the corresponding calculated lower
+bound — the consistency sandwich a reproduction can actually test.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.mathx import log_base, log_star
+
+
+def theorem4_rounds(
+    n: int, delta: int, failure_probability: float, epsilon: float = 1.0
+) -> float:
+    """Theorem 4: any RandLOCAL Δ-coloring algorithm with per-edge
+    failure probability p needs at least
+    ``min(ε·log_{3(Δ+1)} ln(1/p), ε·log_Δ n) − 1`` rounds."""
+    if not 0 < failure_probability < 1:
+        raise ValueError("failure probability must be in (0, 1)")
+    ln_inv_p = math.log(1.0 / failure_probability)
+    left = epsilon * log_base(max(ln_inv_p, 1.0), 3.0 * (delta + 1))
+    right = epsilon * log_base(n, delta)
+    return min(left, right) - 1.0
+
+
+def corollary2_rounds(
+    n: int, delta: int, poly_power: float = 1.0, epsilon: float = 1.0
+) -> float:
+    """Corollary 2: with global error 1/poly(n) (here p = n^-power),
+    Δ-coloring needs Ω(log_Δ log n) rounds in RandLOCAL."""
+    p = float(n) ** (-poly_power)
+    p = min(max(p, 1e-300), 0.5)
+    return theorem4_rounds(n, delta, p, epsilon)
+
+
+def theorem5_rounds(n: int, delta: int, epsilon: float = 1.0) -> float:
+    """Theorem 5: DetLOCAL Δ-coloring of degree-Δ trees (or high-girth
+    degree-Δ graphs) needs Ω(log_Δ n) rounds."""
+    return epsilon * log_base(n, delta) - 1.0
+
+
+def linial_lower_bound(n: int) -> float:
+    """Linial's Ω(log* n) for O(1)-coloring the ring (holds in
+    RandLOCAL too, by Naor): (log* n)/2 − 1 with the classic constant
+    omitted to 1/2."""
+    return log_star(n) / 2.0 - 1.0
+
+
+def kmw_lower_bound(n: int, delta: int) -> float:
+    """Kuhn–Moscibroda–Wattenhofer: Ω(min(log Δ / log log Δ,
+    √(log n / log log n))) for MIS, maximal matching, and O(1)-apx
+    vertex cover."""
+    log_d = math.log2(max(delta, 4))
+    left = log_d / math.log2(max(log_d, 2.0))
+    log_n = math.log2(max(n, 4))
+    right = math.sqrt(log_n / math.log2(max(log_n, 2.0)))
+    return min(left, right)
+
+
+def theorem3_size_transfer(n: int) -> float:
+    """Theorem 3 contrapositive scale: the RandLOCAL complexity at size
+    n is at least the DetLOCAL complexity at size √(log n).  Returns
+    that smaller size."""
+    if n < 2:
+        return 1.0
+    return math.sqrt(math.log2(n))
+
+
+def gap_theorem_threshold(n: int, delta: int) -> float:
+    """Corollary 3's dichotomy threshold for constant Δ: any LCL on a
+    hereditary class is either O(log* n) or Ω(log n); the returned value
+    is the geometric midpoint ``sqrt(log* n · log n)`` — measured
+    complexities should never land near it (they belong to one side)."""
+    return math.sqrt(max(1, log_star(n)) * math.log2(max(n, 2)))

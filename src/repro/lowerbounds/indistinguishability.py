@@ -1,0 +1,131 @@
+"""The indistinguishability principle, made testable (experiment E12).
+
+Linial's lower-bound template and Theorem 5's "these bounds also apply
+to trees" step both rest on: *a t-round algorithm's output at v is a
+function of the radius-t view of v alone*.  Hence on a graph of girth
+> 2t + 1, where every view is a tree, any algorithm behaves exactly as
+it would on a tree — so tree lower bounds transfer.
+
+This module turns the principle into executable checks:
+
+- :func:`all_views_are_trees` — certifies that a graph is t-locally
+  tree-like (the premise);
+- :func:`far_perturbation` — rewires a graph outside a ball, producing
+  the indistinguishable sibling instance;
+- :func:`outputs_match_on_ball` — runs an algorithm on both instances
+  and compares the outputs inside the ball (the consequence: they must
+  be identical for any honest <= t-round algorithm).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+from ..core.views import collect_view, tree_canonical_form
+from ..graphs.graph import Graph
+
+
+def all_views_are_trees(graph: Graph, radius: int) -> bool:
+    """Whether every radius-``radius`` view in the graph is acyclic —
+    i.e. girth > 2·radius + 1."""
+    girth = graph.girth()
+    return girth is None or girth > 2 * radius + 1
+
+
+def matching_view_pairs(
+    graph_a: Graph,
+    graph_b: Graph,
+    radius: int,
+    labels_a: Optional[Sequence[Any]] = None,
+    labels_b: Optional[Sequence[Any]] = None,
+    up_to_ports: bool = False,
+) -> List[Tuple[int, int]]:
+    """All pairs (v_a, v_b) whose canonical radius views coincide —
+    the vertices no t-round algorithm can treat differently.
+
+    With ``up_to_ports`` the comparison uses the AHU tree canonical
+    form (acyclic views only): indistinguishability for algorithms that
+    get no promise about the port numbering.
+    """
+
+    def key(graph: Graph, v: int, labels) -> Any:
+        view = collect_view(graph, v, radius, labels)
+        if up_to_ports:
+            return tree_canonical_form(view)
+        return view
+
+    views_b: dict = {}
+    for v in graph_b.vertices():
+        views_b.setdefault(key(graph_b, v, labels_b), []).append(v)
+    pairs = []
+    for v in graph_a.vertices():
+        for u in views_b.get(key(graph_a, v, labels_a), []):
+            pairs.append((v, u))
+    return pairs
+
+
+def far_perturbation(
+    graph: Graph,
+    center: int,
+    radius: int,
+    rng: random.Random,
+    attempts: int = 200,
+) -> Optional[Graph]:
+    """A sibling graph differing from ``graph`` only at distance
+    > ``radius`` from ``center`` (one double-edge swap among far
+    edges), or ``None`` if no legal swap was found.
+
+    Degrees are preserved, so the sibling stays in any degree-bounded
+    class; every vertex within ``radius`` of ``center`` has an
+    identical view, so a <= radius-round algorithm must answer
+    identically there.
+    """
+    ball: Set[int] = set(graph.ball(center, radius + 1))
+    far_edges = [
+        (u, v)
+        for u, v in graph.edges()
+        if u not in ball and v not in ball
+    ]
+    if len(far_edges) < 2:
+        return None
+    edge_set = set(graph.edges())
+    for _ in range(attempts):
+        (a, b) = far_edges[rng.randrange(len(far_edges))]
+        (c, d) = far_edges[rng.randrange(len(far_edges))]
+        if len({a, b, c, d}) < 4:
+            continue
+        if rng.random() < 0.5:
+            c, d = d, c
+        new_1 = (min(a, c), max(a, c))
+        new_2 = (min(b, d), max(b, d))
+        if new_1 in edge_set or new_2 in edge_set:
+            continue
+        edges = [
+            e
+            for e in graph.edges()
+            if e != (min(a, b), max(a, b)) and e != (min(c, d), max(c, d))
+        ]
+        edges.extend([new_1, new_2])
+        return Graph(graph.num_vertices, edges)
+    return None
+
+
+def outputs_match_on_ball(
+    run: Callable[[Graph], Sequence[Any]],
+    graph_a: Graph,
+    graph_b: Graph,
+    center: int,
+    radius: int,
+) -> bool:
+    """Run an algorithm wrapper on two instances that agree on the
+    radius-``radius`` ball of ``center`` (same vertex numbering) and
+    check the outputs agree on the *inner* ball.
+
+    Note the port structure must agree too — :func:`far_perturbation`
+    preserves it inside the ball by never touching incident edges.
+    """
+    out_a = run(graph_a)
+    out_b = run(graph_b)
+    inner = graph_a.ball(center, max(0, radius - 1))
+    return all(out_a[v] == out_b[v] for v in inner)

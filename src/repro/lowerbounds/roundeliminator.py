@@ -1,0 +1,356 @@
+"""Round elimination as an executable operator on problem descriptions.
+
+The Brandt et al. lower bound that powers Theorem 4 is, in modern
+terms, a *round elimination* argument: sinkless orientation is a fixed
+point of an operator ``re`` that turns any t-round solvable problem
+into a (t-1)-round solvable one.  A nontrivial fixed point therefore
+cannot be solved in any constant number of rounds, and the probability
+bookkeeping of Lemmas 1-2 turns that into Ω(log log n) randomized /
+Ω(log n) deterministic — the engine room of the paper's Section IV.
+
+This module implements the operator concretely, in the standard
+bipartite formalism (Brandt, "An Automatic Speedup Theorem", 2019):
+
+- a :class:`BipartiteProblem` lives on Δ-regular bipartite 2-colored
+  trees; *white* nodes (degree ``white_degree``) and *black* nodes
+  (degree ``black_degree``) each constrain the multiset of labels on
+  their incident half-edges.  For vertex problems on Δ-regular trees,
+  white nodes are the vertices and black nodes are the edges (degree 2).
+- :func:`round_eliminate` maps Π = (Σ, W, B) to
+  re(Π) = (2^Σ∖{∅}, W', B') **with the roles swapped**:
+
+  - the new *white* constraint (arity = old black degree) allows a
+    tuple of sets iff **every** choice from them satisfies the old
+    black constraint (the universal side);
+  - the new *black* constraint (arity = old white degree) allows a
+    tuple of sets iff **some** choice from them satisfies the old
+    white constraint (the existential side);
+  - non-maximal white configurations and unused labels are pruned.
+
+  If Π is solvable in t rounds (white-centric), re(Π) is solvable in
+  t-1; applying ``re`` twice returns to the original orientation, one
+  full round cheaper.
+
+- :func:`problems_equivalent` decides equivalence up to label
+  renaming; :func:`survives_elimination` iterates the operator and
+  checks the problem never becomes 0-round solvable or empty.
+
+What the tests verify for sinkless orientation — the executable content
+of the Brandt et al. bound behind Theorem 4:
+
+1. ``re(SO_vertex) ≃ SO_edge`` exactly (the same problem seen from the
+   edges), so one elimination step costs nothing;
+2. iterating ``re`` keeps the problem nontrivial with a *bounded* label
+   set (it relaxes to "sinkless orientation with unoriented edges
+   allowed", which is still 0-round unsolvable).  A problem whose
+   elimination sequence never trivializes cannot be solved in O(1)
+   rounds — iterating the speedup would otherwise produce a 0-round
+   algorithm, contradicting :meth:`BipartiteProblem.is_trivial`.
+
+The implementation is exponential in the label-set size, as round
+elimination inherently is; it is meant for the few-label problems the
+paper's argument uses (|Σ| <= 4, degrees <= 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: A configuration is a sorted tuple of labels (a multiset).
+Configuration = Tuple[str, ...]
+
+
+def _normalize(config: Iterable[str]) -> Configuration:
+    return tuple(sorted(config))
+
+
+@dataclass(frozen=True)
+class BipartiteProblem:
+    """A locally checkable problem on 2-colored regular trees."""
+
+    name: str
+    labels: FrozenSet[str]
+    white_degree: int
+    black_degree: int
+    white: FrozenSet[Configuration]
+    black: FrozenSet[Configuration]
+
+    @staticmethod
+    def make(
+        name: str,
+        white_degree: int,
+        black_degree: int,
+        white: Iterable[Iterable[str]],
+        black: Iterable[Iterable[str]],
+    ) -> "BipartiteProblem":
+        white_set = frozenset(_normalize(c) for c in white)
+        black_set = frozenset(_normalize(c) for c in black)
+        labels = frozenset(
+            label for c in white_set | black_set for label in c
+        )
+        for config in white_set:
+            if len(config) != white_degree:
+                raise ValueError(
+                    f"white configuration {config} has arity "
+                    f"{len(config)} != {white_degree}"
+                )
+        for config in black_set:
+            if len(config) != black_degree:
+                raise ValueError(
+                    f"black configuration {config} has arity "
+                    f"{len(config)} != {black_degree}"
+                )
+        return BipartiteProblem(
+            name=name,
+            labels=labels,
+            white_degree=white_degree,
+            black_degree=black_degree,
+            white=white_set,
+            black=black_set,
+        )
+
+    def is_trivial(self) -> bool:
+        """0-round solvable: some single label fills both sides.
+
+        A problem is trivially solvable iff there is a label ``a`` such
+        that the all-``a`` configuration is allowed at both white and
+        black nodes — every half-edge outputs ``a`` with no
+        communication.
+        """
+        for a in sorted(self.labels):
+            if (
+                _normalize([a] * self.white_degree) in self.white
+                and _normalize([a] * self.black_degree) in self.black
+            ):
+                return True
+        return False
+
+    def is_empty(self) -> bool:
+        """Unsolvable on at least one side (no allowed configuration)."""
+        return not self.white or not self.black
+
+
+# ----------------------------------------------------------------------
+# The operator
+# ----------------------------------------------------------------------
+def _set_label(subset: FrozenSet[str]) -> str:
+    return "{" + ",".join(sorted(subset)) + "}"
+
+
+def round_eliminate(
+    problem: BipartiteProblem, prune: bool = True
+) -> BipartiteProblem:
+    """One application of the round-elimination operator (roles swap).
+
+    With ``prune`` (default), dominated white configurations and unused
+    labels are removed — semantically redundant, but note that the
+    *syntactic* :meth:`BipartiteProblem.is_trivial` can then miss
+    trivialities hidden behind domination; use ``prune=False`` when a
+    complete triviality check on the image is needed (as
+    :func:`survives_elimination` does)."""
+    base_labels = sorted(problem.labels)
+    subsets: List[FrozenSet[str]] = [
+        frozenset(combo)
+        for size in range(1, len(base_labels) + 1)
+        for combo in itertools.combinations(base_labels, size)
+    ]
+
+    # New white side (arity = old black degree): universal.
+    new_white: set = set()
+    for sets in itertools.combinations_with_replacement(
+        subsets, problem.black_degree
+    ):
+        if all(
+            _normalize(choice) in problem.black
+            for choice in itertools.product(*sets)
+        ):
+            new_white.add(_normalize(_set_label(s) for s in sets))
+    if prune:
+        new_white = _maximal_only(new_white, problem.black_degree)
+
+    # New black side (arity = old white degree): existential.
+    new_black: set = set()
+    for sets in itertools.combinations_with_replacement(
+        subsets, problem.white_degree
+    ):
+        if any(
+            _normalize(choice) in problem.white
+            for choice in itertools.product(*sets)
+        ):
+            new_black.add(_normalize(_set_label(s) for s in sets))
+
+    # Restrict to labels that actually appear on the (possibly pruned)
+    # white side; the black side is then restricted accordingly.
+    used = {label for config in new_white for label in config}
+    new_black = {
+        config
+        for config in new_black
+        if all(label in used for label in config)
+    }
+    return BipartiteProblem(
+        name=f"re({problem.name})",
+        labels=frozenset(used),
+        white_degree=problem.black_degree,
+        black_degree=problem.white_degree,
+        white=frozenset(new_white),
+        black=frozenset(new_black),
+    )
+
+
+def _maximal_only(configs: set, arity: int) -> set:
+    """Drop white configurations dominated by a pointwise-superset one.
+
+    Set-labels are compared by containment of their underlying sets; a
+    configuration is dominated if another allowed configuration can be
+    aligned with it so that every position's set contains the
+    corresponding set.  Dominated configurations are redundant for the
+    algorithmic content of the problem.
+    """
+
+    def parse(label: str) -> FrozenSet[str]:
+        return frozenset(x for x in label[1:-1].split(",") if x)
+
+    def dominated(small: Configuration, big: Configuration) -> bool:
+        if small == big:
+            return False
+        small_sets = [parse(x) for x in small]
+        for perm in itertools.permutations([parse(x) for x in big]):
+            if all(a <= b for a, b in zip(small_sets, perm)):
+                return True
+        return False
+
+    return {
+        c
+        for c in configs
+        if not any(dominated(c, other) for other in configs)
+    }
+
+
+# ----------------------------------------------------------------------
+# Equivalence up to renaming
+# ----------------------------------------------------------------------
+def problems_equivalent(
+    a: BipartiteProblem, b: BipartiteProblem
+) -> Optional[Dict[str, str]]:
+    """A label bijection turning ``a`` into ``b``, or ``None``.
+
+    Exhaustive over bijections — fine for the <= 6-label problems round
+    elimination is used on here.
+    """
+    if (
+        a.white_degree != b.white_degree
+        or a.black_degree != b.black_degree
+        or len(a.labels) != len(b.labels)
+        or len(a.white) != len(b.white)
+        or len(a.black) != len(b.black)
+    ):
+        return None
+    a_labels = sorted(a.labels)
+    for perm in itertools.permutations(sorted(b.labels)):
+        mapping = dict(zip(a_labels, perm))
+
+        def rename(configs: FrozenSet[Configuration]) -> FrozenSet[Configuration]:
+            return frozenset(
+                _normalize(mapping[x] for x in config) for config in configs
+            )
+
+        if rename(a.white) == b.white and rename(a.black) == b.black:
+            return mapping
+    return None
+
+
+def is_fixed_point(
+    problem: BipartiteProblem, steps: int = 2
+) -> bool:
+    """Whether ``steps`` applications of re return the problem exactly
+    (up to renaming).  Many problems are fixed points only after
+    further semantic simplification; for lower-bound purposes
+    :func:`survives_elimination` is the robust test."""
+    current = problem
+    for _ in range(steps):
+        current = round_eliminate(current)
+    return problems_equivalent(current, problem) is not None
+
+
+def survives_elimination(
+    problem: BipartiteProblem, steps: int = 4, max_labels: int = 8
+) -> bool:
+    """Iterate ``re`` and check the problem never trivializes, never
+    empties, and keeps a bounded label alphabet.
+
+    A problem solvable in t rounds yields, after t eliminations, a
+    0-round-solvable problem; surviving ``steps`` eliminations
+    therefore certifies the problem is not solvable in < ``steps``
+    rounds *independently of n and of the algorithm* — the qualitative
+    heart of the Ω(log log n) randomized bound once the Lemma 1-2
+    probability bookkeeping is added.
+    """
+    current = problem
+    for _ in range(steps):
+        # Triviality must be judged on the *unpruned* image: pruning
+        # removes dominated configurations, which can hide an all-one-
+        # label solution from the syntactic check.
+        full = round_eliminate(current, prune=False)
+        if current.is_trivial() or current.is_empty() or full.is_trivial():
+            return False
+        current = round_eliminate(current)
+        if len(current.labels) > max_labels:
+            raise ValueError(
+                f"label alphabet exploded to {len(current.labels)} — "
+                "this problem is outside the module's intended scope"
+            )
+        if current.is_empty():
+            return False
+    return not current.is_trivial() and not round_eliminate(
+        current, prune=False
+    ).is_trivial() and not current.is_empty()
+
+
+# ----------------------------------------------------------------------
+# Canned problems
+# ----------------------------------------------------------------------
+def sinkless_orientation_problem(delta: int = 3) -> BipartiteProblem:
+    """Sinkless orientation on Δ-regular trees, white = vertices
+    (degree Δ), black = edges (degree 2).
+
+    Labels: ``O`` (half-edge oriented outward from the vertex), ``I``
+    (inward).  A vertex needs at least one ``O``; an edge needs exactly
+    one ``O`` and one ``I`` (its two half-edges agree on a direction).
+    """
+    white = [
+        ["O"] * k + ["I"] * (delta - k) for k in range(1, delta + 1)
+    ]
+    black = [["O", "I"]]
+    return BipartiteProblem.make(
+        f"sinkless-orientation-{delta}", delta, 2, white, black
+    )
+
+
+def edge_grabbing_problem(delta: int = 3) -> BipartiteProblem:
+    """The trivial cousin: a vertex must mark >= 0 incident edges (all
+    configurations allowed) — 0-round solvable; used as the negative
+    control for fixed-point tests."""
+    labels = ["A", "B"]
+    white = [
+        _normalize(c)
+        for c in itertools.combinations_with_replacement(labels, delta)
+    ]
+    black = [
+        _normalize(c)
+        for c in itertools.combinations_with_replacement(labels, 2)
+    ]
+    return BipartiteProblem.make(
+        f"free-marking-{delta}", delta, 2, white, black
+    )
+
+
+def perfect_matching_problem(delta: int = 3) -> BipartiteProblem:
+    """Each vertex matches exactly one incident edge; an edge is
+    matched iff both half-edges say so.  Labels: M / U."""
+    white = [["M"] + ["U"] * (delta - 1)]
+    black = [["M", "M"], ["U", "U"]]
+    return BipartiteProblem.make(
+        f"perfect-matching-{delta}", delta, 2, white, black
+    )

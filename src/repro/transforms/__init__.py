@@ -1,0 +1,52 @@
+"""The paper's theorem-level transformations, as executable code."""
+
+from .derandomize import (
+    Derandomization,
+    enumerate_family,
+    family_size,
+    find_good_seed_function,
+)
+from .order_invariance import (
+    LocalMaximaFragment,
+    RankWithinBall,
+    check_order_invariance,
+    order_preserving_remap,
+)
+from .rand_from_det import RandFromDetResult, randomized_from_deterministic
+from .shattering import (
+    ShatterOutcome,
+    component_size_threshold,
+    distance_k_sets_bound,
+    shatter,
+    solve_shattered,
+    union_bound_failure,
+)
+from .speedup import (
+    SpeedupResult,
+    shortened_ids,
+    speedup_transform,
+    theorem8_budget,
+)
+
+__all__ = [
+    "Derandomization",
+    "LocalMaximaFragment",
+    "RankWithinBall",
+    "RandFromDetResult",
+    "ShatterOutcome",
+    "SpeedupResult",
+    "check_order_invariance",
+    "component_size_threshold",
+    "distance_k_sets_bound",
+    "enumerate_family",
+    "family_size",
+    "find_good_seed_function",
+    "order_preserving_remap",
+    "randomized_from_deterministic",
+    "shatter",
+    "shortened_ids",
+    "solve_shattered",
+    "speedup_transform",
+    "theorem8_budget",
+    "union_bound_failure",
+]

@@ -1,0 +1,116 @@
+"""Order invariance — the Naor–Stockmeyer angle on Corollary 1.
+
+Naor and Stockmeyer proved that O(1)-round solvable LCLs (bounded Δ)
+are solvable by *order-invariant* algorithms: the output may depend
+only on the relative order of the IDs in the view, not their values.
+The paper's Corollary 1 strengthens the derandomization direction:
+any RandLOCAL LCL algorithm in 2^O(log* n) rounds derandomizes with no
+asymptotic penalty.
+
+Executable content provided here:
+
+- :func:`order_preserving_remap` — rename IDs by any strictly
+  increasing map; an order-invariant algorithm must be blind to it;
+- :func:`check_order_invariance` — run an algorithm under several such
+  remappings and report whether outputs ever changed (a *certificate
+  of dependence* when they do, a stress-test pass when they don't);
+- :class:`LocalMaximaFragment` — the canonical order-invariant
+  1-round algorithm (join iff your ID beats all neighbors'), used as
+  the positive control; Linial's coloring is the negative control
+  (its output genuinely reads ID bits, and the checker catches it).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.context import Model, NodeContext
+from ..core.engine import run_local
+from ..graphs.graph import Graph
+
+
+def order_preserving_remap(
+    ids: Sequence[int], rng: random.Random, stretch: int = 1000
+) -> List[int]:
+    """New IDs with the same relative order but different values:
+    strictly increasing random gaps between consecutive ranks."""
+    ranked = sorted(ids)
+    new_value = {}
+    current = rng.randrange(1, stretch)
+    for value in ranked:
+        new_value[value] = current
+        current += rng.randrange(1, stretch)
+    return [new_value[i] for i in ids]
+
+
+def check_order_invariance(
+    algorithm_factory: Callable[[], SyncAlgorithm],
+    graph: Graph,
+    ids: Optional[Sequence[int]] = None,
+    trials: int = 5,
+    seed: int = 0,
+    global_params: Optional[dict] = None,
+    id_space_key: Optional[str] = "id_space",
+) -> bool:
+    """Whether the algorithm's outputs survive order-preserving ID
+    remappings (a necessary condition for order invariance; ``trials``
+    random remappings are checked).
+
+    ``id_space_key``: name of the global parameter announcing the ID
+    space, enlarged to cover the remapped values (pass ``None`` if the
+    algorithm takes no such parameter).
+    """
+    if ids is None:
+        ids = list(range(graph.num_vertices))
+    rng = random.Random(seed)
+
+    def run(current_ids: Sequence[int]) -> List:
+        params = dict(global_params or {})
+        if id_space_key is not None:
+            bits = max(1, max(current_ids).bit_length())
+            params[id_space_key] = 1 << bits
+        return run_local(
+            graph,
+            algorithm_factory(),
+            Model.DET,
+            ids=list(current_ids),
+            global_params=params,
+        ).outputs
+
+    baseline = run(ids)
+    for _ in range(trials):
+        remapped = order_preserving_remap(ids, rng)
+        if run(remapped) != baseline:
+            return False
+    return True
+
+
+class LocalMaximaFragment(SyncAlgorithm):
+    """1-round order-invariant algorithm: output 1 iff the vertex's ID
+    exceeds all neighbors' (an independent — not maximal — set; the
+    positive control for the invariance checker)."""
+
+    name = "local-maxima-fragment"
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.publish(ctx.id)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        ctx.halt(1 if all(ctx.id > other for other in inbox) else 0)
+
+
+class RankWithinBall(SyncAlgorithm):
+    """2-round order-invariant labeling: the vertex's ID rank within
+    its radius-1 closed neighborhood (a defective coloring with Δ+1
+    classes where adjacent vertices can only clash if their
+    neighborhood orders disagree)."""
+
+    name = "rank-within-ball"
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.publish(ctx.id)
+
+    def step(self, ctx: NodeContext, inbox: Inbox) -> None:
+        ctx.halt(sum(1 for other in inbox if other < ctx.id))

@@ -1,0 +1,129 @@
+"""The graph-shattering pattern, as a reusable framework.
+
+Graph shattering (Section I, "Graph Shattering") is the structure of
+every modern randomized symmetry-breaking algorithm: a randomized
+phase fixes most of the output; the *unresolved* vertices form, with
+high probability, connected components of size poly(Δ)·log n; a
+deterministic algorithm finishes each component in parallel.  Theorem 3
+proves the pattern is unavoidable — the deterministic finisher's
+complexity on poly(log n)-size instances lower-bounds the whole
+randomized algorithm.
+
+This module provides the bookkeeping shared by the paper's two
+algorithms (Theorems 10 and 11) and by experiment E5:
+
+- :func:`shatter` — split a partial labeling into the fixed part and
+  the residual components;
+- :func:`solve_shattered` — run a deterministic finisher per component
+  (one engine run on the disconnected residual graph = all components
+  in parallel, the honest LOCAL cost);
+- :func:`distance_k_sets_bound` — Lemma 3's counting bound, and
+  :func:`component_size_threshold` — the union-bound threshold
+  Δ⁴·log n it yields for distance-5 sets of bad vertices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..algorithms.drivers import AlgorithmReport
+from ..graphs.graph import Graph
+
+
+@dataclass
+class ShatterOutcome:
+    """The residual structure a randomized phase left behind."""
+
+    #: Partial labeling (``unresolved`` sentinel where not fixed).
+    partial: List[Any]
+    #: Vertices still unresolved, ascending.
+    residual: List[int]
+    #: The residual induced subgraph and its vertex map.
+    subgraph: Graph
+    originals: List[int]
+    #: Sizes of the residual connected components, ascending.
+    component_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def max_component(self) -> int:
+        return self.component_sizes[-1] if self.component_sizes else 0
+
+    @property
+    def num_components(self) -> int:
+        return len(self.component_sizes)
+
+
+def shatter(
+    graph: Graph, partial: Sequence[Any], unresolved: Any
+) -> ShatterOutcome:
+    """Decompose a partial labeling into fixed part + residual
+    components."""
+    residual = [
+        v for v in graph.vertices() if partial[v] == unresolved
+    ]
+    subgraph, originals = graph.induced_subgraph(residual)
+    sizes = sorted(len(c) for c in subgraph.connected_components())
+    return ShatterOutcome(
+        partial=list(partial),
+        residual=residual,
+        subgraph=subgraph,
+        originals=originals,
+        component_sizes=sizes,
+    )
+
+
+def solve_shattered(
+    graph: Graph,
+    outcome: ShatterOutcome,
+    finisher: Callable[[Graph], AlgorithmReport],
+    relabel: Optional[Callable[[Any], Any]] = None,
+) -> tuple:
+    """Complete a shattered instance.
+
+    ``finisher`` runs on the residual subgraph (disconnected — all
+    components in parallel, so its round count is the max over
+    components, which is what the engine measures).  ``relabel`` maps
+    the finisher's labels into the final alphabet (e.g. into the
+    reserved colors).  Returns ``(full_labeling, finisher_report)``.
+    """
+    labeling = list(outcome.partial)
+    if not outcome.residual:
+        return labeling, None
+    report = finisher(outcome.subgraph)
+    for local_index, label in enumerate(report.labeling):
+        value = relabel(label) if relabel else label
+        labeling[outcome.originals[local_index]] = value
+    return labeling, report
+
+
+def distance_k_sets_bound(n: int, delta: int, k: int, t: int) -> float:
+    """Lemma 3: the number of distance-k sets of size t is less than
+    ``4^t · n · Δ^(k(t-1))``."""
+    if t < 1:
+        return 0.0
+    return (4.0 ** t) * n * (float(delta) ** (k * (t - 1)))
+
+
+def component_size_threshold(n: int, delta: int, c: float = 1.0) -> float:
+    """The whp bound on residual component sizes from the Theorem 10
+    analysis: ``Δ⁴ · log n`` (times a slack constant ``c``).
+
+    Derivation: a residual component of size s·Δ⁴ contains a distance-5
+    set of s bad vertices (greedily pick bad vertices pairwise at
+    distance >= 5; each pick excludes < Δ⁴ others); Lemma 3 counts the
+    candidate sets, the per-vertex bad probability exp(-poly(Δ)) beats
+    the count once s >= log n.
+    """
+    return c * (float(delta) ** 4) * math.log(max(n, 2))
+
+
+def union_bound_failure(
+    n: int, delta: int, s: int, bad_probability: float, k: int = 5
+) -> float:
+    """The union-bound failure estimate from the Theorem 10 analysis:
+    (number of distance-k sets of size s) × (probability all s vertices
+    are bad, assuming the distance-k independence the paper proves)."""
+    count = distance_k_sets_bound(n, delta, k, s)
+    return count * (bad_probability ** s)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_dary_tree,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tree(rng):
+    """A random degree-<=5 tree on 60 vertices."""
+    return random_tree_bounded_degree(60, 5, rng)
+
+
+@pytest.fixture
+def medium_tree(rng):
+    """A random degree-<=8 tree on 400 vertices."""
+    return random_tree_bounded_degree(400, 8, rng)
+
+
+@pytest.fixture
+def ternary_tree():
+    """The complete 3-ary tree of depth 4 (max degree 4)."""
+    return complete_dary_tree(3, 4)
+
+
+@pytest.fixture
+def ring():
+    """A 48-cycle."""
+    return cycle_graph(48)
+
+
+@pytest.fixture
+def path():
+    """A 37-vertex path."""
+    return path_graph(37)
+
+
+@pytest.fixture
+def cubic_graph(rng):
+    """A random 3-regular graph on 64 vertices."""
+    return random_regular_graph(64, 3, rng)

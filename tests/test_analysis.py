@@ -1,0 +1,161 @@
+"""Tests for the analysis utilities: math helpers, fitting, sweeps,
+tables."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ExperimentRecord,
+    Series,
+    best_shape,
+    ceil_log2,
+    classify_growth,
+    growth_exponent_ratio,
+    log_base,
+    log_delta,
+    log_log,
+    log_star,
+    render_kv,
+    render_table,
+    run_sweep,
+    separation_factor,
+)
+
+
+class TestMathHelpers:
+    def test_log_star_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2 ** 65536 if False else 10 ** 80) == 5
+
+    def test_log_base_clamps(self):
+        assert log_base(8, 2) == pytest.approx(3)
+        assert log_base(8, 1) == pytest.approx(3)  # clamped to 2
+        assert log_base(0.5, 2) == 0.0
+
+    def test_log_delta(self):
+        assert log_delta(81, 3) == pytest.approx(4)
+
+    def test_log_log(self):
+        assert log_log(2) == 0.0
+        assert log_log(2 ** 16) == pytest.approx(4)
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(1000) == 10
+
+
+class TestFitting:
+    def _series(self, fn, xs=(2 ** 6, 2 ** 8, 2 ** 10, 2 ** 13, 2 ** 16)):
+        return list(xs), [fn(x) for x in xs]
+
+    def test_identifies_log(self):
+        xs, ys = self._series(lambda n: 3 * math.log2(n) + 5)
+        assert best_shape(xs, ys) == "log"
+
+    def test_identifies_loglog(self):
+        xs, ys = self._series(lambda n: 4 * math.log2(math.log2(n)) + 2)
+        assert best_shape(xs, ys) == "loglog"
+
+    def test_identifies_constant(self):
+        xs, ys = self._series(lambda n: 7.0)
+        fits = classify_growth(xs, ys)
+        assert fits[0].rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_identifies_linear(self):
+        xs, ys = self._series(lambda n: 0.5 * n)
+        assert best_shape(xs, ys) == "linear"
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            classify_growth([1, 2], [1, 2])
+
+    def test_growth_exponent_ratio(self):
+        xs, ys = self._series(lambda n: 2 * math.log2(n))
+        assert growth_exponent_ratio(xs, ys) == pytest.approx(2.0)
+
+    def test_separation_factor(self):
+        slow = [10, 20, 40]  # 4x growth
+        fast = [10, 11, 12]  # 1.2x growth
+        assert separation_factor(slow, fast) > 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.5, 10.0), st.floats(0.0, 50.0))
+    def test_log_fit_recovers_parameters(self, a, b):
+        xs = [2 ** 6, 2 ** 9, 2 ** 12, 2 ** 15]
+        ys = [a * math.log2(x) + b for x in xs]
+        fits = classify_growth(xs, ys, shapes=("log",))
+        assert fits[0].scale == pytest.approx(a, rel=1e-6)
+        assert fits[0].offset == pytest.approx(b, abs=1e-6)
+
+
+class TestSweep:
+    def test_run_sweep_aggregates(self):
+        series = run_sweep(
+            "demo", [1, 2, 3], lambda x, seed: x * 10 + seed, seeds=(0, 1)
+        )
+        assert series.xs == [1, 2, 3]
+        assert series.points[0].values == [10.0, 11.0]
+        assert series.points[0].mean == 10.5
+        assert series.points[2].minimum == 30.0
+
+    def test_skip_failures(self):
+        def measure(x, seed):
+            if seed == 0:
+                raise RuntimeError("boom")
+            return x
+
+        series = run_sweep(
+            "flaky", [5], measure, seeds=(0, 1), skip_failures=True
+        )
+        assert series.points[0].values == [5.0]
+
+    def test_all_failures_raise(self):
+        def measure(x, seed):
+            raise RuntimeError("boom")
+
+        with pytest.raises(Exception):
+            run_sweep("dead", [1], measure, seeds=(0,), skip_failures=True)
+
+    def test_series_empty_sample_rejected(self):
+        series = Series("s")
+        with pytest.raises(ValueError):
+            series.add(1, [])
+
+
+class TestRendering:
+    def test_render_table_aligned(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_kv(self):
+        text = render_kv("title", [["k", 1]])
+        assert text.startswith("title")
+
+    def test_experiment_record_render(self):
+        record = ExperimentRecord("E0", "demo experiment")
+        series = Series("s")
+        series.add(10, [1.0, 2.0])
+        record.add_series(series)
+        record.check("verified", True)
+        record.note("hello")
+        text = record.render()
+        assert "E0" in text
+        assert "PASS" in text
+        assert "hello" in text
+        assert record.all_checks_pass
+
+    def test_experiment_record_fail(self):
+        record = ExperimentRecord("E0", "demo")
+        record.check("broken", False)
+        assert not record.all_checks_pass
+        assert "FAIL" in record.render()

@@ -1,0 +1,83 @@
+"""Tests for full-information ball collection."""
+
+from repro.algorithms.ball import BallCollection
+from repro.core import Model, run_local
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+def knowledge_sizes(graph, radius, ids=None):
+    def compute(ctx, vertices, edges):
+        return (len(vertices), len(edges))
+
+    result = run_local(
+        graph, BallCollection(radius, compute), Model.DET, ids=ids
+    )
+    return result
+
+
+class TestBallCollection:
+    def test_radius_zero_knows_self(self):
+        g = path_graph(5)
+        result = knowledge_sizes(g, 0)
+        assert result.rounds == 0
+        assert all(out == (1, 0) for out in result.outputs)
+
+    def test_radius_one_knows_neighbors(self):
+        g = star_graph(4)
+        result = knowledge_sizes(g, 1)
+        assert result.rounds == 1
+        # Center knows everyone and all 4 edges; leaves know center +
+        # the one edge.
+        assert result.outputs[0] == (5, 4)
+        assert result.outputs[1] == (2, 1)
+
+    def test_knowledge_grows_per_round(self):
+        g = path_graph(9)
+        center = 4
+        sizes = []
+        for radius in range(5):
+            result = knowledge_sizes(g, radius)
+            sizes.append(result.outputs[center][0])
+        assert sizes == [1, 3, 5, 7, 9]
+
+    def test_edge_knowledge_lags_one_round(self):
+        # After r rounds a vertex knows edges within distance r-1 plus
+        # the edges it shares; a cycle edge between two antipodal
+        # vertices needs diameter+1 rounds to be known by all.
+        # Odd cycle: the antipodal edge joins two vertices both at
+        # distance = diameter, so it needs diameter+1 rounds to reach
+        # everyone.
+        g = cycle_graph(9)
+        full = knowledge_sizes(g, g.diameter() + 1)
+        assert all(out == (9, 9) for out in full.outputs)
+        partial = knowledge_sizes(g, g.diameter())
+        assert any(out != (9, 9) for out in partial.outputs)
+
+    def test_labels_travel(self):
+        g = path_graph(3)
+
+        def compute(ctx, vertices, edges):
+            return sorted(
+                label for (_deg, label) in vertices.values()
+            )
+
+        result = run_local(
+            g,
+            BallCollection(2, compute),
+            Model.DET,
+            node_inputs=[{"label": f"L{v}"} for v in range(3)],
+        )
+        assert result.outputs[0] == ["L0", "L1", "L2"]
+
+    def test_ids_key_knowledge(self):
+        g = path_graph(4)
+        ids = [10, 20, 30, 40]
+
+        def compute(ctx, vertices, edges):
+            return sorted(vertices)
+
+        result = run_local(
+            g, BallCollection(1, compute), Model.DET, ids=ids
+        )
+        assert result.outputs[0] == [10, 20]
+        assert result.outputs[1] == [10, 20, 30]

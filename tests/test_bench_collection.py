@@ -1,0 +1,66 @@
+"""Meta-tests: the benchmark suite must stay runnable as documented.
+
+Guards against the silent-collection failure mode: ``pytest
+benchmarks/`` collects nothing unless pyproject's ``python_files``
+covers the ``bench_*.py`` naming convention — which once produced a
+green-looking "no tests ran" run.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).parent.parent
+BENCHMARKS = REPO / "benchmarks"
+
+
+def test_every_bench_module_is_collected():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCHMARKS),
+            "--collect-only",
+            "-q",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout[-2000:]
+    bench_files = sorted(BENCHMARKS.glob("bench_*.py"))
+    assert bench_files, "no benchmark modules found"
+    for path in bench_files:
+        assert path.name in result.stdout, f"{path.name} not collected"
+
+
+def test_every_bench_module_has_one_benchmark_test():
+    for path in sorted(BENCHMARKS.glob("bench_*.py")):
+        text = path.read_text()
+        tests = re.findall(r"^def (test_\w+)\(benchmark", text, re.M)
+        assert len(tests) == 1, (
+            f"{path.name} must define exactly one benchmark-fixture "
+            f"test, found {tests}"
+        )
+
+
+def test_every_bench_module_records_its_experiment():
+    for path in sorted(BENCHMARKS.glob("bench_*.py")):
+        text = path.read_text()
+        assert "record_experiment" in text, path.name
+        assert "ExperimentRecord(" in text, path.name
+
+
+def test_experiment_ids_match_filenames():
+    for path in sorted(BENCHMARKS.glob("bench_*.py")):
+        stem = path.stem  # bench_e03_separation / bench_a01_...
+        match = re.match(r"bench_([ae])(\d+)_", stem)
+        assert match, f"unexpected benchmark filename {path.name}"
+        expected_id = f"{match.group(1).upper()}{int(match.group(2))}"
+        text = path.read_text()
+        assert re.search(
+            rf'ExperimentRecord\(\s*"{expected_id}"', text
+        ), f"{path.name} does not declare experiment id {expected_id}"

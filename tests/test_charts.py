@@ -1,0 +1,61 @@
+"""Tests for the plain-text chart renderers."""
+
+from repro.analysis.charts import ascii_chart, growth_summary, sparkline
+from repro.analysis.experiments import Series
+
+
+def _series(name, values):
+    s = Series(name)
+    for i, v in enumerate(values):
+        s.add(i, [v])
+    return s
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_extremes_map_to_ends(self):
+        line = sparkline([10, 0, 10])
+        assert line == "█▁█"
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        a = _series("grows", [1, 2, 4, 8])
+        b = _series("flat", [3, 3, 3, 3])
+        chart = ascii_chart([a, b])
+        assert "*" in chart and "o" in chart
+        assert "grows" in chart and "flat" in chart
+
+    def test_height_respected(self):
+        a = _series("s", [0, 10])
+        chart = ascii_chart([a], height=5)
+        # 5 grid rows + axis + legend.
+        assert len(chart.splitlines()) == 7
+
+    def test_max_value_on_top_row(self):
+        a = _series("s", [0, 100])
+        top_row = ascii_chart([a], height=4).splitlines()[0]
+        assert "*" in top_row
+        assert "100.0" in top_row
+
+
+class TestGrowthSummary:
+    def test_format(self):
+        a = _series("rounds", [10, 20, 40])
+        text = growth_summary(a)
+        assert text.startswith("rounds:")
+        assert "10 -> 40" in text

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_help_when_no_command(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "separation" in out
+
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["separation", "--delta", "5"])
+        assert args.delta == 5
+        args = parser.parse_args(["mis", "--n", "50"])
+        assert args.n == 50
+
+    def test_mis_command(self, capsys):
+        assert main(["mis", "--n", "60", "--delta", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Luby" in out
+
+    def test_baseline_command(self, capsys):
+        assert main(["baseline", "--n", "80", "--delta", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+
+    def test_coloring_command(self, capsys):
+        assert (
+            main(["coloring", "--n", "400", "--delta", "12", "--seed", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_report_command(self, capsys, tmp_path):
+        from repro.analysis.experiments import ExperimentRecord
+
+        record = ExperimentRecord("E1", "demo")
+        record.check("ok", True)
+        (tmp_path / "e1.txt").write_text(record.render())
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_separation_command_small(self, capsys):
+        assert (
+            main(
+                [
+                    "separation",
+                    "--delta",
+                    "6",
+                    "--sizes",
+                    "50,500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "det" in out and "rand" in out

@@ -1,0 +1,186 @@
+"""Tests for MPX network decomposition, decomposition-based coloring,
+2-approximate vertex cover, and the rooted-tree Cole-Vishkin variant."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import (
+    ColeVishkinTreeColoring,
+    rooted_tree_orientation_inputs,
+)
+from repro.algorithms.decomposition import (
+    clusters_are_connected,
+    decomposition_coloring,
+    mpx_decomposition,
+)
+from repro.algorithms.vertex_cover import (
+    approximation_certificate,
+    deterministic_vertex_cover,
+    is_vertex_cover,
+    randomized_vertex_cover,
+)
+from repro.core import Model, run_local
+from repro.graphs.generators import (
+    complete_dary_tree,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    star_graph,
+)
+from repro.lcl import KColoring
+
+
+class TestMPXDecomposition:
+    def test_every_vertex_assigned(self, rng):
+        g = random_regular_graph(200, 4, rng)
+        decomposition = mpx_decomposition(g, beta=0.4, seed=1)
+        assert len(decomposition.assignment) == 200
+        assert sum(len(m) for m in decomposition.clusters.values()) == 200
+
+    def test_clusters_connected(self, rng):
+        g = random_regular_graph(150, 3, rng)
+        decomposition = mpx_decomposition(g, beta=0.3, seed=2)
+        assert clusters_are_connected(g, decomposition)
+
+    def test_radius_logarithmic(self, rng):
+        import math
+
+        for n in (100, 800):
+            g = random_regular_graph(n, 4, rng)
+            decomposition = mpx_decomposition(g, beta=0.4, seed=3)
+            assert decomposition.max_radius() <= 6 * math.log(n)
+
+    def test_cut_fraction_scales_with_beta(self, rng):
+        g = random_regular_graph(600, 4, rng)
+        coarse = mpx_decomposition(g, beta=0.15, seed=4)
+        fine = mpx_decomposition(g, beta=0.8, seed=4)
+        assert coarse.cut_edges(g) < fine.cut_edges(g)
+
+    def test_invalid_beta(self, cubic_graph):
+        with pytest.raises(ValueError):
+            mpx_decomposition(cubic_graph, beta=0.0)
+
+    def test_path_decomposition(self):
+        g = path_graph(300)
+        decomposition = mpx_decomposition(g, beta=0.5, seed=5)
+        assert clusters_are_connected(g, decomposition)
+
+
+class TestDecompositionColoring:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: random_regular_graph(150, 4, rng),
+            lambda rng: random_tree_bounded_degree(200, 6, rng),
+            lambda rng: cycle_graph(75),
+        ],
+    )
+    def test_valid_coloring(self, factory, rng):
+        g = factory(rng)
+        decomposition = mpx_decomposition(g, beta=0.4, seed=6)
+        report = decomposition_coloring(g, decomposition, seed=6)
+        assert KColoring(g.max_degree + 1).is_solution(g, report.labeling)
+
+    def test_round_accounting(self, rng):
+        g = random_regular_graph(100, 3, rng)
+        decomposition = mpx_decomposition(g, beta=0.4, seed=7)
+        report = decomposition_coloring(g, decomposition, seed=7)
+        assert report.breakdown["mpx-race"] == decomposition.rounds
+        assert report.rounds > decomposition.rounds
+
+
+class TestVertexCover:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: path_graph(50),
+            lambda rng: star_graph(8),
+            lambda rng: random_regular_graph(120, 5, rng),
+            lambda rng: random_tree_bounded_degree(100, 4, rng),
+        ],
+    )
+    def test_randomized_cover(self, factory, rng):
+        g = factory(rng)
+        report = randomized_vertex_cover(g, seed=9)
+        assert is_vertex_cover(g, report.labeling)
+        assert approximation_certificate(
+            g, report.labeling, report.matching_labels
+        )
+
+    def test_deterministic_cover(self, rng):
+        g = random_regular_graph(100, 4, rng)
+        report = deterministic_vertex_cover(g)
+        assert is_vertex_cover(g, report.labeling)
+        assert approximation_certificate(
+            g, report.labeling, report.matching_labels
+        )
+
+    def test_cover_size_at_most_twice_matching(self, rng):
+        from repro.lcl import matching_edges
+
+        g = random_regular_graph(200, 4, rng)
+        report = randomized_vertex_cover(g, seed=10)
+        matched = matching_edges(g, report.matching_labels)
+        cover_size = sum(report.labeling)
+        assert cover_size == 2 * len(matched)
+
+    def test_star_cover_is_tight(self):
+        g = star_graph(10)
+        report = deterministic_vertex_cover(g)
+        # Any maximal matching on a star has one edge: cover size 2,
+        # optimum 1 — exactly factor 2.
+        assert sum(report.labeling) == 2
+
+    def test_empty_graph(self):
+        from repro.graphs.generators import empty_graph
+
+        g = empty_graph(5)
+        report = randomized_vertex_cover(g, seed=1)
+        assert sum(report.labeling) == 0
+
+
+class TestTreeColeVishkin:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: complete_dary_tree(3, 5),
+            lambda rng: star_graph(30),
+            lambda rng: random_tree_bounded_degree(400, 10, rng),
+            lambda rng: path_graph(128),
+        ],
+    )
+    def test_three_colors_any_tree(self, factory, rng):
+        g = factory(rng)
+        inputs = rooted_tree_orientation_inputs(g)
+        result = run_local(
+            g, ColeVishkinTreeColoring(), Model.DET, node_inputs=inputs
+        )
+        assert KColoring(3).is_solution(g, result.outputs)
+
+    def test_forest(self, rng):
+        from repro.graphs.generators import random_forest
+
+        g = random_forest(150, 4, 5, rng)
+        inputs = rooted_tree_orientation_inputs(g)
+        result = run_local(
+            g, ColeVishkinTreeColoring(), Model.DET, node_inputs=inputs
+        )
+        assert KColoring(3).is_solution(g, result.outputs)
+
+    def test_rejects_non_forest(self):
+        with pytest.raises(ValueError):
+            rooted_tree_orientation_inputs(cycle_graph(5))
+
+    def test_log_star_rounds(self, rng):
+        rounds = []
+        for n in (64, 4096, 65536):
+            g = random_tree_bounded_degree(n, 4, rng)
+            inputs = rooted_tree_orientation_inputs(g)
+            result = run_local(
+                g,
+                ColeVishkinTreeColoring(),
+                Model.DET,
+                node_inputs=inputs,
+            )
+            rounds.append(result.rounds)
+        assert rounds[-1] <= rounds[0] + 3

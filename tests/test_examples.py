@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Run with small arguments so the whole module stays under a minute; each
+script's own internal LCL checks are the real assertions.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *map(str, args)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", 800, 12)
+    assert "RandLOCAL rounds" in out
+    assert "verified" in out
+
+
+def test_separation_experiment_help_size():
+    # The script sweeps fixed sizes; delta is the only knob.  Use a
+    # small delta so the deepest tree stays modest.
+    out = run_example("separation_experiment.py", 9, timeout=420)
+    assert "det rounds" in out
+    assert "deterministic +" in out
+
+
+def test_frequency_assignment():
+    out = run_example("frequency_assignment.py", 300, 4)
+    assert "channels" in out
+    assert "verified" in out
+
+
+def test_deadlock_free_routing():
+    out = run_example("deadlock_free_routing.py", 200, 4)
+    assert "sinks left" in out
+
+
+def test_derandomization_demo():
+    out = run_example("derandomization_demo.py")
+    assert "seeds tried" in out
+    assert "yes" in out
+
+
+def test_cluster_scheduling():
+    out = run_example("cluster_scheduling.py", 200, 4)
+    assert "supervisors" in out
+    assert "verified" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "separation_experiment.py",
+        "frequency_assignment.py",
+        "deadlock_free_routing.py",
+        "derandomization_demo.py",
+        "cluster_scheduling.py",
+    ],
+)
+def test_examples_exist_and_are_documented(script):
+    path = EXAMPLES / script
+    assert path.exists()
+    text = path.read_text()
+    assert text.startswith("#!/usr/bin/env python3")
+    assert '"""' in text  # has a module docstring

@@ -1,0 +1,120 @@
+"""Tests for the extension algorithms: ruling sets and (2Δ-1)-edge
+coloring (survey problems of Section I)."""
+
+import pytest
+
+from repro.algorithms import (
+    deterministic_ruling_set,
+    edge_coloring_2delta_minus_1,
+    randomized_ruling_set,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    star_graph,
+)
+from repro.lcl import EdgeColoringLCL, MaximalIndependentSet, RulingSet
+
+
+class TestRulingSetLCL:
+    def test_mis_is_2_1_ruling_set(self, cubic_graph):
+        from repro.algorithms import deterministic_mis
+
+        report = deterministic_mis(cubic_graph)
+        assert RulingSet(2, 1).is_solution(cubic_graph, report.labeling)
+        assert MaximalIndependentSet().is_solution(
+            cubic_graph, report.labeling
+        )
+
+    def test_rejects_close_members(self):
+        g = path_graph(4)
+        # Vertices 0 and 2 at distance 2 violate alpha=3.
+        assert not RulingSet(3, 2).is_solution(g, [1, 0, 1, 0])
+        assert RulingSet(2, 1).is_solution(g, [1, 0, 1, 0])
+
+    def test_rejects_undominated(self):
+        g = path_graph(7)
+        labeling = [1, 0, 0, 0, 0, 0, 0]
+        assert not RulingSet(2, 2).is_solution(g, labeling)
+        assert RulingSet(2, 6).is_solution(g, labeling)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RulingSet(0, 1)
+        with pytest.raises(ValueError):
+            RulingSet(2, -1)
+
+
+class TestRulingSetAlgorithms:
+    @pytest.mark.parametrize("alpha", [2, 3, 4])
+    def test_deterministic(self, alpha, rng):
+        from repro.graphs.generators import random_regular_graph
+
+        g = random_regular_graph(60, 3, rng)
+        report = deterministic_ruling_set(g, alpha)
+        assert RulingSet(alpha, alpha - 1).is_solution(g, report.labeling)
+
+    @pytest.mark.parametrize("alpha", [2, 3])
+    def test_randomized(self, alpha, rng):
+        g = random_regular_graph(80, 4, rng)
+        report = randomized_ruling_set(g, alpha, seed=11)
+        assert RulingSet(alpha, alpha - 1).is_solution(g, report.labeling)
+
+    def test_alpha_too_small(self, cubic_graph):
+        with pytest.raises(ValueError):
+            deterministic_ruling_set(cubic_graph, 1)
+
+    def test_simulation_cost_scales_with_alpha(self, rng):
+        g = random_regular_graph(60, 3, rng)
+        r2 = randomized_ruling_set(g, 2, seed=3)
+        r4 = randomized_ruling_set(g, 4, seed=3)
+        # Factor (alpha-1) simulation slowdown is accounted.
+        assert r4.rounds >= r2.rounds
+
+    def test_on_tree(self, rng):
+        g = random_tree_bounded_degree(120, 5, rng)
+        report = deterministic_ruling_set(g, 3)
+        assert RulingSet(3, 2).is_solution(g, report.labeling)
+
+
+class TestEdgeColoringAlgorithm:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: path_graph(40),
+            lambda rng: cycle_graph(31),
+            lambda rng: star_graph(7),
+            lambda rng: complete_graph(7),
+            lambda rng: random_regular_graph(80, 4, rng),
+            lambda rng: random_tree_bounded_degree(120, 6, rng),
+        ],
+    )
+    def test_valid_on_families(self, factory, rng):
+        g = factory(rng)
+        report = edge_coloring_2delta_minus_1(g)
+        delta = max(1, g.max_degree)
+        assert EdgeColoringLCL(2 * delta - 1).is_solution(g, report.labeling)
+
+    def test_reproducible(self, cubic_graph):
+        a = edge_coloring_2delta_minus_1(cubic_graph)
+        b = edge_coloring_2delta_minus_1(cubic_graph)
+        assert a.labeling == b.labeling
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (64, 512, 4096):
+            g = cycle_graph(n)
+            rounds.append(edge_coloring_2delta_minus_1(g).rounds)
+        assert rounds[-1] <= rounds[0] + 6
+
+    def test_phase_breakdown(self, cubic_graph):
+        report = edge_coloring_2delta_minus_1(cubic_graph)
+        assert set(report.breakdown) == {
+            "linial",
+            "reduction",
+            "color-exchange",
+            "edge-turns",
+        }

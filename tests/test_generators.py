@@ -1,0 +1,234 @@
+"""Tests for graph generators: every family delivers what it claims."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GraphError, is_proper_edge_coloring
+from repro.graphs.generators import (
+    caterpillar_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_dary_tree,
+    complete_graph,
+    complete_tree_with_max_degree,
+    cycle_graph,
+    double_cover,
+    empty_graph,
+    girth_target,
+    high_girth_bipartite_graph,
+    high_girth_regular_graph,
+    hypercube_graph,
+    path_graph,
+    random_forest,
+    random_regular_bipartite_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    random_tree_preferential,
+    random_tree_prufer,
+    ring_of_cycles,
+    spider_graph,
+    star_graph,
+    tree_from_prufer,
+    tree_like_radius,
+)
+
+
+class TestBasicFamilies:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_edges == 0
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.is_tree()
+        assert g.max_degree == 2
+
+    def test_cycle_min_size(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.is_tree()
+        assert g.degree(0) == 7
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.is_regular(5)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert g.girth() == 4
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert g.is_regular(4)
+        assert g.girth() == 4
+
+    def test_ring_of_cycles(self):
+        g = ring_of_cycles(3, 5)
+        assert g.num_vertices == 15
+        assert len(g.connected_components()) == 3
+        assert g.is_regular(2)
+
+    def test_circulant(self):
+        g = circulant_graph(12, [1, 3])
+        assert g.is_regular(4)
+
+    def test_circulant_zero_offset(self):
+        with pytest.raises(GraphError):
+            circulant_graph(10, [0])
+
+
+class TestTrees:
+    def test_complete_dary_tree_size(self):
+        g = complete_dary_tree(3, 3)
+        assert g.num_vertices == 1 + 3 + 9 + 27
+        assert g.is_tree()
+        assert g.max_degree == 4
+
+    def test_complete_dary_depth_zero(self):
+        g = complete_dary_tree(3, 0)
+        assert g.num_vertices == 1
+
+    def test_complete_tree_with_max_degree(self):
+        g = complete_tree_with_max_degree(5, 200)
+        assert g.num_vertices >= 200
+        assert g.max_degree == 5
+        assert g.is_tree()
+
+    def test_prufer_round_trip_small(self):
+        g = tree_from_prufer([2, 2, 0])
+        assert g.is_tree()
+        assert g.num_vertices == 5
+        assert g.degree(2) == 3
+
+    def test_prufer_out_of_range(self):
+        with pytest.raises(GraphError):
+            tree_from_prufer([7])
+
+    def test_random_prufer_is_tree(self, rng):
+        for n in (1, 2, 3, 17, 100):
+            g = random_tree_prufer(n, rng)
+            assert g.is_tree()
+            assert g.num_vertices == n
+
+    def test_bounded_degree_tree(self, rng):
+        g = random_tree_bounded_degree(500, 4, rng)
+        assert g.is_tree()
+        assert g.max_degree <= 4
+
+    def test_bounded_degree_impossible(self, rng):
+        with pytest.raises(GraphError):
+            random_tree_bounded_degree(5, 1, rng)
+
+    def test_preferential_tree_realizes_cap(self, rng):
+        g = random_tree_preferential(2000, 20, rng)
+        assert g.is_tree()
+        assert g.max_degree == 20
+
+    def test_spider(self):
+        g = spider_graph(5, 3)
+        assert g.is_tree()
+        assert g.degree(0) == 5
+        assert g.num_vertices == 16
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.is_tree()
+        assert g.num_vertices == 12
+
+    def test_random_forest_components(self, rng):
+        g = random_forest(60, 4, 5, rng)
+        assert g.is_forest()
+        assert len(g.connected_components()) == 4
+        assert g.max_degree <= 5
+
+
+class TestRegular:
+    @pytest.mark.parametrize("degree", [2, 3, 5, 8])
+    def test_random_regular(self, degree, rng):
+        g = random_regular_graph(60, degree, rng)
+        assert g.is_regular(degree)
+
+    def test_odd_product_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_regular_graph(9, 3, rng)
+
+    def test_degree_too_big(self, rng):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4, rng)
+
+    def test_degree_zero(self, rng):
+        g = random_regular_graph(6, 0, rng)
+        assert g.num_edges == 0
+
+    def test_bipartite_permutation_model(self, rng):
+        g, coloring = random_regular_bipartite_graph(40, 4, rng)
+        assert g.is_regular(4)
+        assert g.num_vertices == 80
+        assert is_proper_edge_coloring(g, coloring)
+        assert g.girth() is None or g.girth() % 2 == 0
+
+    def test_double_cover(self, rng):
+        g = random_regular_graph(20, 3, rng)
+        cover = double_cover(g)
+        assert cover.is_regular(3)
+        assert cover.num_vertices == 40
+        girth = cover.girth()
+        assert girth is None or girth % 2 == 0
+
+
+class TestHighGirth:
+    def test_girth_target_values(self):
+        assert girth_target(10, 2) == 4
+        assert girth_target(10 ** 6, 3) >= 4
+
+    def test_high_girth_regular(self, rng):
+        g = high_girth_regular_graph(200, 3, 7, rng)
+        assert g.is_regular(3)
+        assert g.girth() >= 7
+
+    def test_high_girth_bipartite(self, rng):
+        g, coloring = high_girth_bipartite_graph(150, 3, 8, rng)
+        assert g.is_regular(3)
+        assert g.girth() >= 8
+        assert is_proper_edge_coloring(g, coloring)
+
+    def test_unreachable_girth_raises(self, rng):
+        with pytest.raises(GraphError):
+            high_girth_regular_graph(12, 3, 12, rng, max_swaps=500)
+
+    def test_tree_like_radius(self, rng):
+        g = high_girth_regular_graph(200, 3, 8, rng)
+        t = tree_like_radius(g)
+        assert t >= 3
+        # Every ball of radius t must be acyclic.
+        for v in list(g.vertices())[:20]:
+            ball = g.ball(v, t)
+            sub, _ = g.induced_subgraph(ball)
+            assert sub.is_forest()
+
+    def test_tree_like_radius_of_forest(self):
+        assert tree_like_radius(path_graph(5)) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 60), st.integers(0, 2 ** 30))
+def test_prufer_uniform_trees(n, seed):
+    g = random_tree_prufer(n, random.Random(seed))
+    assert g.is_tree()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 40), st.integers(2, 6), st.integers(0, 2 ** 30))
+def test_bounded_trees_hypothesis(n, cap, seed):
+    g = random_tree_bounded_degree(n, cap, random.Random(seed))
+    assert g.is_tree()
+    assert g.max_degree <= cap

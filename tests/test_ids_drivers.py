@@ -1,0 +1,113 @@
+"""Tests for ID assignment schemes and the phase-accounting helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.drivers import AlgorithmReport, Phase, PhaseLog
+from repro.core import DuplicateIDError, RunResult
+from repro.core.ids import (
+    bfs_order_ids,
+    check_unique_ids,
+    id_bit_length,
+    reversed_ids,
+    sequential_ids,
+    shuffled_ids,
+    sparse_random_ids,
+)
+from repro.graphs.generators import cycle_graph, random_tree_bounded_degree
+
+
+class TestIdSchemes:
+    def test_sequential(self):
+        assert sequential_ids(4) == [0, 1, 2, 3]
+
+    def test_shuffled_is_permutation(self, rng):
+        ids = shuffled_ids(50, rng)
+        assert sorted(ids) == list(range(50))
+
+    def test_sparse_random_distinct(self, rng):
+        ids = sparse_random_ids(100, 16, rng)
+        assert len(set(ids)) == 100
+        assert all(0 <= i < 1 << 16 for i in ids)
+
+    def test_sparse_random_space_too_small(self, rng):
+        with pytest.raises(DuplicateIDError):
+            sparse_random_ids(100, 6, rng)
+
+    def test_bfs_order_covers_all(self, rng):
+        g = random_tree_bounded_degree(60, 4, rng)
+        ids = bfs_order_ids(g)
+        assert sorted(ids) == list(range(60))
+
+    def test_bfs_order_root_is_zero(self):
+        g = cycle_graph(10)
+        ids = bfs_order_ids(g, root=3)
+        assert ids[3] == 0
+
+    def test_bfs_order_disconnected(self):
+        from repro.graphs import Graph
+
+        g = Graph(5, [(0, 1), (3, 4)])
+        ids = bfs_order_ids(g)
+        assert sorted(ids) == list(range(5))
+
+    def test_reversed(self):
+        assert reversed_ids([0, 3, 1]) == [3, 0, 2]
+
+    def test_bit_length(self):
+        assert id_bit_length([0]) == 1
+        assert id_bit_length([255]) == 8
+        assert id_bit_length([]) == 1
+
+    def test_check_unique(self):
+        check_unique_ids([5, 1, 9])
+        with pytest.raises(DuplicateIDError):
+            check_unique_ids([1, 1])
+        with pytest.raises(DuplicateIDError):
+            check_unique_ids([-1, 0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 2 ** 30))
+    def test_shuffled_always_valid(self, n, seed):
+        import random
+
+        ids = shuffled_ids(n, random.Random(seed))
+        check_unique_ids(ids)
+
+
+class TestPhaseLog:
+    def _result(self, rounds, messages=0):
+        return RunResult(outputs=[], rounds=rounds, messages=messages)
+
+    def test_accumulates(self):
+        log = PhaseLog()
+        log.add("a", self._result(3, 10))
+        log.add("b", self._result(4, 20))
+        log.add_rounds("c", 2, messages=5)
+        assert log.total_rounds == 9
+        assert log.total_messages == 35
+        assert log.breakdown() == {"a": 3, "b": 4, "c": 2}
+
+    def test_same_name_merges(self):
+        log = PhaseLog()
+        log.add_rounds("x", 1)
+        log.add_rounds("x", 2)
+        assert log.breakdown() == {"x": 3}
+        assert len(log.phases) == 2
+
+    def test_add_passes_result_through(self):
+        log = PhaseLog()
+        result = self._result(7)
+        assert log.add("p", result) is result
+
+    def test_report_consistency(self):
+        log = PhaseLog()
+        log.add_rounds("only", 5)
+        report = AlgorithmReport(labeling=[1, 2], rounds=5, log=log)
+        assert report.breakdown == {"only": 5}
+        assert report.rounds == log.total_rounds
+
+    def test_phase_dataclass(self):
+        p = Phase("name", 3, 12)
+        assert (p.name, p.rounds, p.messages) == ("name", 3, 12)

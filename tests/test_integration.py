@@ -1,0 +1,142 @@
+"""Integration tests: end-to-end pipelines crossing module boundaries,
+and consistency between measurements and the lower-bound calculators —
+small-scale versions of the experiments in EXPERIMENTS.md."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    barenboim_elkin_coloring,
+    pettie_su_tree_coloring,
+)
+from repro.algorithms.delta55 import chang_kopelowitz_pettie_coloring
+from repro.analysis import growth_exponent_ratio, log_star
+from repro.graphs import ports_coloring
+from repro.graphs.generators import (
+    complete_regular_tree_with_size,
+    complete_tree_with_max_degree,
+    high_girth_bipartite_graph,
+    random_tree_bounded_degree,
+)
+from repro.lcl import KColoring, SinklessColoring
+from repro.lowerbounds import (
+    corollary2_rounds,
+    theorem4_rounds,
+    theorem5_rounds,
+)
+
+
+class TestSeparationShape:
+    """The headline claim (E3 in miniature): deterministic Δ-coloring
+    rounds grow with n, randomized rounds stay nearly flat."""
+
+    DELTA = 9
+    SIZES = (100, 2000, 20000)
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        det_rounds, rand_rounds = [], []
+        for n in self.SIZES:
+            g = complete_regular_tree_with_size(self.DELTA, n)
+            det = barenboim_elkin_coloring(g, self.DELTA)
+            rand = pettie_su_tree_coloring(g, seed=5)
+            KColoring(self.DELTA).check(g, det.labeling)
+            KColoring(self.DELTA).check(g, rand.labeling)
+            det_rounds.append(det.rounds)
+            rand_rounds.append(rand.rounds)
+        return det_rounds, rand_rounds
+
+    def test_det_grows(self, measurements):
+        det_rounds, _ = measurements
+        assert det_rounds[-1] > det_rounds[0]
+
+    def test_rand_nearly_flat(self, measurements):
+        _, rand_rounds = measurements
+        assert rand_rounds[-1] <= rand_rounds[0] + 15
+
+    def test_separation_in_increments(self, measurements):
+        # The theorems separate *growth*: absolute increments over the
+        # sweep must be clearly larger deterministically (Θ(log_Δ n))
+        # than randomized (Θ(log_Δ log n + log* n)).
+        det_rounds, rand_rounds = measurements
+        det_increment = det_rounds[-1] - det_rounds[0]
+        rand_increment = rand_rounds[-1] - rand_rounds[0]
+        assert det_increment >= max(6, 1.8 * rand_increment)
+
+    def test_measurements_respect_lower_bounds(self, measurements):
+        det_rounds, rand_rounds = measurements
+        for n, det, rand in zip(self.SIZES, det_rounds, rand_rounds):
+            assert det >= theorem5_rounds(n, self.DELTA, epsilon=0.5)
+            assert rand >= corollary2_rounds(n, self.DELTA, epsilon=0.5)
+
+
+class TestSinklessColoringBridge:
+    """Theorem 4's bridge: a proper Δ-coloring of a Δ-regular
+    edge-colored graph is automatically a valid Δ-sinkless coloring."""
+
+    def test_coloring_is_sinkless(self):
+        rng = random.Random(3)
+        g, edge_coloring = high_girth_bipartite_graph(60, 3, 6, rng)
+        # 2-color by bipartition (proper), check the sinkless LCL.
+        from repro.graphs import bipartite_sides
+
+        left, _ = bipartite_sides(g)
+        labeling = [0 if v in left else 1 for v in g.vertices()]
+        problem = SinklessColoring(3)
+        inputs = {"edge_colors": ports_coloring(g, edge_coloring)}
+        assert problem.is_solution(g, labeling, inputs)
+
+
+class TestTheorem11VsTheorem10:
+    def test_both_cover_delta_16(self, rng):
+        g = random_tree_bounded_degree(400, 16, rng)
+        delta = g.max_degree
+        a = pettie_su_tree_coloring(g, seed=1)
+        b = chang_kopelowitz_pettie_coloring(g, seed=1, min_delta=delta)
+        checker = KColoring(delta)
+        assert checker.is_solution(g, a.labeling)
+        assert checker.is_solution(g, b.labeling)
+
+
+class TestRoundsVsLogStar:
+    def test_linial_round_counts_track_log_star(self):
+        from repro.algorithms import LinialColoring
+        from repro.core import Model, run_local
+        from repro.graphs.generators import path_graph
+
+        for n in (16, 256, 65536):
+            g = path_graph(n)
+            result = run_local(g, LinialColoring(), Model.DET)
+            assert result.rounds <= log_star(n) + 3
+
+
+class TestBoundSandwich:
+    """E9 in miniature: measured upper bounds must sit above calculated
+    lower bounds with sane constants."""
+
+    def test_rand_coloring_sandwich(self, rng):
+        n, delta = 2000, 16
+        g = random_tree_bounded_degree(n, delta, rng)
+        measured = pettie_su_tree_coloring(g, seed=2).rounds
+        lower = theorem4_rounds(n, delta, 1.0 / n, epsilon=1.0)
+        assert measured >= lower
+
+    def test_det_coloring_sandwich(self, rng):
+        n, delta = 2000, 8
+        g = complete_tree_with_max_degree(delta, n)
+        measured = barenboim_elkin_coloring(g, delta).rounds
+        lower = theorem5_rounds(g.num_vertices, delta)
+        assert measured >= lower
+
+
+class TestGrowthDiagnostics:
+    def test_det_rounds_log_growth_diagnostic(self):
+        sizes = [200, 2000, 20000]
+        rounds = []
+        for n in sizes:
+            g = complete_tree_with_max_degree(6, n)
+            rounds.append(barenboim_elkin_coloring(g, 6).rounds)
+        # Positive per-doubling increment certifies Ω(log n)-type
+        # growth; near-zero would mean we broke the gap theorem.
+        assert growth_exponent_ratio(sizes, rounds) > 0.3

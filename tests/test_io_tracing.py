@@ -1,0 +1,101 @@
+"""Tests for graph serialization and engine tracing."""
+
+import pytest
+
+from repro.algorithms import LubyMIS, MISFromColoring
+from repro.core import Model, run_local
+from repro.graphs import Graph, is_proper_edge_coloring
+from repro.graphs.generators import (
+    cycle_graph,
+    random_regular_bipartite_graph,
+    random_tree_bounded_degree,
+)
+from repro.graphs.io import (
+    edge_coloring_from_dict,
+    graph_from_dict,
+    graph_to_dict,
+    labeling_from_dict,
+    load_graph,
+    save_graph,
+)
+
+
+class TestSerialization:
+    def test_round_trip_structure(self, rng):
+        g = random_tree_bounded_degree(80, 5, rng)
+        payload = graph_to_dict(g)
+        g2 = graph_from_dict(payload)
+        assert g2 == g
+
+    def test_ports_preserved(self, rng):
+        g = random_tree_bounded_degree(40, 4, rng)
+        g2 = graph_from_dict(graph_to_dict(g))
+        for v in g.vertices():
+            assert list(g.neighbors(v)) == list(g2.neighbors(v))
+
+    def test_edge_coloring_round_trip(self, rng):
+        g, coloring = random_regular_bipartite_graph(20, 3, rng)
+        payload = graph_to_dict(g, edge_coloring=coloring)
+        g2 = graph_from_dict(payload)
+        coloring2 = edge_coloring_from_dict(payload)
+        assert coloring2 == coloring
+        assert is_proper_edge_coloring(g2, coloring2)
+
+    def test_labeling_round_trip_with_tuples(self):
+        g = cycle_graph(4)
+        labeling = [(True, False), 3, None, (1, 2)]
+        payload = graph_to_dict(g, labeling=labeling)
+        assert labeling_from_dict(payload) == labeling
+
+    def test_missing_labeling_is_none(self):
+        payload = graph_to_dict(cycle_graph(3))
+        assert labeling_from_dict(payload) is None
+
+    def test_file_round_trip(self, tmp_path, rng):
+        g = random_tree_bounded_degree(30, 4, rng)
+        path = tmp_path / "tree.json"
+        save_graph(path, g, metadata={"family": "tree"})
+        payload = load_graph(path)
+        assert graph_from_dict(payload) == g
+        assert payload["metadata"] == {"family": "tree"}
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": "something-else"})
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self, ring):
+        result = run_local(ring, LubyMIS(), Model.RAND, seed=0)
+        assert result.trace == []
+        assert result.work() == 0
+
+    def test_trace_length_is_rounds(self, ring):
+        result = run_local(ring, LubyMIS(), Model.RAND, seed=0, trace=True)
+        assert len(result.trace) == result.rounds
+
+    def test_active_counts_monotone(self, ring):
+        result = run_local(ring, LubyMIS(), Model.RAND, seed=0, trace=True)
+        actives = [t.active for t in result.trace]
+        assert all(a >= b for a, b in zip(actives, actives[1:]))
+        assert actives[0] == ring.num_vertices
+
+    def test_sleeping_visible_in_awake_counts(self):
+        # MISFromColoring puts every vertex to sleep until its color's
+        # round: awake counts per round = size of that color class.
+        g = cycle_graph(9)
+        colors = [v % 3 for v in range(9)]
+        result = run_local(
+            g,
+            MISFromColoring(),
+            Model.DET,
+            node_inputs=[{"color": c} for c in colors],
+            global_params={"palette": 3},
+            trace=True,
+        )
+        assert result.activity_profile() == [3, 3, 3]
+        assert result.work() == 9
+
+    def test_halted_sum_matches(self, ring):
+        result = run_local(ring, LubyMIS(), Model.RAND, seed=0, trace=True)
+        assert sum(t.halted for t in result.trace) == ring.num_vertices

@@ -1,0 +1,203 @@
+"""Tests for Linial's coloring: the cover-free family and the engine
+algorithms (Theorems 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.linial import (
+    LinialColoring,
+    OrientedLinialColoring,
+    choose_cover_free_params,
+    cover_free_palette_size,
+    cover_free_set,
+    is_prime,
+    linial_fixed_point,
+    linial_recolor,
+    linial_schedule,
+    next_prime,
+)
+from repro.analysis import log_star
+from repro.core import Model, run_local
+from repro.core.ids import shuffled_ids, sparse_random_ids
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+)
+from repro.lcl import ProperColoring
+
+
+class TestPrimes:
+    def test_is_prime(self):
+        primes = [x for x in range(30) if is_prime(x)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+
+
+class TestCoverFreeFamily:
+    def test_params_satisfy_constraints(self):
+        for k in (10, 100, 10_000, 1 << 20):
+            for degree in (1, 2, 5, 16):
+                d, q = choose_cover_free_params(k, degree)
+                assert is_prime(q)
+                assert q > degree * d
+                assert q ** (d + 1) >= k
+
+    def test_set_size_is_q(self):
+        d, q = choose_cover_free_params(1000, 4)
+        for color in (0, 1, 999):
+            assert len(cover_free_set(color, d, q)) == q
+
+    def test_sets_distinct(self):
+        d, q = choose_cover_free_params(500, 3)
+        seen = {cover_free_set(c, d, q) for c in range(500)}
+        assert len(seen) == 500
+
+    def test_color_out_of_range(self):
+        d, q = choose_cover_free_params(10, 2)
+        with pytest.raises(ValueError):
+            cover_free_set(q ** (d + 1), d, q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 2000),
+        st.integers(1, 8),
+        st.data(),
+    )
+    def test_cover_free_property(self, k, degree, data):
+        """No set is covered by the union of `degree` others — the
+        heart of Theorem 1."""
+        d, q = choose_cover_free_params(k, degree)
+        me = data.draw(st.integers(0, k - 1))
+        others = data.draw(
+            st.lists(
+                st.integers(0, k - 1).filter(lambda c: c != me),
+                max_size=degree,
+            )
+        )
+        own = cover_free_set(me, d, q)
+        covered = set()
+        for other in others:
+            covered |= cover_free_set(other, d, q)
+        assert own - covered, "cover-free property violated"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 1000), st.integers(1, 6), st.data())
+    def test_recolor_escapes_neighbors(self, k, degree, data):
+        me = data.draw(st.integers(0, k - 1))
+        neighbors = data.draw(
+            st.lists(
+                st.integers(0, k - 1).filter(lambda c: c != me),
+                max_size=degree,
+            )
+        )
+        new = linial_recolor(me, neighbors, k, degree)
+        for other in neighbors:
+            d, q = choose_cover_free_params(k, degree)
+            assert new not in cover_free_set(other, d, q)
+
+
+class TestSchedule:
+    def test_schedule_decreases(self):
+        schedule = linial_schedule(1 << 20, 4)
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))
+
+    def test_fixed_point_is_delta_squared(self):
+        for degree in (2, 4, 8, 16):
+            fp = linial_fixed_point(degree)
+            assert fp <= 40 * degree * degree  # β·Δ² with our β
+            assert fp >= degree * degree
+
+    def test_schedule_length_is_log_star(self):
+        # Round counts should grow like log* k0: single digits even for
+        # astronomically large ID spaces.
+        assert len(linial_schedule(1 << 64, 3)) <= log_star(1 << 64) + 4
+
+    def test_palette_after(self):
+        assert cover_free_palette_size(100, 2) < 100
+
+
+class TestEngineAlgorithms:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: path_graph(200),
+            lambda rng: cycle_graph(128),
+            lambda rng: random_tree_bounded_degree(300, 6, rng),
+            lambda rng: random_regular_graph(120, 4, rng),
+        ],
+    )
+    def test_linial_coloring_proper_and_small(self, factory, rng):
+        g = factory(rng)
+        result = run_local(g, LinialColoring(), Model.DET)
+        assert ProperColoring().is_solution(g, result.outputs)
+        assert max(result.outputs) < linial_fixed_point(max(1, g.max_degree))
+
+    def test_works_with_shuffled_ids(self, medium_tree, rng):
+        ids = shuffled_ids(medium_tree.num_vertices, rng)
+        result = run_local(medium_tree, LinialColoring(), Model.DET, ids=ids)
+        assert ProperColoring().is_solution(medium_tree, result.outputs)
+
+    def test_works_with_sparse_ids(self, medium_tree, rng):
+        n = medium_tree.num_vertices
+        bits = 2 * max(1, (n - 1).bit_length())
+        ids = sparse_random_ids(n, bits, rng)
+        result = run_local(
+            medium_tree,
+            LinialColoring(),
+            Model.DET,
+            ids=ids,
+            global_params={"id_space": 1 << bits},
+        )
+        assert ProperColoring().is_solution(medium_tree, result.outputs)
+
+    def test_round_count_is_log_star_like(self, rng):
+        rounds = []
+        for n in (64, 4096, 65536):
+            g = path_graph(n)
+            result = run_local(g, LinialColoring(), Model.DET)
+            rounds.append(result.rounds)
+        # log*-type growth: tiny and nearly flat.
+        assert rounds[-1] <= rounds[0] + 3
+        assert rounds[-1] <= 8
+
+    def test_oriented_variant_on_tree(self, rng):
+        g = random_tree_bounded_degree(300, 8, rng)
+        # Orient each edge toward the lower index (a valid out-degree-1
+        # orientation for BFS-numbered random trees is not guaranteed;
+        # use parent pointers instead: every non-root points to its
+        # parent in a BFS tree).
+        parent = {0: None}
+        order = [0]
+        seen = {0}
+        head = 0
+        while head < len(order):
+            v = order[head]
+            head += 1
+            for u in g.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    parent[u] = v
+                    order.append(u)
+        out_ports = []
+        for v in g.vertices():
+            ports = []
+            if parent[v] is not None:
+                ports.append(g.port_of(v, parent[v]))
+            out_ports.append(ports)
+        result = run_local(
+            g,
+            OrientedLinialColoring(),
+            Model.DET,
+            node_inputs=[{"out_ports": p} for p in out_ports],
+            global_params={"out_degree": 1},
+        )
+        assert ProperColoring().is_solution(g, result.outputs)
+        # Out-degree 1 gives an O(1)-size fixed point, far below Δ².
+        assert max(result.outputs) < linial_fixed_point(1)

@@ -1,0 +1,186 @@
+"""Tests for the lower-bound machinery: formulas, the verified 0-round
+base case, and the round-elimination arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds import (
+    amplification_chain,
+    closed_form_optimum,
+    corollary2_rounds,
+    gap_theorem_threshold,
+    girth_requirement,
+    kmw_lower_bound,
+    lemma1_failure,
+    lemma2_failure,
+    linial_lower_bound,
+    max_eliminable_rounds,
+    monochromatic_probability,
+    one_round_elimination,
+    optimal_zero_round_failure,
+    paper_amplified_failure,
+    port_aware_failure,
+    theorem3_size_transfer,
+    theorem4_rounds,
+    theorem5_rounds,
+    worst_edge_failure,
+)
+
+
+class TestZeroRound:
+    def test_monochromatic_probability(self):
+        assert monochromatic_probability([0.5, 0.5], 0) == 0.25
+
+    def test_worst_edge_uniform(self):
+        assert worst_edge_failure([0.25] * 4) == pytest.approx(1 / 16)
+
+    def test_worst_edge_skewed_is_worse(self):
+        uniform = worst_edge_failure([1 / 3] * 3)
+        skewed = worst_edge_failure([0.5, 0.3, 0.2])
+        assert skewed > uniform
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            worst_edge_failure([0.9, 0.3])
+        with pytest.raises(ValueError):
+            worst_edge_failure([-0.1, 1.1])
+
+    def test_closed_form(self):
+        assert closed_form_optimum(3) == pytest.approx(1 / 9)
+        with pytest.raises(ValueError):
+            closed_form_optimum(0)
+
+    @pytest.mark.parametrize("delta", [3, 4, 8, 16])
+    def test_scipy_optimum_matches_closed_form(self, delta):
+        value = optimal_zero_round_failure(delta)
+        assert value == pytest.approx(closed_form_optimum(delta), rel=1e-3)
+
+    def test_without_scipy_path(self):
+        assert optimal_zero_round_failure(5, use_scipy=False) == (
+            pytest.approx(1 / 25)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=3, max_size=8),
+    )
+    def test_pigeonhole_floor(self, weights):
+        """No distribution beats 1/Δ² — the Theorem 4 base case."""
+        total = sum(weights)
+        distribution = [w / total for w in weights]
+        delta = len(distribution)
+        assert worst_edge_failure(distribution) >= closed_form_optimum(
+            delta
+        ) - 1e-12
+
+    def test_port_aware_strategies_cannot_beat_floor(self):
+        delta = 3
+        floor = closed_form_optimum(delta)
+        strategies = [
+            lambda order: [1.0 / delta] * delta,  # uniform
+            lambda order: [
+                1.0 if c == order[0] else 0.0 for c in range(delta)
+            ],  # copy first port's color
+            lambda order: [
+                0.8 if c == order[-1] else 0.1 for c in range(delta)
+            ],  # biased to last port
+        ]
+        for strategy in strategies:
+            assert port_aware_failure(strategy, delta) >= floor - 1e-12
+
+
+class TestRoundElimination:
+    def test_lemma_formulas(self):
+        assert lemma1_failure(1e-9, 3) == pytest.approx(
+            6 * (1e-9) ** (1 / 3)
+        )
+        assert lemma2_failure(1e-8, 3) == pytest.approx(4 * (1e-8) ** 0.25)
+
+    def test_probabilities_clamped(self):
+        assert lemma1_failure(0.9, 10) == 1.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            lemma1_failure(0.0, 3)
+        with pytest.raises(ValueError):
+            lemma2_failure(1.5, 3)
+
+    def test_chain_monotone_increasing(self):
+        chain = amplification_chain(1e-30, 3, 5)
+        assert len(chain) == 6
+        assert all(b >= a for a, b in zip(chain, chain[1:]))
+
+    def test_one_step_composition(self):
+        p = 1e-20
+        assert one_round_elimination(p, 3) == pytest.approx(
+            lemma2_failure(lemma1_failure(p, 3), 3)
+        )
+
+    def test_paper_closed_form_dominates_base(self):
+        # For tiny p, even after t steps the closed form stays small.
+        p = 1e-300
+        value = paper_amplified_failure(p, 3, 3)
+        assert value < 1.0
+
+    def test_max_eliminable_rounds_grows_with_log_inv_p(self):
+        few = max_eliminable_rounds(1e-6, 3)
+        many = max_eliminable_rounds(1e-200, 3)
+        assert many > few
+
+    def test_girth_requirement(self):
+        assert girth_requirement(4) == 10
+
+
+class TestBoundFormulas:
+    def test_theorem4_monotonicity_in_p(self):
+        lo = theorem4_rounds(10 ** 6, 3, 1e-3)
+        hi = theorem4_rounds(10 ** 6, 3, 1e-30)
+        assert hi >= lo
+
+    def test_theorem4_capped_by_log_delta_n(self):
+        import math as m
+
+        value = theorem4_rounds(1000, 3, 1e-300)
+        assert value <= m.log(1000) / m.log(3)
+
+    def test_theorem4_invalid_p(self):
+        with pytest.raises(ValueError):
+            theorem4_rounds(100, 3, 0.0)
+
+    def test_corollary2_loglog_growth(self):
+        small = corollary2_rounds(2 ** 16, 3)
+        large = corollary2_rounds(2 ** 256, 3)
+        assert large > small
+        # log log: squaring n many times adds little.
+        assert large <= small + 6
+
+    def test_theorem5_log_growth(self):
+        small = theorem5_rounds(2 ** 10, 4)
+        large = theorem5_rounds(2 ** 20, 4)
+        assert large == pytest.approx(2 * small + 1)
+
+    def test_linial_bound(self):
+        assert linial_lower_bound(2 ** 16) >= 1
+
+    def test_kmw_bound_min_structure(self):
+        # For huge Δ the n-term binds; for tiny Δ the Δ-term binds.
+        by_n = kmw_lower_bound(10 ** 4, 10 ** 9)
+        by_delta = kmw_lower_bound(10 ** 9, 4)
+        assert by_n == pytest.approx(
+            math.sqrt(math.log2(10 ** 4) / math.log2(math.log2(10 ** 4)))
+        )
+        assert by_delta <= kmw_lower_bound(10 ** 9, 10 ** 4)
+
+    def test_size_transfer(self):
+        assert theorem3_size_transfer(2 ** 64) == pytest.approx(8.0)
+        assert theorem3_size_transfer(1) == 1.0
+
+    def test_gap_threshold_between_extremes(self):
+        from repro.analysis import log_star
+
+        n = 2 ** 20
+        mid = gap_theorem_threshold(n, 3)
+        assert log_star(n) < mid < math.log2(n)

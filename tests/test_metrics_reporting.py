@@ -1,0 +1,126 @@
+"""Tests for graph metrics and the experiment-report aggregator."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.reporting import (
+    collect,
+    parse_record,
+    render_summary,
+)
+from repro.graphs.metrics import (
+    arboricity_bounds,
+    ball_growth,
+    degeneracy,
+    degree_histogram,
+    peeling_profile,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    star_graph,
+)
+
+
+class TestMetrics:
+    def test_degree_histogram(self):
+        g = star_graph(4)
+        assert degree_histogram(g) == {4: 1, 1: 4}
+
+    def test_degeneracy_of_tree_is_one(self, rng):
+        g = random_tree_bounded_degree(100, 6, rng)
+        d, order = degeneracy(g)
+        assert d == 1
+        assert sorted(order) == list(range(100))
+
+    def test_degeneracy_order_property(self, rng):
+        g = random_regular_graph(60, 4, rng)
+        d, order = degeneracy(g)
+        position = {v: i for i, v in enumerate(order)}
+        for v in g.vertices():
+            later = sum(
+                1 for u in g.neighbors(v) if position[u] > position[v]
+            )
+            assert later <= d
+
+    def test_degeneracy_of_clique(self):
+        assert degeneracy(complete_graph(6))[0] == 5
+
+    def test_degeneracy_of_cycle(self):
+        assert degeneracy(cycle_graph(9))[0] == 2
+
+    def test_arboricity_bounds_tree(self, rng):
+        g = random_tree_bounded_degree(80, 5, rng)
+        lower, upper = arboricity_bounds(g)
+        assert lower == 1
+        assert upper == 1
+
+    def test_arboricity_bounds_sandwich(self, rng):
+        g = random_regular_graph(50, 6, rng)
+        lower, upper = arboricity_bounds(g)
+        assert 1 <= lower <= upper
+
+    def test_peeling_profile_partitions(self, rng):
+        g = random_tree_bounded_degree(120, 5, rng)
+        sizes = peeling_profile(g, threshold=2)
+        assert sum(sizes) == 120
+
+    def test_peeling_stalls_below_degeneracy(self):
+        g = complete_graph(5)
+        with pytest.raises(ValueError):
+            peeling_profile(g, threshold=1)
+
+    def test_ball_growth_path(self):
+        g = path_graph(101)
+        growth = ball_growth(g, 3)
+        assert growth[0] == 1
+        assert growth[1] <= 3
+        assert all(a <= b for a, b in zip(growth, growth[1:]))
+
+
+class TestReporting:
+    def _record_text(self, experiment_id="E0", ok=True):
+        record = ExperimentRecord(experiment_id, "demo experiment")
+        record.check("first", True)
+        record.check("second", ok)
+        record.note("a note")
+        return record.render()
+
+    def test_parse_round_trip(self):
+        summary = parse_record(self._record_text())
+        assert summary.experiment_id == "E0"
+        assert summary.passed
+        assert summary.notes == ["a note"]
+
+    def test_parse_detects_failure(self):
+        summary = parse_record(self._record_text(ok=False))
+        assert not summary.passed
+        assert summary.checks["second"] is False
+
+    def test_parse_non_record(self):
+        assert parse_record("hello world") is None
+
+    def test_collect_and_render(self, tmp_path):
+        (tmp_path / "e1.txt").write_text(self._record_text("E1"))
+        (tmp_path / "e2.txt").write_text(
+            self._record_text("E2", ok=False)
+        )
+        (tmp_path / "junk.txt").write_text("not a record")
+        summaries = collect(tmp_path)
+        assert [s.experiment_id for s in summaries] == ["E1", "E2"]
+        table = render_summary(summaries)
+        assert "PASS" in table and "FAIL" in table
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        from repro.analysis.reporting import main
+
+        (tmp_path / "e1.txt").write_text(self._record_text("E1"))
+        assert main([str(tmp_path)]) == 0
+        (tmp_path / "e2.txt").write_text(
+            self._record_text("E2", ok=False)
+        )
+        assert main([str(tmp_path)]) == 1
+        assert main([str(tmp_path / "missing")]) == 2

@@ -1,0 +1,143 @@
+"""Tests for MIS and maximal matching algorithms."""
+
+import pytest
+
+from repro.algorithms.matching import (
+    deterministic_matching,
+    randomized_matching,
+)
+from repro.algorithms.mis import deterministic_mis, ghaffari_mis, luby_mis
+from repro.core.ids import bfs_order_ids, reversed_ids, shuffled_ids
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    star_graph,
+)
+from repro.lcl import MaximalIndependentSet, MaximalMatching
+
+MIS = MaximalIndependentSet()
+MATCHING = MaximalMatching()
+
+FAMILIES = [
+    ("path", lambda rng: path_graph(60)),
+    ("cycle", lambda rng: cycle_graph(61)),
+    ("star", lambda rng: star_graph(12)),
+    ("clique", lambda rng: complete_graph(9)),
+    ("tree", lambda rng: random_tree_bounded_degree(150, 6, rng)),
+    ("regular", lambda rng: random_regular_graph(120, 5, rng)),
+]
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_valid_on_families(self, name, factory, rng):
+        g = factory(rng)
+        report = luby_mis(g, seed=17)
+        assert MIS.is_solution(g, report.labeling), name
+
+    def test_isolated_vertices_join(self):
+        g = empty_graph(5)
+        report = luby_mis(g, seed=0)
+        assert all(label == 1 for label in report.labeling)
+
+    def test_round_count_logarithmic(self, rng):
+        rounds = []
+        for n in (64, 512, 4096):
+            g = random_regular_graph(n, 4, rng)
+            report = luby_mis(g, seed=5)
+            rounds.append(report.rounds)
+        assert rounds[-1] <= 10 * max(rounds[0], 1)
+
+    def test_different_seeds_differ(self, cubic_graph):
+        a = luby_mis(cubic_graph, seed=1)
+        b = luby_mis(cubic_graph, seed=2)
+        assert a.labeling != b.labeling
+
+
+class TestGhaffariMIS:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_valid_on_families(self, name, factory, rng):
+        g = factory(rng)
+        report = ghaffari_mis(g, seed=31)
+        assert MIS.is_solution(g, report.labeling), name
+
+    def test_isolated_vertices_join(self):
+        g = empty_graph(3)
+        report = ghaffari_mis(g, seed=0)
+        assert all(label == 1 for label in report.labeling)
+
+    def test_desire_levels_bounded_rounds(self, rng):
+        g = random_regular_graph(512, 8, rng)
+        report = ghaffari_mis(g, seed=3)
+        assert report.rounds <= 120
+
+
+class TestDeterministicMIS:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_valid_on_families(self, name, factory, rng):
+        g = factory(rng)
+        report = deterministic_mis(g)
+        assert MIS.is_solution(g, report.labeling), name
+
+    def test_id_assignment_independence(self, rng):
+        g = random_tree_bounded_degree(100, 5, rng)
+        for ids in (
+            shuffled_ids(100, rng),
+            bfs_order_ids(g),
+            reversed_ids(list(range(100))),
+        ):
+            report = deterministic_mis(g, ids=ids)
+            assert MIS.is_solution(g, report.labeling)
+
+    def test_deterministic_reproducible(self, cubic_graph):
+        a = deterministic_mis(cubic_graph)
+        b = deterministic_mis(cubic_graph)
+        assert a.labeling == b.labeling
+        assert a.rounds == b.rounds
+
+    def test_round_breakdown(self, cubic_graph):
+        report = deterministic_mis(cubic_graph)
+        assert set(report.breakdown) == {"linial-coloring", "class-sweep"}
+        assert report.rounds == sum(report.breakdown.values())
+
+
+class TestRandomizedMatching:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_valid_on_families(self, name, factory, rng):
+        g = factory(rng)
+        report = randomized_matching(g, seed=23)
+        assert MATCHING.is_solution(g, report.labeling), name
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        report = randomized_matching(g, seed=1)
+        assert report.labeling == [0, 0]
+
+    def test_isolated_vertices(self):
+        g = empty_graph(4)
+        report = randomized_matching(g, seed=1)
+        assert report.labeling == [None] * 4
+
+
+class TestDeterministicMatching:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_valid_on_families(self, name, factory, rng):
+        g = factory(rng)
+        report = deterministic_matching(g)
+        assert MATCHING.is_solution(g, report.labeling), name
+
+    def test_reproducible(self, cubic_graph):
+        a = deterministic_matching(cubic_graph)
+        b = deterministic_matching(cubic_graph)
+        assert a.labeling == b.labeling
+
+    def test_shuffled_ids(self, rng):
+        g = random_regular_graph(80, 4, rng)
+        ids = shuffled_ids(80, rng)
+        report = deterministic_matching(g, ids=ids)
+        assert MATCHING.is_solution(g, report.labeling)

@@ -1,0 +1,71 @@
+"""Tests for Linial's neighborhood-graph machinery (fast cases; the
+expensive χ(B_1(7)) > 3 certificate runs in bench E15)."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.lowerbounds.neighborhood_graph import (
+    is_k_colorable,
+    neighborhood_graph,
+    ring_chromatic_lower_bound,
+    smallest_hard_id_space,
+)
+
+
+class TestIsKColorable:
+    def test_bipartite(self):
+        assert is_k_colorable(path_graph(10), 2) is True
+
+    def test_odd_cycle(self):
+        assert is_k_colorable(cycle_graph(5), 2) is False
+        assert is_k_colorable(cycle_graph(5), 3) is True
+
+    def test_clique(self):
+        assert is_k_colorable(complete_graph(5), 4) is False
+        assert is_k_colorable(complete_graph(5), 5) is True
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        assert is_k_colorable(Graph(0, []), 1) is True
+
+    def test_budget_returns_none(self):
+        g = neighborhood_graph(7, 1)
+        assert is_k_colorable(g, 3, node_limit=50) is None
+
+
+class TestNeighborhoodGraph:
+    def test_b0_is_complete(self):
+        g = neighborhood_graph(4, 0)
+        assert g.num_vertices == 4
+        assert g.num_edges == 6  # K4
+
+    def test_b1_sizes(self):
+        g = neighborhood_graph(5, 1)
+        assert g.num_vertices == 5 * 4 * 3
+        # Each view (a,b,c) connects forward to (b,c,d) for d not in
+        # {a,b,c}: out-degree m-3 = 2; undirected edges = 60*2/2... the
+        # forward relation is antisymmetric here, so m_edges = 60*2/...
+        assert g.num_edges == 120
+
+    def test_m_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_graph(3, 1)
+
+    def test_zero_round_threshold(self):
+        # χ(B_0(m)) = m: 3 colors work iff m <= 3.
+        assert ring_chromatic_lower_bound(3, 0, 3) is False
+        assert ring_chromatic_lower_bound(4, 0, 3) is True
+
+    def test_one_round_easy_side(self):
+        # Algorithms exist (B_1 is 3-colorable) for small ID spaces.
+        for m in (4, 5, 6):
+            assert ring_chromatic_lower_bound(m, 1, 3) is False
+
+    def test_smallest_hard_id_space_zero_rounds(self):
+        assert smallest_hard_id_space(0, 3, m_max=6) == 4
+        assert smallest_hard_id_space(0, 5, m_max=5) is None

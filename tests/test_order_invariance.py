@@ -1,0 +1,89 @@
+"""Tests for the order-invariance machinery (Naor–Stockmeyer angle)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import LinialColoring
+from repro.core import Model, run_local
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+)
+from repro.transforms import (
+    LocalMaximaFragment,
+    RankWithinBall,
+    check_order_invariance,
+    order_preserving_remap,
+)
+
+
+class TestRemap:
+    def test_preserves_order(self, rng):
+        ids = [5, 2, 9, 0, 7]
+        remapped = order_preserving_remap(ids, rng)
+        for i in range(len(ids)):
+            for j in range(len(ids)):
+                assert (ids[i] < ids[j]) == (remapped[i] < remapped[j])
+
+    def test_changes_values(self, rng):
+        ids = list(range(30))
+        remapped = order_preserving_remap(ids, rng)
+        assert remapped != ids
+
+    def test_remap_ids_distinct(self, rng):
+        ids = [3, 1, 4, 1 + 5, 9, 2 + 6, 5]
+        remapped = order_preserving_remap(ids, rng)
+        assert len(set(remapped)) == len(set(ids))
+
+
+class TestInvarianceChecker:
+    def test_local_maxima_is_invariant(self, rng):
+        g = random_regular_graph(50, 3, rng)
+        assert check_order_invariance(
+            lambda: LocalMaximaFragment(), g, id_space_key=None
+        )
+
+    def test_rank_within_ball_is_invariant(self):
+        g = cycle_graph(40)
+        assert check_order_invariance(
+            lambda: RankWithinBall(), g, id_space_key=None
+        )
+
+    def test_linial_is_not_invariant(self, rng):
+        """Linial's algorithm reads actual ID bits (polynomial
+        encodings) — the checker must produce a dependence
+        certificate."""
+        g = random_regular_graph(60, 4, rng)
+        assert not check_order_invariance(lambda: LinialColoring(), g)
+
+    def test_custom_ids_accepted(self, rng):
+        g = path_graph(20)
+        ids = [100 + 3 * v for v in range(20)]
+        assert check_order_invariance(
+            lambda: LocalMaximaFragment(),
+            g,
+            ids=ids,
+            id_space_key=None,
+        )
+
+
+class TestControlAlgorithms:
+    def test_local_maxima_output_is_independent_set(self, rng):
+        g = random_regular_graph(80, 4, rng)
+        result = run_local(g, LocalMaximaFragment(), Model.DET)
+        chosen = {v for v, out in enumerate(result.outputs) if out == 1}
+        assert chosen  # at least the global maximum joins
+        for v in chosen:
+            assert not any(u in chosen for u in g.neighbors(v))
+
+    def test_rank_is_defective_coloring(self, rng):
+        g = random_regular_graph(60, 5, rng)
+        result = run_local(g, RankWithinBall(), Model.DET)
+        assert all(0 <= out <= 5 for out in result.outputs)
+
+    def test_both_run_in_one_round(self, rng):
+        g = cycle_graph(16)
+        assert run_local(g, LocalMaximaFragment(), Model.DET).rounds == 1
+        assert run_local(g, RankWithinBall(), Model.DET).rounds == 1

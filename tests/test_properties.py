@@ -1,0 +1,126 @@
+"""Property-based tests: on randomly drawn instances, every algorithm's
+output must pass its LCL verifier, and core invariants must hold."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    LinialColoring,
+    barenboim_elkin_coloring,
+    deterministic_matching,
+    deterministic_mis,
+    luby_mis,
+    pettie_su_tree_coloring,
+    randomized_matching,
+)
+from repro.core import Model, run_local
+from repro.graphs.generators import (
+    random_regular_graph,
+    random_tree_bounded_degree,
+)
+from repro.lcl import (
+    KColoring,
+    MaximalIndependentSet,
+    MaximalMatching,
+    ProperColoring,
+)
+
+MIS = MaximalIndependentSet()
+MATCHING = MaximalMatching()
+
+COMMON = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+tree_params = st.tuples(
+    st.integers(10, 300), st.integers(3, 8), st.integers(0, 2 ** 30)
+)
+regular_params = st.tuples(
+    st.sampled_from([(20, 3), (30, 4), (40, 5), (60, 4)]),
+    st.integers(0, 2 ** 30),
+)
+
+
+@settings(**COMMON)
+@given(tree_params)
+def test_linial_always_proper_on_trees(params):
+    n, cap, seed = params
+    g = random_tree_bounded_degree(n, cap, random.Random(seed))
+    result = run_local(g, LinialColoring(), Model.DET)
+    assert ProperColoring().is_solution(g, result.outputs)
+
+
+@settings(**COMMON)
+@given(regular_params)
+def test_luby_mis_always_valid(params):
+    (n, d), seed = params
+    g = random_regular_graph(n, d, random.Random(seed))
+    report = luby_mis(g, seed=seed)
+    assert MIS.is_solution(g, report.labeling)
+
+
+@settings(**COMMON)
+@given(regular_params)
+def test_det_mis_always_valid(params):
+    (n, d), seed = params
+    g = random_regular_graph(n, d, random.Random(seed))
+    report = deterministic_mis(g)
+    assert MIS.is_solution(g, report.labeling)
+
+
+@settings(**COMMON)
+@given(regular_params)
+def test_randomized_matching_always_valid(params):
+    (n, d), seed = params
+    g = random_regular_graph(n, d, random.Random(seed))
+    report = randomized_matching(g, seed=seed)
+    assert MATCHING.is_solution(g, report.labeling)
+
+
+@settings(**COMMON)
+@given(regular_params)
+def test_det_matching_always_valid(params):
+    (n, d), seed = params
+    g = random_regular_graph(n, d, random.Random(seed))
+    report = deterministic_matching(g)
+    assert MATCHING.is_solution(g, report.labeling)
+
+
+@settings(**COMMON)
+@given(tree_params)
+def test_barenboim_elkin_always_valid(params):
+    n, cap, seed = params
+    g = random_tree_bounded_degree(n, cap, random.Random(seed))
+    q = max(3, min(cap, g.max_degree))
+    report = barenboim_elkin_coloring(g, q)
+    assert KColoring(q).is_solution(g, report.labeling)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.tuples(st.integers(100, 400), st.integers(0, 2 ** 30)))
+def test_theorem10_always_valid_delta_12(params):
+    n, seed = params
+    g = random_tree_bounded_degree(n, 12, random.Random(seed))
+    if g.max_degree < 9:
+        return  # Theorem 10 needs Δ >= 9; tiny trees may fall short
+    report = pettie_su_tree_coloring(g, seed=seed)
+    assert KColoring(g.max_degree).is_solution(g, report.labeling)
+
+
+@settings(**COMMON)
+@given(
+    st.tuples(st.integers(5, 60), st.integers(2, 5), st.integers(0, 2 ** 30))
+)
+def test_engine_round_determinism(params):
+    """Same DetLOCAL configuration -> identical transcript, always."""
+    n, cap, seed = params
+    g = random_tree_bounded_degree(max(n, 3), cap, random.Random(seed))
+    a = run_local(g, LinialColoring(), Model.DET)
+    b = run_local(g, LinialColoring(), Model.DET)
+    assert a.outputs == b.outputs
+    assert a.rounds == b.rounds

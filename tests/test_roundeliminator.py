@@ -1,0 +1,127 @@
+"""Tests for the executable round-elimination operator — the machinery
+behind Brandt et al.'s lower bound (Section IV's engine)."""
+
+import pytest
+
+from repro.lowerbounds.roundeliminator import (
+    BipartiteProblem,
+    edge_grabbing_problem,
+    is_fixed_point,
+    perfect_matching_problem,
+    problems_equivalent,
+    round_eliminate,
+    sinkless_orientation_problem,
+    survives_elimination,
+)
+
+
+def so_edge_centric(delta: int = 3) -> BipartiteProblem:
+    """Sinkless orientation seen from the edges (white = edges)."""
+    return BipartiteProblem.make(
+        f"so-edge-{delta}",
+        2,
+        delta,
+        [["O", "I"]],
+        [["O"] * k + ["I"] * (delta - k) for k in range(1, delta + 1)],
+    )
+
+
+class TestProblemConstruction:
+    def test_make_collects_labels(self):
+        p = sinkless_orientation_problem(3)
+        assert p.labels == frozenset({"O", "I"})
+        assert len(p.white) == 3
+        assert len(p.black) == 1
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            BipartiteProblem.make("bad", 3, 2, [["A", "A"]], [["A", "A"]])
+
+    def test_trivial_detection(self):
+        assert edge_grabbing_problem().is_trivial()
+        assert not sinkless_orientation_problem(3).is_trivial()
+        assert not perfect_matching_problem(3).is_trivial()
+
+    def test_empty_detection(self):
+        p = BipartiteProblem.make("empty", 2, 2, [], [["A", "A"]])
+        assert p.is_empty()
+
+
+class TestOperator:
+    def test_re_swaps_roles(self):
+        so = sinkless_orientation_problem(3)
+        r = round_eliminate(so)
+        assert r.white_degree == 2
+        assert r.black_degree == 3
+
+    def test_re_of_so_is_edge_centric_so(self):
+        """One elimination step maps vertex-SO exactly onto edge-SO —
+        the 'free' half-step of the Brandt et al. argument."""
+        for delta in (3, 4):
+            so = sinkless_orientation_problem(delta)
+            mapping = problems_equivalent(
+                round_eliminate(so), so_edge_centric(delta)
+            )
+            assert mapping is not None
+
+    def test_re_of_pm_is_edge_centric_pm(self):
+        pm = perfect_matching_problem(3)
+        pm_edge = BipartiteProblem.make(
+            "pm-edge", 2, 3, [["M", "M"], ["U", "U"]], [["M", "U", "U"]]
+        )
+        assert problems_equivalent(round_eliminate(pm), pm_edge)
+
+    def test_so_survives_many_eliminations(self):
+        """SO never trivializes and its alphabet stays at 2 labels —
+        the fixed-point behavior that forces ω(1) rounds."""
+        so = sinkless_orientation_problem(3)
+        assert survives_elimination(so, steps=5)
+        current = so
+        for _ in range(5):
+            current = round_eliminate(current)
+            assert len(current.labels) == 2
+
+    def test_so_sequence_cycles_with_period_two(self):
+        so = sinkless_orientation_problem(3)
+        r1 = round_eliminate(so)
+        r3 = round_eliminate(round_eliminate(r1))
+        assert problems_equivalent(r1, r3) is not None
+
+    def test_trivial_problem_collapses(self):
+        assert not survives_elimination(edge_grabbing_problem(), steps=2)
+
+    def test_exact_fixed_point_check_is_strict(self):
+        # SO is a fixed point only after semantic simplification; the
+        # strict syntactic check is expected to say no (documented).
+        assert not is_fixed_point(sinkless_orientation_problem(3))
+
+    def test_equivalence_rejects_different_shapes(self):
+        so3 = sinkless_orientation_problem(3)
+        so4 = sinkless_orientation_problem(4)
+        assert problems_equivalent(so3, so4) is None
+
+    def test_equivalence_finds_renaming(self):
+        a = BipartiteProblem.make("a", 2, 2, [["X", "Y"]], [["X", "X"]])
+        b = BipartiteProblem.make("b", 2, 2, [["P", "Q"]], [["Q", "Q"]])
+        mapping = problems_equivalent(a, b)
+        assert mapping == {"X": "Q", "Y": "P"}
+
+    def test_label_explosion_guard(self):
+        # A 4-label problem with permissive constraints can explode;
+        # the guard must raise rather than hang.
+        labels = ["A", "B", "C", "D"]
+        import itertools
+
+        white = [
+            c
+            for c in itertools.combinations_with_replacement(labels, 2)
+            if len(set(c)) == 2
+        ]
+        black = list(
+            itertools.combinations_with_replacement(labels, 2)
+        )
+        p = BipartiteProblem.make("wide", 2, 2, white, black)
+        try:
+            survives_elimination(p, steps=3, max_labels=4)
+        except ValueError:
+            pass  # guard fired: acceptable

@@ -1,0 +1,102 @@
+"""Property-based tests for the round-elimination operator: structural
+invariants that must hold for *every* problem, not just the canned ones."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.roundeliminator import (
+    BipartiteProblem,
+    round_eliminate,
+)
+
+LABELS = ["A", "B"]
+
+
+def _configs(arity):
+    return list(itertools.combinations_with_replacement(LABELS, arity))
+
+
+@st.composite
+def small_problems(draw):
+    """Random 2-label problems with white degree 3, black degree 2."""
+    white_all = _configs(3)
+    black_all = _configs(2)
+    white = draw(
+        st.sets(st.sampled_from(white_all), min_size=0, max_size=4)
+    )
+    black = draw(
+        st.sets(st.sampled_from(black_all), min_size=0, max_size=3)
+    )
+    return BipartiteProblem.make("random", 3, 2, white, black)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_problems())
+def test_re_swaps_degrees(problem):
+    r = round_eliminate(problem)
+    assert r.white_degree == problem.black_degree
+    assert r.black_degree == problem.white_degree
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_problems())
+def test_re_preserves_triviality(problem):
+    """Speedup cannot destroy 0-round solvability: the singleton-set
+    relabeling of a trivial solution stays trivial."""
+    if problem.is_trivial():
+        # The unpruned image keeps the all-singleton witness; the
+        # pruned image may hide it behind a dominating configuration.
+        assert round_eliminate(problem, prune=False).is_trivial()
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_problems())
+def test_re_preserves_emptiness(problem):
+    """An unsolvable side stays unsolvable: a universal constraint over
+    an empty target admits nothing."""
+    if not problem.black:
+        assert round_eliminate(problem).is_empty()
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_problems())
+def test_re_white_configs_are_universal_witnesses(problem):
+    """Every allowed new-white configuration really is universally
+    satisfying — re-check the definition against a direct evaluation."""
+    r = round_eliminate(problem)
+
+    def parse(label):
+        return frozenset(x for x in label[1:-1].split(",") if x)
+
+    for config in r.white:
+        sets = [parse(x) for x in config]
+        for choice in itertools.product(*sets):
+            assert tuple(sorted(choice)) in problem.black
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_problems())
+def test_re_black_configs_have_witnesses(problem):
+    r = round_eliminate(problem)
+
+    def parse(label):
+        return frozenset(x for x in label[1:-1].split(",") if x)
+
+    for config in r.black:
+        sets = [parse(x) for x in config]
+        assert any(
+            tuple(sorted(choice)) in problem.white
+            for choice in itertools.product(*sets)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_problems())
+def test_re_is_deterministic(problem):
+    a = round_eliminate(problem)
+    b = round_eliminate(problem)
+    assert a.white == b.white
+    assert a.black == b.black
+    assert a.labels == b.labels

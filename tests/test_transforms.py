@@ -1,0 +1,169 @@
+"""Tests for the theorem-level transformations (Theorems 3, 5, 6/8)."""
+
+import pytest
+
+from repro.algorithms import LubyMIS, barenboim_elkin_coloring
+from repro.algorithms.rand_tree_coloring import BAD
+from repro.core.errors import AlgorithmFailure
+from repro.graphs.generators import (
+    complete_dary_tree,
+    cycle_graph,
+    random_tree_bounded_degree,
+)
+from repro.lcl import KColoring, MaximalIndependentSet
+from repro.transforms import (
+    component_size_threshold,
+    distance_k_sets_bound,
+    enumerate_family,
+    family_size,
+    find_good_seed_function,
+    randomized_from_deterministic,
+    shatter,
+    solve_shattered,
+    speedup_transform,
+    theorem8_budget,
+    union_bound_failure,
+)
+
+
+def be_driver(q):
+    def driver(graph, ids, id_space):
+        return barenboim_elkin_coloring(graph, q, ids=ids, id_space=id_space)
+
+    return driver
+
+
+class TestDerandomization:
+    def test_family_enumeration_counts(self):
+        # All graphs on 3 vertices: 8; max degree 2 excludes none.
+        assert family_size(3, 2) == 8
+        # n=4: 64 labeled graphs, max degree 3 excludes none.
+        assert family_size(4, 3) == 64
+        # Degree cap actually filters.
+        assert family_size(4, 1) < 64
+
+    def test_family_members_respect_cap(self):
+        for graph in enumerate_family(4, 2):
+            assert graph.max_degree <= 2
+
+    def test_enumerate_large_n_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_family(8, 3))
+
+    def test_find_good_seed_for_luby(self):
+        problem = MaximalIndependentSet()
+        result = find_good_seed_function(
+            lambda: LubyMIS(), problem, 4, 3, max_candidates=128
+        )
+        assert result.family_checked == 64
+        # The certified deterministic algorithm never errs on family
+        # members — spot check a few.
+        for i, graph in enumerate(enumerate_family(4, 3)):
+            if i % 7:
+                continue
+            run = result.run(graph)
+            assert problem.is_solution(graph, run.outputs)
+
+    def test_derandomized_algorithm_is_deterministic(self):
+        problem = MaximalIndependentSet()
+        result = find_good_seed_function(
+            lambda: LubyMIS(), problem, 3, 2, max_candidates=128
+        )
+        g = cycle_graph(3)
+        a = result.run(g)
+        b = result.run(g)
+        assert a.outputs == b.outputs
+
+
+class TestSpeedup:
+    def test_transform_preserves_correctness(self, rng):
+        g = random_tree_bounded_degree(250, 4, rng)
+        result = speedup_transform(be_driver(4), g, f_delta=1)
+        assert KColoring(4).is_solution(g, result.report.labeling)
+
+    def test_short_ids_are_short(self, rng):
+        g = random_tree_bounded_degree(400, 4, rng)
+        result = speedup_transform(be_driver(4), g, f_delta=1)
+        # ℓ' = O((f + τ + r)·log Δ') bits — independent of n, far below
+        # the log n bits of the original IDs.
+        assert result.short_id_bits <= 40
+
+    def test_cost_split_reported(self, rng):
+        g = random_tree_bounded_degree(150, 4, rng)
+        result = speedup_transform(be_driver(4), g, f_delta=2)
+        assert result.collection_radius == 4 * 2 + 2 * 2 + 2 * 1
+        assert result.report.rounds == result.shortening_rounds + result.base_rounds
+
+    def test_theorem8_budget_monotone(self):
+        assert theorem8_budget(1, 8, 10 ** 6) >= theorem8_budget(1, 8, 100)
+
+
+class TestRandFromDet:
+    def test_reduction_preserves_correctness(self, rng):
+        g = random_tree_bounded_degree(250, 4, rng)
+        for seed in range(5):
+            try:
+                result = randomized_from_deterministic(
+                    be_driver(4), g, t=2, seed=seed
+                )
+            except AlgorithmFailure:
+                continue  # distant coincidence; try another seed
+            assert KColoring(4).is_solution(g, result.report.labeling)
+            break
+        else:
+            pytest.fail("all seeds hit the distant-coincidence guard")
+
+    def test_compression_rounds_linear_in_t(self, rng):
+        g = complete_dary_tree(2, 6)
+        result = randomized_from_deterministic(be_driver(3), g, t=3, seed=1)
+        assert result.compression_rounds == 2 * 3 + 1
+
+    def test_compressed_ids_shorter_than_raw(self, rng):
+        g = random_tree_bounded_degree(300, 4, rng)
+        result = randomized_from_deterministic(be_driver(4), g, t=2, seed=3)
+        assert result.compressed_id_bits < result.raw_id_bits
+
+
+class TestShattering:
+    def test_shatter_partition(self, rng):
+        g = random_tree_bounded_degree(100, 5, rng)
+        partial = [v % 3 if v % 4 else BAD for v in g.vertices()]
+        outcome = shatter(g, partial, BAD)
+        assert set(outcome.residual) == {
+            v for v in g.vertices() if v % 4 == 0
+        }
+        assert sum(outcome.component_sizes) == len(outcome.residual)
+        assert outcome.max_component >= 1
+
+    def test_shatter_empty_residual(self, small_tree):
+        partial = [0] * small_tree.num_vertices
+        outcome = shatter(small_tree, partial, BAD)
+        assert outcome.residual == []
+        assert outcome.num_components == 0
+
+    def test_solve_shattered_completes(self, rng):
+        g = random_tree_bounded_degree(200, 6, rng)
+        partial = [None if v % 3 == 0 else 10 for v in g.vertices()]
+        outcome = shatter(g, partial, None)
+        labeling, report = solve_shattered(
+            g,
+            outcome,
+            lambda sub: barenboim_elkin_coloring(sub, 3),
+            relabel=lambda c: c,
+        )
+        assert all(label is not None for label in labeling)
+        assert report is not None
+
+    def test_lemma3_formula(self):
+        assert distance_k_sets_bound(100, 4, 5, 1) == 4 * 100
+        assert distance_k_sets_bound(10, 2, 3, 2) == 16 * 10 * 2 ** 3
+
+    def test_component_threshold_grows_with_n(self):
+        assert component_size_threshold(10 ** 6, 8) > component_size_threshold(
+            10 ** 3, 8
+        )
+
+    def test_union_bound_decreases_in_s(self):
+        a = union_bound_failure(1000, 8, 5, 1e-6)
+        b = union_bound_failure(1000, 8, 20, 1e-6)
+        assert b < a

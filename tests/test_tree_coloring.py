@@ -1,0 +1,147 @@
+"""Tests for the Barenboim–Elkin q-coloring of forests (Theorem 9)."""
+
+import pytest
+
+from repro.algorithms.tree_coloring import (
+    barenboim_elkin_coloring,
+    h_partition,
+    same_layer_ports,
+    up_ports_from_layers,
+)
+from repro.analysis import log_base
+from repro.core.ids import shuffled_ids
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_dary_tree,
+    complete_tree_with_max_degree,
+    path_graph,
+    random_forest,
+    random_tree_bounded_degree,
+    spider_graph,
+)
+from repro.lcl import KColoring
+
+
+class TestHPartition:
+    def test_path_single_layer(self):
+        g = path_graph(20)
+        layers = h_partition(g, threshold=2)
+        assert all(layer == 0 for layer in layers)
+
+    def test_complete_tree_peeling_waves(self):
+        g = complete_dary_tree(3, 6)  # max degree 4
+        layers = h_partition(g, threshold=3)
+        n = g.num_vertices
+        num_leaves = 3 ** 6
+        # Leaves (degree 1) and the root (degree 3 <= threshold) peel
+        # immediately; two peeling waves then move toward the middle,
+        # so the number of layers is about half the depth.
+        assert layers[0] == 0
+        assert all(layers[v] == 0 for v in range(n - num_leaves, n))
+        assert 2 <= max(layers) <= 6
+
+    def test_layer_count_logarithmic(self, rng):
+        g = random_tree_bounded_degree(3000, 8, rng)
+        layers = h_partition(g, threshold=3)
+        assert max(layers) <= 4 * log_base(3000, 2)
+
+    def test_up_set_bounded_by_threshold(self, rng):
+        g = random_tree_bounded_degree(400, 8, rng)
+        threshold = 3
+        layers = h_partition(g, threshold)
+        ids = list(range(400))
+        ups = up_ports_from_layers(g, layers, ids)
+        for v in g.vertices():
+            assert len(ups[v]) <= threshold
+
+    def test_every_edge_oriented_once(self, rng):
+        g = random_tree_bounded_degree(300, 6, rng)
+        layers = h_partition(g, 3)
+        ids = list(range(300))
+        ups = up_ports_from_layers(g, layers, ids)
+        oriented = set()
+        for v in g.vertices():
+            for p in ups[v]:
+                u = g.endpoint(v, p)
+                key = (min(u, v), max(u, v))
+                assert key not in oriented
+                oriented.add(key)
+        assert len(oriented) == g.num_edges
+
+    def test_same_layer_ports_symmetric(self, rng):
+        g = random_tree_bounded_degree(200, 5, rng)
+        layers = h_partition(g, 2)
+        same = same_layer_ports(g, layers)
+        for v in g.vertices():
+            for p in same[v]:
+                u = g.endpoint(v, p)
+                assert layers[u] == layers[v]
+                assert g.reverse_port(v, p) in same[u]
+
+
+class TestBarenboimElkin:
+    @pytest.mark.parametrize("q", [3, 4, 6])
+    def test_random_trees(self, q, rng):
+        g = random_tree_bounded_degree(500, 7, rng)
+        report = barenboim_elkin_coloring(g, q)
+        assert KColoring(q).is_solution(g, report.labeling)
+
+    def test_q_equals_delta_on_complete_tree(self):
+        g = complete_tree_with_max_degree(6, 400)
+        report = barenboim_elkin_coloring(g, 6)
+        assert KColoring(6).is_solution(g, report.labeling)
+
+    def test_three_coloring_path(self):
+        g = path_graph(300)
+        report = barenboim_elkin_coloring(g, 3)
+        assert KColoring(3).is_solution(g, report.labeling)
+
+    def test_spider_and_caterpillar(self):
+        for g in (spider_graph(9, 15), caterpillar_graph(30, 3)):
+            report = barenboim_elkin_coloring(g, 3)
+            assert KColoring(3).is_solution(g, report.labeling)
+
+    def test_forest_input(self, rng):
+        g = random_forest(300, 5, 6, rng)
+        report = barenboim_elkin_coloring(g, 4)
+        assert KColoring(4).is_solution(g, report.labeling)
+
+    def test_q_too_small_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            barenboim_elkin_coloring(small_tree, 2)
+
+    def test_independent_of_delta(self, rng):
+        # q = 3 works even when Δ is large (Theorem 9 is Δ-free).
+        g = spider_graph(40, 8)
+        report = barenboim_elkin_coloring(g, 3)
+        assert KColoring(3).is_solution(g, report.labeling)
+
+    def test_shuffled_ids(self, rng):
+        g = random_tree_bounded_degree(300, 6, rng)
+        ids = shuffled_ids(300, rng)
+        report = barenboim_elkin_coloring(g, 4, ids=ids)
+        assert KColoring(4).is_solution(g, report.labeling)
+
+    def test_round_growth_is_logarithmic(self):
+        rounds = []
+        sizes = (50, 500, 5000)
+        for n in sizes:
+            g = complete_tree_with_max_degree(4, n)
+            report = barenboim_elkin_coloring(g, 4)
+            rounds.append(report.rounds)
+        # Doubling the exponent of n should not blow up the rounds more
+        # than proportionally to log n.
+        assert rounds[2] - rounds[0] >= 2  # it does grow ...
+        assert rounds[2] <= 4 * rounds[0]  # ... but logarithmically
+
+    def test_phase_breakdown_complete(self, medium_tree):
+        report = barenboim_elkin_coloring(medium_tree, 4)
+        expected = {
+            "peeling",
+            "layer-exchange",
+            "oriented-linial",
+            "within-layer-reduction",
+            "layer-sweep",
+        }
+        assert set(report.breakdown) == expected
+        assert report.rounds == sum(report.breakdown.values())

@@ -1,0 +1,87 @@
+"""Tests for the (Δ+1)-coloring pipeline and locally-unique-ID runs."""
+
+import pytest
+
+from repro.algorithms import delta_plus_one_coloring
+from repro.core import DuplicateIDError, Model, run_local
+from repro.core.algorithm import SyncAlgorithm
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree_bounded_degree,
+    star_graph,
+)
+from repro.lcl import KColoring
+
+
+class TestDeltaPlusOne:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: path_graph(150),
+            lambda rng: cycle_graph(99),
+            lambda rng: star_graph(9),
+            lambda rng: random_regular_graph(120, 5, rng),
+            lambda rng: random_tree_bounded_degree(200, 7, rng),
+        ],
+    )
+    @pytest.mark.parametrize("reduction", ["kw", "classic"])
+    def test_valid_coloring(self, factory, reduction, rng):
+        g = factory(rng)
+        report = delta_plus_one_coloring(g, reduction=reduction)
+        assert KColoring(g.max_degree + 1).is_solution(g, report.labeling)
+
+    def test_unknown_reduction(self, small_tree):
+        with pytest.raises(ValueError):
+            delta_plus_one_coloring(small_tree, reduction="magic")
+
+    def test_kw_not_slower_than_classic(self, rng):
+        g = random_regular_graph(150, 6, rng)
+        kw = delta_plus_one_coloring(g, reduction="kw")
+        classic = delta_plus_one_coloring(g, reduction="classic")
+        assert kw.rounds <= classic.rounds
+        assert kw.breakdown["linial"] == classic.breakdown["linial"]
+
+    def test_flat_in_n(self):
+        rounds = []
+        for n in (128, 2048, 32768):
+            g = path_graph(n)
+            rounds.append(delta_plus_one_coloring(g).rounds)
+        assert rounds[-1] <= rounds[0] + 3
+
+
+class TestLocallyUniqueIDs:
+    def test_duplicates_rejected_by_default(self, ring):
+        ids = [v % 24 for v in range(48)]
+        with pytest.raises(DuplicateIDError):
+            delta_plus_one_coloring(ring, ids=ids)
+
+    def test_distant_duplicates_accepted_with_flag(self):
+        # IDs repeat with period 16 on a long path: unique within any
+        # radius-7 ball, which is all the pipeline's ID-sensitive
+        # prefix (Linial, depth <= 3) ever inspects.
+        g = path_graph(256)
+        ids = [v % 16 for v in range(256)]
+        report = delta_plus_one_coloring(
+            g, ids=ids, id_space=16, allow_duplicate_ids=True
+        )
+        assert KColoring(3).is_solution(g, report.labeling)
+
+    def test_engine_flag_scope(self):
+        # The flag only waives the configuration check; the algorithm
+        # still sees whatever IDs were given.
+        g = path_graph(8)
+
+        class ReadId(SyncAlgorithm):
+            def setup(self, ctx):
+                ctx.halt(ctx.id)
+
+            def step(self, ctx, inbox):
+                pass
+
+        ids = [0, 1, 2, 3, 0, 1, 2, 3]
+        result = run_local(
+            g, ReadId(), Model.DET, ids=ids, allow_duplicate_ids=True
+        )
+        assert result.outputs == ids

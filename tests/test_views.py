@@ -1,0 +1,140 @@
+"""Tests for view collection and the indistinguishability machinery."""
+
+import random
+
+from repro.core import (
+    collect_view,
+    tree_canonical_form,
+    views_equivalent_as_trees,
+    views_identical,
+)
+from repro.graphs.generators import (
+    complete_dary_tree,
+    cycle_graph,
+    high_girth_regular_graph,
+    path_graph,
+)
+from repro.lowerbounds import (
+    all_views_are_trees,
+    far_perturbation,
+    matching_view_pairs,
+)
+
+
+class TestCollectView:
+    def test_radius_zero(self):
+        g = path_graph(3)
+        view = collect_view(g, 1, 0)
+        assert view.num_vertices == 1
+        assert view.adjacency == ((-1, -1),)
+
+    def test_radius_one_star(self):
+        g = path_graph(3)
+        view = collect_view(g, 1, 1)
+        assert view.num_vertices == 3
+        # Center (index 0) sees both neighbors.
+        assert set(view.adjacency[0]) == {1, 2}
+
+    def test_labels_travel(self):
+        g = path_graph(3)
+        view = collect_view(g, 1, 1, labels=["a", "b", "c"])
+        assert view.labels[0] == "b"
+        assert set(view.labels[1:]) == {"a", "c"}
+
+    def test_horizon_edges_masked(self):
+        # In a 4-cycle, a radius-1 view of any vertex must NOT contain
+        # the edge joining its two distance-1 neighbors' far side.
+        g = cycle_graph(4)
+        view = collect_view(g, 0, 1)
+        # Vertices 1 and 3 are at the horizon; their mutual edges to
+        # vertex 2 (distance 2) are invisible.
+        assert view.num_vertices == 3
+        for row in view.adjacency[1:]:
+            assert row.count(-1) >= 1
+
+    def test_view_equality_same_position(self):
+        # Port-numbered views are position-sensitive on generator-made
+        # cycles (ports differ), but the AHU tree form is not.
+        g = cycle_graph(12)
+        a = collect_view(g, 0, 3)
+        b = collect_view(g, 5, 3)
+        assert views_equivalent_as_trees(a, b)
+        # Vertices whose balls avoid the wrap-around vertex 0 (whose
+        # ports are flipped by the generator) have identical
+        # port-numbered views.
+        c = collect_view(g, 5, 3)
+        d = collect_view(g, 8, 3)
+        assert c == d
+        assert hash(c) == hash(d)
+
+    def test_view_distinguishes_degree(self):
+        g = path_graph(5)
+        end = collect_view(g, 0, 1)
+        middle = collect_view(g, 2, 1)
+        assert end != middle
+
+    def test_is_tree_view(self):
+        tree = complete_dary_tree(2, 3)
+        assert collect_view(tree, 0, 2).is_tree_view()
+        # Girth 5 > 2*2 means a radius-2 view is still a tree (the
+        # closing edge joins two horizon vertices and is invisible)...
+        assert collect_view(cycle_graph(5), 0, 2).is_tree_view()
+        # ...but in a 4-cycle the closing edges are visible.
+        assert not collect_view(cycle_graph(4), 0, 2).is_tree_view()
+
+    def test_views_identical_cross_graph(self):
+        ring_a = cycle_graph(20)
+        ring_b = cycle_graph(30)
+        # Interior vertices (balls avoiding the wrap vertex) share the
+        # exact port structure across different ring sizes.
+        assert views_identical(ring_a, 10, ring_b, 17, 4)
+        a = collect_view(ring_a, 0, 4)
+        b = collect_view(ring_b, 17, 4)
+        assert views_equivalent_as_trees(a, b)
+
+
+class TestIndistinguishability:
+    def test_high_girth_is_locally_tree(self):
+        rng = random.Random(1)
+        g = high_girth_regular_graph(300, 3, 8, rng)
+        assert all_views_are_trees(g, 3)
+        assert not all_views_are_trees(g, 20)
+
+    def test_matching_view_pairs_ring(self):
+        a = cycle_graph(10)
+        b = cycle_graph(14)
+        pairs = matching_view_pairs(a, b, 2, up_to_ports=True)
+        # Every vertex of the 10-ring matches every vertex of the
+        # 14-ring at radius 2 (all views are identical path segments
+        # once port numbering is factored out).
+        assert len(pairs) == 10 * 14
+
+    def test_tree_vs_high_girth_views_match(self):
+        rng = random.Random(3)
+        g = high_girth_regular_graph(600, 3, 8, rng)
+        radius = 3
+        # The radius-3 view of any vertex of g is the 3-regular tree
+        # truncated at depth 3; all vertices look identical up to the
+        # (arbitrary) port numbering.
+        forms = {
+            tree_canonical_form(collect_view(g, v, radius))
+            for v in range(20)
+        }
+        assert len(forms) == 1
+
+    def test_far_perturbation_preserves_ball(self):
+        rng = random.Random(5)
+        g = cycle_graph(40)
+        sibling = far_perturbation(g, 0, 4, rng)
+        assert sibling is not None
+        assert sibling.num_edges == g.num_edges
+        # The ball of radius 4 around 0 is untouched.
+        for v in g.ball(0, 4):
+            assert list(g.neighbors(v)) == list(sibling.neighbors(v))
+        # But the graphs differ somewhere.
+        assert set(g.edges()) != set(sibling.edges())
+
+    def test_far_perturbation_none_when_no_far_edges(self):
+        rng = random.Random(5)
+        g = path_graph(5)
+        assert far_perturbation(g, 2, 3, rng) is None
