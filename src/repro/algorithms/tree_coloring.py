@@ -65,7 +65,10 @@ class PeelingAlgorithm(SyncAlgorithm):
     def step(self, ctx: NodeContext, inbox: Inbox) -> None:
         active_neighbors = sum(1 for msg in inbox if msg == "active")
         if active_neighbors <= ctx.globals["threshold"]:
-            ctx.publish(("peeled", ctx.now))
+            # The layer number *is* the peel round by definition; the
+            # round index is common knowledge in a synchronous model,
+            # so publishing it reveals nothing out-of-view.
+            ctx.publish(("peeled", ctx.now))  # repro: ignore[LM006]
             ctx.halt(ctx.now)
 
 

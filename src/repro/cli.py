@@ -136,6 +136,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main([args.results_dir])
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .staticcheck import analyze_paths, default_target
+
+    paths = args.paths or [str(default_target())]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not read as a clean gate.
+        for p in missing:
+            print(f"repro lint: path does not exist: {p}", file=sys.stderr)
+        return 2
+    result = analyze_paths(paths)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    if not result.ok:
+        return 1
+    if args.strict and not result.clean:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +205,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("results_dir", nargs="?", default="benchmarks/results")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "lint",
+        help=(
+            "static LOCAL-model conformance analysis (rules "
+            "LM001-LM006); exit 1 on error-severity findings"
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed "
+        "repro package)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit 1 on warning-severity findings",
+    )
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

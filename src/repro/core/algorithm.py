@@ -22,7 +22,7 @@ message passing and keeps node programs short and auditable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from .context import NodeContext
 

@@ -76,7 +76,7 @@ class NodeContext:
         rng: Optional[random.Random],
         node_input: Optional[Dict[str, Any]] = None,
         global_params: Optional[Dict[str, Any]] = None,
-    ):
+    ) -> None:
         self._index = index
         self.degree = degree
         self.n = n
@@ -148,7 +148,16 @@ class NodeContext:
     def now(self) -> int:
         """Index of the round currently executing (0-based; the first
         :meth:`~repro.core.algorithm.SyncAlgorithm.step` call is round 0).
-        Reads -1 inside ``setup``."""
+        Reads -1 inside ``setup``.
+
+        Contract: the round index is common knowledge (the model is
+        synchronous), intended for *local scheduling* — phase
+        arithmetic, :meth:`sleep_until`, turn-taking.  Publishing a
+        value derived from it is flagged by the static analyzer (rule
+        LM006) and must be explicitly acknowledged with
+        ``# repro: ignore[LM006]`` where the round number is a
+        documented part of the algorithm's output (e.g. an H-partition
+        layer number equals the peel round by definition)."""
         if self._clock is None:
             return -1
         return self._clock.now

@@ -1,0 +1,65 @@
+"""Static LOCAL-model conformance analysis (the ``repro lint`` engine).
+
+The runtime gate (:class:`~repro.core.errors.ModelViolationError`)
+catches a model violation only on executed paths; this package proves
+conformance over *all* paths.  It walks the algorithm packages, binds
+every :class:`~repro.core.algorithm.SyncAlgorithm` subclass to the
+model(s) it is executed under (via ``run_local`` call sites), computes
+the call-graph closure of each algorithm's entry points, and checks the
+LM rule set (LM001-LM006) over that node-level code.
+
+Typical use::
+
+    from repro.staticcheck import analyze_paths
+    result = analyze_paths(["src/repro"])
+    assert result.clean, result.render_text()
+
+Findings can be suppressed per line with ``# repro: ignore[LM006]``
+(trailing, or on a comment-only line directly above).
+"""
+
+from .analyzer import (
+    JSON_VERSION,
+    AnalysisResult,
+    analyze_modules,
+    analyze_paths,
+    default_target,
+    load_corpus,
+)
+from .bindings import ENTRY_POINTS, Binding, algorithm_classes, bind_models
+from .callgraph import CallGraph
+from .diagnostics import (
+    DIAGNOSTIC_JSON_KEYS,
+    Diagnostic,
+    RuleSpec,
+    Severity,
+    max_severity,
+    render_text,
+)
+from .modules import ModuleInfo, load_module, parse_suppressions
+from .rules import RULES, RuleEngine
+
+__all__ = [
+    "AnalysisResult",
+    "Binding",
+    "CallGraph",
+    "DIAGNOSTIC_JSON_KEYS",
+    "Diagnostic",
+    "ENTRY_POINTS",
+    "JSON_VERSION",
+    "ModuleInfo",
+    "RULES",
+    "RuleEngine",
+    "RuleSpec",
+    "Severity",
+    "algorithm_classes",
+    "analyze_modules",
+    "analyze_paths",
+    "bind_models",
+    "default_target",
+    "load_corpus",
+    "load_module",
+    "max_severity",
+    "parse_suppressions",
+    "render_text",
+]

@@ -1,0 +1,213 @@
+"""Model bindings: which algorithm classes run under which LOCAL model.
+
+The engine binds an algorithm to DetLOCAL or RandLOCAL at the
+``run_local(graph, Algorithm(), Model.DET, ...)`` call site — there is
+no class-level declaration.  This pass recovers those bindings
+statically:
+
+1. find every :class:`~repro.core.algorithm.SyncAlgorithm` subclass in
+   the corpus (transitively, by base-name chains);
+2. find every ``run_local(...)`` call and resolve its algorithm
+   argument (direct constructor call, or a local variable assigned one
+   in the same function) and its model argument (``Model.DET`` /
+   ``Model.RAND``);
+3. map class -> set of models it is executed under.
+
+A class bound under both models must satisfy both rule sets — exactly
+the semantics of the runtime gate it mirrors
+(:class:`~repro.core.errors.ModelViolationError`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, ClassInfo
+from .modules import ModuleInfo
+
+#: Recognized node-program entry points.  ``setup``/``step`` are this
+#: engine's interface; ``init``/``send``/``receive`` are accepted for
+#: message-passing-style formulations.
+ENTRY_POINTS = ("setup", "step", "init", "send", "receive")
+
+#: Root base class marking a node program.
+ALGORITHM_BASE = "SyncAlgorithm"
+
+DET = "DET"
+RAND = "RAND"
+
+
+@dataclass
+class Binding:
+    """One algorithm class with every model it is executed under."""
+
+    class_info: ClassInfo
+    models: Set[str] = field(default_factory=set)
+    #: (module name, line) of each binding call site, for diagnostics.
+    sites: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.class_info.name
+
+
+def algorithm_classes(graph: CallGraph) -> Dict[str, ClassInfo]:
+    """All transitive ``SyncAlgorithm`` subclasses in the corpus."""
+    result: Dict[str, ClassInfo] = {}
+
+    def derives(name: str, seen: Set[str]) -> bool:
+        if name in seen:
+            return False
+        seen.add(name)
+        cinfo = graph.classes.get(name)
+        if cinfo is None:
+            return False
+        for base in cinfo.bases:
+            if base == ALGORITHM_BASE or derives(base, seen):
+                return True
+        return False
+
+    for name, cinfo in graph.classes.items():
+        if derives(name, set()):
+            result[name] = cinfo
+    return result
+
+
+def _model_of(node: ast.expr) -> Optional[str]:
+    """``Model.DET`` / ``Model.RAND`` attribute expressions."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Model"
+        and node.attr in (DET, RAND)
+    ):
+        return node.attr
+    return None
+
+
+def _algorithm_arg(call: ast.Call) -> Optional[ast.expr]:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "algorithm":
+            return kw.value
+    return None
+
+
+def _model_arg(call: ast.Call) -> Optional[ast.expr]:
+    if len(call.args) >= 3:
+        return call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "model":
+            return kw.value
+    return None
+
+
+def _local_constructor_assignments(
+    scope: ast.AST, graph: CallGraph, module: ModuleInfo
+) -> Dict[str, str]:
+    """``v = SomeAlgorithm(...)`` assignments in a function body."""
+    assigned: Dict[str, str] = {}
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+        ):
+            continue
+        cinfo = graph.resolve_class(value.func.id, module)
+        if cinfo is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                assigned[target.id] = cinfo.name
+    return assigned
+
+
+def _resolve_algorithm_expr(
+    expr: ast.expr,
+    graph: CallGraph,
+    module: ModuleInfo,
+    local_ctors: Dict[str, str],
+) -> Optional[str]:
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        cinfo = graph.resolve_class(expr.func.id, module)
+        if cinfo is not None:
+            return cinfo.name
+    elif isinstance(expr, ast.Name):
+        if expr.id in local_ctors:
+            return local_ctors[expr.id]
+        cinfo = graph.resolve_class(expr.id, module)
+        if cinfo is not None:
+            return cinfo.name
+    return None
+
+
+def bind_models(graph: CallGraph) -> Dict[str, Binding]:
+    """Scan the corpus for ``run_local`` call sites and return the
+    class -> models map over every discovered algorithm class.
+
+    Classes never passed to ``run_local`` in the analyzed code get an
+    empty model set — they are still checked by the model-agnostic
+    rules (LM003/LM004/LM006) but not by the model-specific ones.
+    """
+    bindings: Dict[str, Binding] = {
+        name: Binding(class_info=cinfo)
+        for name, cinfo in algorithm_classes(graph).items()
+    }
+    for module in graph.modules:
+        # Each function body gets its own local-constructor table; the
+        # module body (scripts, tests) gets one too.
+        scopes: List[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            local_ctors = _local_constructor_assignments(
+                scope, graph, module
+            )
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name != "run_local":
+                    continue
+                model_expr = _model_arg(node)
+                model = _model_of(model_expr) if model_expr else None
+                if model is None:
+                    continue
+                algo_expr = _algorithm_arg(node)
+                if algo_expr is None:
+                    continue
+                cls = _resolve_algorithm_expr(
+                    algo_expr, graph, module, local_ctors
+                )
+                if cls is None or cls not in bindings:
+                    continue
+                binding = bindings[cls]
+                binding.models.add(model)
+                binding.sites.append((module.name, node.lineno))
+    return bindings
+
+
+def entry_keys(binding: Binding, graph: CallGraph) -> List[str]:
+    """Call-graph keys of the binding's node-program entry points,
+    resolved along the class's base chain (inherited entry points count
+    — a subclass bound to a model executes its parent's ``step``)."""
+    keys = []
+    for entry in ENTRY_POINTS:
+        key = graph.resolve_method(binding.name, entry)
+        if key is not None:
+            keys.append(key)
+    return keys

@@ -1,0 +1,269 @@
+"""Call-graph construction and reachability.
+
+The LM rules are *reachability* rules: ``ctx.random`` in a helper is a
+violation exactly when that helper is reachable from a DetLOCAL
+algorithm's entry points.  This module builds a conservative static
+call graph over every analyzed module:
+
+- module-level functions, resolved through ``from``-imports across the
+  analyzed corpus;
+- methods, resolved through ``self.``/``cls.`` calls along the class's
+  base-class chain (within the corpus);
+- direct ``Class().method`` / ``module.function`` attribute calls.
+
+Unresolvable calls (builtins, stdlib, dynamic dispatch) simply add no
+edge — the analysis over-approximates nothing it cannot see, keeping
+the rules free of false positives from phantom edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .modules import ModuleInfo
+
+FunctionNode = ast.FunctionDef
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the corpus."""
+
+    #: ``module:Class.method`` or ``module:function``.
+    key: str
+    module_name: str
+    class_name: Optional[str]
+    name: str
+
+    @property
+    def display(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus resolved base names."""
+
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    #: textual base-class names (attribute bases use their last segment).
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionNode] = field(default_factory=dict)
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+class CallGraph:
+    """Function index + call edges + BFS reachability with parent links."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self.by_key: Dict[str, Tuple[FunctionInfo, FunctionNode, ModuleInfo]] = {}
+        #: bare function name -> keys (module-level defs only).
+        self._by_name: Dict[str, List[str]] = {}
+        #: class name -> ClassInfo (last definition wins on collision).
+        self.classes: Dict[str, ClassInfo] = {}
+        self._edges: Dict[str, List[str]] = {}
+        self._index()
+        for key, (_, node, module) in list(self.by_key.items()):
+            self._edges[key] = self._callees(key, node, module)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        module: ModuleInfo,
+        node: FunctionNode,
+        class_name: Optional[str],
+    ) -> None:
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        key = f"{module.name}:{qual}"
+        info = FunctionInfo(
+            key=key,
+            module_name=module.name,
+            class_name=class_name,
+            name=node.name,
+        )
+        self.by_key[key] = (info, node, module)
+        if class_name is None:
+            self._by_name.setdefault(node.name, []).append(key)
+
+    def _index(self) -> None:
+        for module in self.modules:
+            for fn in module.functions.values():
+                self._add(module, fn, None)
+            for cls in module.classes.values():
+                cinfo = ClassInfo(
+                    name=cls.name,
+                    module=module,
+                    node=cls,
+                    bases=_base_names(cls),
+                )
+                for item in cls.body:
+                    if isinstance(item, ast.FunctionDef):
+                        cinfo.methods[item.name] = item
+                        self._add(module, item, cls.name)
+                self.classes[cls.name] = cinfo
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_method(
+        self, class_name: str, method: str
+    ) -> Optional[str]:
+        """Key of ``method`` looked up along ``class_name``'s bases."""
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cinfo = self.classes.get(current)
+            if cinfo is None:
+                continue
+            if method in cinfo.methods:
+                return f"{cinfo.module.name}:{current}.{method}"
+            queue.extend(cinfo.bases)
+        return None
+
+    def _resolve_name_call(
+        self, name: str, module: ModuleInfo
+    ) -> Optional[str]:
+        """Resolve a bare-name call to a function key or a class
+        (classes resolve to no edge here; constructors carry no node
+        code we analyze beyond ``__init__``, handled via methods)."""
+        if name in module.functions:
+            return f"{module.name}:{name}"
+        origin = module.import_origin(name)
+        if origin:
+            # ``from .linial import cover_free_set`` — match the origin
+            # module by dotted suffix, then the function by name.
+            target_module, _, target_name = origin.rpartition(".")
+            for other in self.modules:
+                if other.name == target_module or other.name.endswith(
+                    "." + target_module.rpartition(".")[2]
+                ):
+                    if target_name in other.functions:
+                        return f"{other.name}:{target_name}"
+        # Unique bare-name match across the corpus (fixture-friendly).
+        candidates = self._by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_class(
+        self, name: str, module: ModuleInfo
+    ) -> Optional[ClassInfo]:
+        """Resolve a name (local or imported) to an analyzed class."""
+        if name in module.classes:
+            return self.classes.get(name)
+        origin = module.import_origin(name)
+        if origin:
+            leaf = origin.rpartition(".")[2]
+            if leaf in self.classes:
+                return self.classes[leaf]
+        return self.classes.get(name)
+
+    def _callees(
+        self, key: str, node: FunctionNode, module: ModuleInfo
+    ) -> List[str]:
+        info = self.by_key[key][0]
+        callees: List[str] = []
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if isinstance(func, ast.Name):
+                target = self._resolve_name_call(func.id, module)
+                if target:
+                    callees.append(target)
+                else:
+                    cinfo = self.resolve_class(func.id, module)
+                    if cinfo is not None:
+                        init = self.resolve_method(cinfo.name, "__init__")
+                        if init:
+                            callees.append(init)
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id in ("self", "cls") and info.class_name:
+                        target = self.resolve_method(
+                            info.class_name, func.attr
+                        )
+                        if target:
+                            callees.append(target)
+                        continue
+                    cinfo = self.resolve_class(base.id, module)
+                    if cinfo is not None:
+                        target = self.resolve_method(cinfo.name, func.attr)
+                        if target:
+                            callees.append(target)
+                        continue
+                    origin = module.import_origin(base.id)
+                    if origin:
+                        for other in self.modules:
+                            if other.name == origin or other.name.endswith(
+                                "." + origin.rpartition(".")[2]
+                            ):
+                                if func.attr in other.functions:
+                                    callees.append(
+                                        f"{other.name}:{func.attr}"
+                                    )
+                                    break
+                elif isinstance(base, ast.Call) and isinstance(
+                    base.func, ast.Name
+                ):
+                    cinfo = self.resolve_class(base.func.id, module)
+                    if cinfo is not None:
+                        target = self.resolve_method(cinfo.name, func.attr)
+                        if target:
+                            callees.append(target)
+        return callees
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable_from(
+        self, entry_keys: Iterable[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        """BFS closure: key -> call chain (display names) from an entry.
+
+        The chain is the shortest discovery path, used to explain *why*
+        a helper is considered node-level code in diagnostics.
+        """
+        chains: Dict[str, Tuple[str, ...]] = {}
+        queue: List[str] = []
+        for key in entry_keys:
+            if key in self.by_key and key not in chains:
+                chains[key] = (self.by_key[key][0].display,)
+                queue.append(key)
+        while queue:
+            current = queue.pop(0)
+            for callee in self._edges.get(current, ()):
+                if callee in chains or callee not in self.by_key:
+                    continue
+                chains[callee] = chains[current] + (
+                    self.by_key[callee][0].display,
+                )
+                queue.append(callee)
+        return chains
+
+    def function(
+        self, key: str
+    ) -> Tuple[FunctionInfo, FunctionNode, ModuleInfo]:
+        return self.by_key[key]

@@ -1,0 +1,184 @@
+"""Source loading for the analyzer: parse trees, symbol tables,
+suppression comments.
+
+The analyzer never imports the code it checks — everything is derived
+from the AST and the token stream, so a module with seeded violations
+(or unresolvable imports, as in the test fixtures) is still analyzable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+#: ``# repro: ignore[LM001, LM004]`` or bare ``# repro: ignore``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    The wildcard entry ``{"*"}`` (bare ``# repro: ignore``) suppresses
+    every rule on its line.  Comment-only lines suppress the line below
+    as well (handled at match time, see :func:`is_suppressed`).
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            ids = {"*"}
+        else:
+            ids = {c.strip().upper() for c in codes.split(",") if c.strip()}
+        suppressions.setdefault(tok.start[0], set()).update(ids)
+    return suppressions
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module plus the lookup tables rules need."""
+
+    path: Path
+    name: str
+    tree: ast.Module
+    source: str
+    #: line -> suppressed rule ids ("*" = all).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: local name -> dotted origin ("random", "repro.core.context.Model").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: comment-only source lines (their suppressions cover the next line).
+    comment_lines: Set[int] = field(default_factory=set)
+    #: module-level function defs by name.
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: module-level class defs by name.
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: module-level variable assignments: name -> assigned value node.
+    module_vars: Dict[str, ast.expr] = field(default_factory=dict)
+
+    def import_origin(self, local_name: str) -> Optional[str]:
+        return self.imports.get(local_name)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line`` — by a trailing
+        comment on the line itself, or by a comment-only line above."""
+        for candidate in (line, line - 1):
+            codes = self.suppressions.get(candidate)
+            if codes is None:
+                continue
+            if candidate == line - 1 and candidate not in self.comment_lines:
+                continue
+            if "*" in codes or rule_id.upper() in codes:
+                return True
+        return False
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module name derived from the package layout on disk
+    (walk up while ``__init__.py`` exists).  Standalone files — like the
+    test fixtures — get their bare stem."""
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def _resolve_relative(module_name: str, node: ast.ImportFrom) -> str:
+    """Absolute dotted origin of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    base = module_name.split(".")
+    # level=1 strips the module's own leaf, deeper levels strip packages.
+    anchor = base[: -node.level] if node.level <= len(base) else []
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return ".".join(anchor)
+
+
+def _collect_imports(module_name: str, tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            origin = _resolve_relative(module_name, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = (
+                    f"{origin}.{alias.name}" if origin else alias.name
+                )
+    return imports
+
+
+def _comment_only_lines(source: str) -> Set[int]:
+    lines: Set[int] = set()
+    for i, text in enumerate(source.splitlines(), start=1):
+        if text.lstrip().startswith("#"):
+            lines.add(i)
+    return lines
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``
+    on unparsable source — surfaced by the analyzer as a diagnostic)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    name = _module_name_for(path)
+    info = ModuleInfo(
+        path=path,
+        name=name,
+        tree=tree,
+        source=source,
+        suppressions=parse_suppressions(source),
+        imports=_collect_imports(name, tree),
+        comment_lines=_comment_only_lines(source),
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = node  # type: ignore[assignment]
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.module_vars[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                info.module_vars[node.target.id] = node.value
+    return info
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)

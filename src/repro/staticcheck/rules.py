@@ -1,0 +1,635 @@
+"""The LM rule set: LOCAL-model conformance checks.
+
+Each rule inspects functions *reachable from a bound algorithm's entry
+points* (the call-graph closure of ``setup``/``step``), so helpers are
+covered and driver-side code — which legitimately holds the
+:class:`~repro.graphs.graph.Graph`, draws seeds, and assigns IDs — is
+not.  See ``docs/static_analysis.md`` for the paper-grounded rationale
+of every rule.
+
+Rule inventory:
+
+========  ========  ====================================================
+LM001     error     randomness reachable from a DetLOCAL algorithm
+LM002     error     ``ctx.id`` reachable from a RandLOCAL algorithm
+LM003     error     node-level code referencing global topology (Graph)
+LM004     error     cross-node hidden channel (module state / mutable
+                    default written from node code)
+LM005     warning   wall-clock / OS entropy / unordered-set iteration in
+                    DetLOCAL node code
+LM006     warning   publishing values derived from ``ctx.now``
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .bindings import DET, RAND, Binding, bind_models, entry_keys
+from .callgraph import CallGraph, FunctionInfo, FunctionNode
+from .diagnostics import Diagnostic, RuleSpec, Severity
+from .modules import ModuleInfo
+
+RULES: Dict[str, RuleSpec] = {
+    spec.rule_id: spec
+    for spec in (
+        RuleSpec(
+            "LM001",
+            Severity.ERROR,
+            "randomness in DetLOCAL node code",
+            "DetLOCAL vertices receive no random bits (Section I); a "
+            "hidden coin flip voids deterministic round-count claims "
+            "(Theorems 3-5).",
+        ),
+        RuleSpec(
+            "LM002",
+            Severity.ERROR,
+            "vertex ID use in RandLOCAL node code",
+            "RandLOCAL vertices are undifferentiated; reading an ID "
+            "smuggles in the symmetry-breaking power the separation "
+            "(Theorem 5, Corollary 2) quantifies.",
+        ),
+        RuleSpec(
+            "LM003",
+            Severity.ERROR,
+            "node code references global topology",
+            "a t-round algorithm is a function of the radius-t view "
+            "only; holding the whole Graph breaks the "
+            "indistinguishability arguments (Theorem 5, E12).",
+        ),
+        RuleSpec(
+            "LM004",
+            Severity.ERROR,
+            "cross-node hidden channel",
+            "vertices communicate only via published values on edges; "
+            "shared module state is an out-of-band channel that "
+            "invalidates message/round accounting.",
+        ),
+        RuleSpec(
+            "LM005",
+            Severity.WARNING,
+            "nondeterminism source in DetLOCAL node code",
+            "wall-clock time, OS entropy, or unordered-set iteration "
+            "can differ across runs, so the 'deterministic' round "
+            "counts stop being reproducible.",
+        ),
+        RuleSpec(
+            "LM006",
+            Severity.WARNING,
+            "published value derived from ctx.now",
+            "ctx.now is for local scheduling; publishing round-derived "
+            "values must be an explicit, documented part of the "
+            "algorithm's output contract (see NodeContext.now).",
+        ),
+    )
+}
+
+#: Modules whose call results are nondeterministic across runs.
+_NONDET_MODULES = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+    },
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+_RANDOM_MODULES = ("random", "secrets")
+
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+
+def _ctx_param_names(fn: FunctionNode) -> Set[str]:
+    """Parameters holding a NodeContext: named ``ctx`` or annotated so."""
+    names: Set[str] = set()
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.arg == "ctx":
+            names.add(arg.arg)
+            continue
+        ann = arg.annotation
+        text = ""
+        if isinstance(ann, ast.Name):
+            text = ann.id
+        elif isinstance(ann, ast.Attribute):
+            text = ann.attr
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value
+        if "NodeContext" in text:
+            names.add(arg.arg)
+    return names
+
+
+def _walk_skipping_annotations(node: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but does not descend into type annotations
+    (annotations may legitimately mention out-of-view types)."""
+    queue: List[ast.AST] = [node]
+    while queue:
+        current = queue.pop(0)
+        yield current
+        for name, value in ast.iter_fields(current):
+            if name in ("annotation", "returns"):
+                continue
+            if isinstance(value, ast.AST):
+                queue.append(value)
+            elif isinstance(value, list):
+                queue.extend(v for v in value if isinstance(v, ast.AST))
+
+
+@dataclass
+class _Site:
+    """One reachable function with its context for rule matching."""
+
+    binding: Binding
+    info: FunctionInfo
+    node: FunctionNode
+    module: ModuleInfo
+    chain: Tuple[str, ...]
+    ctx_names: Set[str]
+
+
+class RuleEngine:
+    """Runs the LM rules over a corpus and yields raw diagnostics
+    (suppressions are applied by the analyzer, not here)."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.bindings = bind_models(graph)
+
+    # ------------------------------------------------------------------
+    # Site enumeration
+    # ------------------------------------------------------------------
+    def _sites(self, binding: Binding) -> List[_Site]:
+        chains = self.graph.reachable_from(
+            entry_keys(binding, self.graph)
+        )
+        sites = []
+        for key, chain in chains.items():
+            info, node, module = self.graph.function(key)
+            sites.append(
+                _Site(
+                    binding=binding,
+                    info=info,
+                    node=node,
+                    module=module,
+                    chain=chain,
+                    ctx_names=_ctx_param_names(node),
+                )
+            )
+        return sites
+
+    def _emit(
+        self,
+        rule_id: str,
+        site: _Site,
+        node: ast.AST,
+        message: str,
+        hint: str,
+    ) -> Diagnostic:
+        spec = RULES[rule_id]
+        return Diagnostic(
+            rule_id=rule_id,
+            severity=spec.severity,
+            path=str(site.module.path),
+            line=getattr(node, "lineno", site.node.lineno),
+            message=message,
+            hint=hint,
+            chain=site.chain,
+        )
+
+    def run(self) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for binding in self.bindings.values():
+            sites = self._sites(binding)
+            for site in sites:
+                if DET in binding.models:
+                    diagnostics.extend(self._check_lm001(site))
+                    diagnostics.extend(self._check_lm005(site))
+                if RAND in binding.models:
+                    diagnostics.extend(self._check_lm002(site))
+                diagnostics.extend(self._check_lm003(site))
+                diagnostics.extend(self._check_lm004(site))
+                diagnostics.extend(self._check_lm006(site))
+        # One finding per (rule, path, line): a helper shared by several
+        # bound classes is reported once, with the first chain found.
+        unique: Dict[Tuple[str, str, int], Diagnostic] = {}
+        for diag in diagnostics:
+            unique.setdefault((diag.rule_id, diag.path, diag.line), diag)
+        return sorted(
+            unique.values(), key=lambda d: (d.path, d.line, d.rule_id)
+        )
+
+    # ------------------------------------------------------------------
+    # LM001 — randomness reachable from DetLOCAL
+    # ------------------------------------------------------------------
+    def _check_lm001(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        for node in ast.walk(site.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in site.ctx_names
+            ):
+                yield self._emit(
+                    "LM001",
+                    site,
+                    node,
+                    f"ctx.random read in code reachable from DetLOCAL "
+                    f"algorithm {algo!r}",
+                    "DetLOCAL node code gets no random bits; derive "
+                    "choices from ctx.id or inputs, or register the "
+                    "algorithm under Model.RAND",
+                )
+            elif isinstance(node, ast.Name) and node.id in site.ctx_names:
+                continue
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                origin = _module_origin(node, site.module)
+                if origin in _RANDOM_MODULES:
+                    yield self._emit(
+                        "LM001",
+                        site,
+                        node,
+                        f"{origin!r} module used in code reachable from "
+                        f"DetLOCAL algorithm {algo!r}",
+                        "remove the randomness or move it to the driver "
+                        "(ID/seed assignment happens outside node code)",
+                    )
+
+    # ------------------------------------------------------------------
+    # LM002 — ctx.id reachable from RandLOCAL
+    # ------------------------------------------------------------------
+    def _check_lm002(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        for node in ast.walk(site.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "id"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in site.ctx_names
+            ):
+                yield self._emit(
+                    "LM002",
+                    site,
+                    node,
+                    f"ctx.id read in code reachable from RandLOCAL "
+                    f"algorithm {algo!r}",
+                    "RandLOCAL vertices are undifferentiated; draw a "
+                    "random identifier from ctx.random instead",
+                )
+
+    # ------------------------------------------------------------------
+    # LM003 — node code referencing global topology
+    # ------------------------------------------------------------------
+    def _check_lm003(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        hint = (
+            "node code sees only ctx (degree, ports, inbox, globals); "
+            "pass per-vertex inputs via node_inputs instead of topology"
+        )
+        args = list(site.node.args.posonlyargs) + list(
+            site.node.args.args
+        ) + list(site.node.args.kwonlyargs)
+        for arg in args:
+            ann = arg.annotation
+            text = ""
+            if isinstance(ann, ast.Name):
+                text = ann.id
+            elif isinstance(ann, ast.Attribute):
+                text = ann.attr
+            elif isinstance(ann, ast.Constant) and isinstance(
+                ann.value, str
+            ):
+                text = ann.value
+            if text.strip("'\"") == "Graph" or text.startswith("Graph["):
+                yield self._emit(
+                    "LM003",
+                    site,
+                    ann if ann is not None else site.node,
+                    f"function {site.info.display!r}, reachable from "
+                    f"algorithm {algo!r}, takes the global Graph as a "
+                    "parameter",
+                    hint,
+                )
+        for node in _walk_skipping_annotations(site.node):
+            if isinstance(node, ast.Name) and node.id == "Graph":
+                origin = site.module.import_origin("Graph") or "Graph"
+                if origin.rpartition(".")[2] == "Graph":
+                    yield self._emit(
+                        "LM003",
+                        site,
+                        node,
+                        f"Graph referenced in code reachable from "
+                        f"algorithm {algo!r} (out-of-view information)",
+                        hint,
+                    )
+
+    # ------------------------------------------------------------------
+    # LM004 — cross-node hidden channels
+    # ------------------------------------------------------------------
+    def _check_lm004(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        module_vars = set(site.module.module_vars)
+        for node in ast.walk(site.node):
+            if isinstance(node, ast.Global):
+                shared = [n for n in node.names if n in module_vars]
+                for name in shared or node.names:
+                    yield self._emit(
+                        "LM004",
+                        site,
+                        node,
+                        f"algorithm {algo!r} writes module-level name "
+                        f"{name!r} from node code (hidden cross-node "
+                        "channel)",
+                        "keep per-vertex state in ctx.state; vertices "
+                        "may only communicate via publish()",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in module_vars
+            ):
+                yield self._emit(
+                    "LM004",
+                    site,
+                    node,
+                    f"algorithm {algo!r} mutates module-level "
+                    f"{node.func.value.id!r} from node code (hidden "
+                    "cross-node channel)",
+                    "keep per-vertex state in ctx.state; vertices may "
+                    "only communicate via publish()",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in module_vars
+                    ):
+                        yield self._emit(
+                            "LM004",
+                            site,
+                            node,
+                            f"algorithm {algo!r} writes into "
+                            f"module-level {target.value.id!r} from "
+                            "node code (hidden cross-node channel)",
+                            "keep per-vertex state in ctx.state",
+                        )
+        for default in list(site.node.args.defaults) + [
+            d for d in site.node.args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                yield self._emit(
+                    "LM004",
+                    site,
+                    default,
+                    f"mutable default argument on {site.info.display!r} "
+                    f"(reachable from algorithm {algo!r}) is shared "
+                    "across every vertex's calls",
+                    "default to None and create the container inside "
+                    "the function",
+                )
+
+    # ------------------------------------------------------------------
+    # LM005 — nondeterminism sources in DetLOCAL node code
+    # ------------------------------------------------------------------
+    def _check_lm005(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        set_vars = _set_valued_locals(site.node)
+        for node in ast.walk(site.node):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                base = node.func.value
+                if isinstance(base, ast.Name):
+                    origin = site.module.import_origin(base.id) or base.id
+                    allowed = _NONDET_MODULES.get(origin)
+                    if allowed and node.func.attr in allowed:
+                        yield self._emit(
+                            "LM005",
+                            site,
+                            node,
+                            f"{origin}.{node.func.attr}() called in "
+                            f"DetLOCAL node code of {algo!r} "
+                            "(nondeterministic across runs)",
+                            "deterministic node code may only depend "
+                            "on ctx (id, inputs, globals, inbox)",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                origin = site.module.import_origin(node.func.id) or ""
+                mod, _, attr = origin.rpartition(".")
+                if attr and mod in _NONDET_MODULES and (
+                    attr in _NONDET_MODULES[mod]
+                ):
+                    yield self._emit(
+                        "LM005",
+                        site,
+                        node,
+                        f"{origin}() called in DetLOCAL node code of "
+                        f"{algo!r} (nondeterministic across runs)",
+                        "deterministic node code may only depend on "
+                        "ctx (id, inputs, globals, inbox)",
+                    )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                if _is_set_expr(iter_expr, set_vars):
+                    yield self._emit(
+                        "LM005",
+                        site,
+                        iter_expr,
+                        f"iteration over an unordered set in DetLOCAL "
+                        f"node code of {algo!r}; the visit order can "
+                        "leak into published values",
+                        "iterate sorted(...) for a deterministic order",
+                    )
+
+    # ------------------------------------------------------------------
+    # LM006 — publishing ctx.now-derived values
+    # ------------------------------------------------------------------
+    def _check_lm006(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        if not site.ctx_names:
+            return
+        tainted = _now_tainted_names(site.node, site.ctx_names)
+        for node in ast.walk(site.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "publish"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in site.ctx_names
+            ):
+                continue
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords
+            ]:
+                if _mentions_now(arg, site.ctx_names, tainted):
+                    yield self._emit(
+                        "LM006",
+                        site,
+                        node,
+                        f"algorithm {algo!r} publishes a value derived "
+                        "from ctx.now",
+                        "round indices are for local scheduling; if "
+                        "the round number is genuinely part of the "
+                        "output contract, document it and add "
+                        "'# repro: ignore[LM006]'",
+                    )
+                    break
+
+
+def _module_origin(
+    node: ast.AST, module: ModuleInfo
+) -> Optional[str]:
+    """Root module a Name/Attribute expression resolves to via imports
+    (``random.Random`` -> 'random'; ``randrange`` imported from random
+    -> 'random')."""
+    if isinstance(node, ast.Attribute):
+        root = node
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            origin = module.import_origin(root.id)
+            if origin:
+                return origin.split(".")[0]
+        return None
+    if isinstance(node, ast.Name):
+        origin = module.import_origin(node.id)
+        if origin:
+            return origin.split(".")[0]
+    return None
+
+
+def _is_set_expr(node: ast.expr, set_vars: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_vars:
+        return True
+    return False
+
+
+def _set_valued_locals(fn: FunctionNode) -> Set[str]:
+    """Local names assigned a set-valued expression anywhere in ``fn``.
+
+    Names that are *also* assigned a non-set value somewhere are dropped
+    (conservative: only flag names that are unambiguously sets)."""
+    set_names: Set[str] = set()
+    other_names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_set_expr(node.value, set()):
+                    set_names.add(target.id)
+                else:
+                    other_names.add(target.id)
+    return set_names - other_names
+
+
+def _now_tainted_names(
+    fn: FunctionNode, ctx_names: Set[str]
+) -> Set[str]:
+    """Fixed point of: a name is tainted if assigned an expression
+    mentioning ``ctx.now`` or another tainted name."""
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            targets: Sequence[ast.expr] = ()
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            if not _mentions_now(value, ctx_names, tainted):
+                continue
+            for target in targets:
+                for name in _plain_target_names(target):
+                    if name not in tainted and name not in ctx_names:
+                        tainted.add(name)
+                        changed = True
+    return tainted
+
+
+def _plain_target_names(target: ast.expr) -> List[str]:
+    """Names bound by a plain/unpacking assignment target.  Subscript
+    and attribute stores (``ctx.state[...] = now``) bind no local name
+    and are deliberately not tracked — element-level taint would smear
+    onto the whole container."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_plain_target_names(element))
+        return names
+    return []
+
+
+def _mentions_now(
+    node: ast.AST, ctx_names: Set[str], tainted: Set[str]
+) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "now"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in ctx_names
+        ):
+            return True
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return True
+    return False

@@ -1,0 +1,72 @@
+"""Model-conformant fixture: everything here must produce ZERO
+diagnostics (the analyzer's false-positive budget)."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model, NodeContext
+from repro.core.engine import run_local
+from repro.graphs.graph import Graph
+
+#: Module-level constant — *read* from node code, never written.
+PALETTE = (0, 1, 2)
+
+
+def fold(color, other):
+    """Pure helper: fine in any model."""
+    diff = color ^ other
+    return (diff & -diff).bit_length() - 1
+
+
+class GoodDet(SyncAlgorithm):
+    """DetLOCAL: uses ctx.id, schedules with ctx.now, publishes colors."""
+
+    name = "good-det"
+
+    def setup(self, ctx):
+        ctx.state["color"] = ctx.id
+        ctx.publish(ctx.id)
+
+    def step(self, ctx, inbox):
+        # ctx.now used for *scheduling only* — never published.
+        if ctx.now < ctx.globals["phases"]:
+            taken = {msg for msg in inbox if isinstance(msg, int)}
+            # Sorted iteration over a set: deterministic, not flagged.
+            for color in sorted(taken):
+                if color != ctx.state["color"]:
+                    ctx.state["color"] = fold(ctx.state["color"], color)
+            ctx.publish(ctx.state["color"])
+            return
+        # Membership tests on sets are order-free: not flagged.
+        free = [c for c in PALETTE if c not in set(inbox)]
+        ctx.halt(free[0] if free else ctx.state["color"])
+
+
+class GoodRand(SyncAlgorithm):
+    """RandLOCAL: private coins, no IDs."""
+
+    name = "good-rand"
+
+    def setup(self, ctx: NodeContext):
+        ctx.publish(("undecided",))
+
+    def step(self, ctx: NodeContext, inbox):
+        bid = ctx.random.getrandbits(32)
+        if all(msg != ("in",) for msg in inbox):
+            ctx.publish(("bid", bid))
+        else:
+            ctx.halt(bid % 2)
+
+
+def det_driver(graph: Graph, ids):
+    """Driver code legitimately holds the Graph and assigns IDs —
+    it is not reachable from any entry point."""
+    return run_local(
+        graph,
+        GoodDet(),
+        Model.DET,
+        ids=ids,
+        global_params={"phases": graph.max_degree},
+    )
+
+
+def rand_driver(graph: Graph, seed):
+    return run_local(graph, GoodRand(), Model.RAND, seed=seed)

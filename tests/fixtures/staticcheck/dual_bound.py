@@ -1,0 +1,26 @@
+"""A class executed under BOTH models must satisfy both rule sets."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class BothWays(SyncAlgorithm):
+    name = "both-ways"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        if ctx.globals.get("det"):
+            ctx.publish(ctx.id)  # LM002 under the RAND binding
+        else:
+            ctx.publish(ctx.random.random())  # LM001 under DET binding
+
+
+def det_driver(graph):
+    return run_local(graph, BothWays(), Model.DET)
+
+
+def rand_driver(graph, seed):
+    return run_local(graph, BothWays(), Model.RAND, seed=seed)

@@ -1,0 +1,26 @@
+"""Violation in an *inherited* entry point: the bound subclass defines
+no step of its own, so the analyzer must follow the base chain."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class NoisyBase(SyncAlgorithm):
+    name = "noisy-base"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.publish(ctx.random.getrandbits(4))  # seeded: ctx.random
+
+
+class QuietChild(NoisyBase):
+    """Bound under DetLOCAL; inherits the violating step."""
+
+    name = "quiet-child"
+
+
+def driver(graph):
+    return run_local(graph, QuietChild(), Model.DET)

@@ -1,0 +1,32 @@
+"""Seeded LM001 violations: randomness reachable from DetLOCAL.
+
+Never imported — analyzed as source by tests/test_staticcheck.py.
+"""
+
+import random
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class SneakyDet(SyncAlgorithm):
+    """Claims DetLOCAL but flips coins two calls deep."""
+
+    name = "sneaky-det"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        self._pick(ctx, inbox)
+
+    def _pick(self, ctx, inbox):
+        ctx.publish(ctx.random.getrandbits(8))  # seeded: ctx.random
+        return random.random()  # seeded: random module
+
+
+def driver(graph):
+    # Bind through a local variable: the scanner must trace it.
+    algorithm = SneakyDet()
+    return run_local(graph, algorithm, Model.DET)

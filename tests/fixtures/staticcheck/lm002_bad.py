@@ -1,0 +1,24 @@
+"""Seeded LM002 violation: ctx.id reachable from RandLOCAL."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class PeekingRand(SyncAlgorithm):
+    """Claims RandLOCAL but breaks symmetry with the vertex ID."""
+
+    name = "peeking-rand"
+
+    def setup(self, ctx):
+        ctx.publish(None)
+
+    def step(self, ctx, inbox):
+        ctx.publish(self._bid(ctx))
+
+    def _bid(self, ctx):
+        return ctx.id * 2 + 1  # seeded: ctx.id under RandLOCAL
+
+
+def driver(graph, seed):
+    return run_local(graph, PeekingRand(), Model.RAND, seed=seed)

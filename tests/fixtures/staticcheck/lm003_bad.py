@@ -1,0 +1,33 @@
+"""Seeded LM003 violations: node code holding global topology."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+from repro.graphs.graph import Graph
+
+
+class TopologyPeeker(SyncAlgorithm):
+    """Reads the whole graph smuggled in through globals."""
+
+    name = "topology-peeker"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.publish(farthest_degree(ctx.globals["graph"], 0))
+
+
+def farthest_degree(graph: Graph, v):  # seeded: Graph parameter
+    # seeded: Graph referenced in reachable node code
+    assert isinstance(graph, Graph)
+    return max(graph.degree(u) for u in range(graph.num_vertices))
+
+
+def driver(graph):
+    return run_local(
+        graph,
+        TopologyPeeker(),
+        Model.DET,
+        global_params={"graph": graph},
+    )

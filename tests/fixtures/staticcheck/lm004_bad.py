@@ -1,0 +1,36 @@
+"""Seeded LM004 violations: cross-node hidden channels."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+BLACKBOARD = {}
+COUNTER = 0
+
+
+class Gossip(SyncAlgorithm):
+    """Vertices coordinate through module state instead of messages."""
+
+    name = "gossip"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        BLACKBOARD["latest"] = max(inbox or [0])  # seeded: shared write
+        BLACKBOARD.update(round=len(inbox))  # seeded: shared mutation
+        self._note(ctx)
+        bump()
+
+    def _note(self, ctx, seen=[]):  # seeded: mutable default
+        seen.append(1)
+        ctx.publish(len(seen))
+
+
+def bump():
+    global COUNTER  # seeded: global write from node code
+    COUNTER += 1
+
+
+def driver(graph):
+    return run_local(graph, Gossip(), Model.DET)

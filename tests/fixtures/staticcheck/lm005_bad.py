@@ -1,0 +1,28 @@
+"""Seeded LM005 violations: nondeterminism sources in DetLOCAL."""
+
+import os
+import time
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class FlakyDet(SyncAlgorithm):
+    """Deterministic on paper, wall-clock-dependent in practice."""
+
+    name = "flaky-det"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        stamp = time.monotonic()  # seeded: wall clock
+        entropy = os.urandom(1)  # seeded: OS entropy
+        bag = {msg for msg in inbox if msg}
+        for msg in bag:  # seeded: unordered-set iteration
+            ctx.publish((msg, stamp, entropy))
+
+
+def driver(graph):
+    return run_local(graph, FlakyDet(), Model.DET)

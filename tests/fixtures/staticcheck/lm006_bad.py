@@ -1,0 +1,23 @@
+"""Seeded LM006 violations: publishing ctx.now-derived values."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class Clocky(SyncAlgorithm):
+    """Leaks the round counter into its messages."""
+
+    name = "clocky"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        phase = ctx.now % 2
+        ctx.publish(("phase", phase))  # seeded: tainted local
+        ctx.publish(ctx.now + 1)  # seeded: direct ctx.now
+
+
+def driver(graph):
+    return run_local(graph, Clocky(), Model.DET)

@@ -1,0 +1,28 @@
+"""Seeded violations covered by ``# repro: ignore`` suppressions —
+the analyzer must report none of them (but count them as suppressed)."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class DocumentedClock(SyncAlgorithm):
+    """Publishes its peel round as the documented output contract."""
+
+    name = "documented-clock"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.publish(("layer", ctx.now))  # repro: ignore[LM006]
+        # repro: ignore[LM006]
+        ctx.publish(ctx.now + 1)
+        self._spend(ctx)
+
+    def _spend(self, ctx):
+        return ctx.random.random()  # repro: ignore
+
+
+def driver(graph):
+    return run_local(graph, DocumentedClock(), Model.DET)
