@@ -16,7 +16,7 @@ from repro.algorithms import (
     barenboim_elkin_coloring,
     pettie_su_tree_coloring,
 )
-from repro.analysis import ExperimentRecord, Series
+from repro.analysis import ExperimentRecord, Series, run_sweep
 from repro.graphs.generators import complete_regular_tree_with_size
 from repro.lcl import KColoring
 from repro.lowerbounds import corollary2_rounds, theorem5_rounds
@@ -26,7 +26,21 @@ SIZES = (100, 2000, 40000)
 SEEDS = (0, 1, 2)
 
 
-def run_experiment() -> ExperimentRecord:
+def _rand_measure(n: float, seed: int) -> float:
+    """One randomized cell — a pure function of (n, seed), so the
+    sweep may fan it out to pool workers without changing results.
+    Validity is enforced here (raising) because worker-side mutations
+    of parent-scope flags would be lost across the fork boundary."""
+    g = complete_regular_tree_with_size(DELTA, int(n))
+    report = pettie_su_tree_coloring(g, seed=seed)
+    if not KColoring(DELTA).is_solution(g, report.labeling):
+        raise AssertionError(
+            f"invalid randomized coloring: n={g.num_vertices} seed={seed}"
+        )
+    return float(report.rounds)
+
+
+def run_experiment(workers=None) -> ExperimentRecord:
     record = ExperimentRecord(
         "E3",
         f"Exponential separation: Δ={DELTA}-coloring trees, "
@@ -35,29 +49,33 @@ def run_experiment() -> ExperimentRecord:
     checker = KColoring(DELTA)
     det_series = Series("DetLOCAL rounds (Theorem 9, q=Δ)")
     rand_series = Series("RandLOCAL rounds (Theorem 10)")
-    det_valid = rand_valid = True
+    det_valid = True
     above_bounds = True
+    actual_sizes = []
     for n in SIZES:
         g = complete_regular_tree_with_size(DELTA, n)
+        actual_sizes.append(g.num_vertices)
         det = barenboim_elkin_coloring(g, DELTA)
         det_valid &= checker.is_solution(g, det.labeling)
         det_series.add(g.num_vertices, [det.rounds])
         above_bounds &= det.rounds >= theorem5_rounds(
             g.num_vertices, DELTA, epsilon=0.5
         )
-        rand_values = []
-        for seed in SEEDS:
-            rand = pettie_su_tree_coloring(g, seed=seed)
-            rand_valid &= checker.is_solution(g, rand.labeling)
-            rand_values.append(rand.rounds)
-            above_bounds &= rand.rounds >= corollary2_rounds(
-                g.num_vertices, DELTA, epsilon=0.5
-            )
-        rand_series.add(g.num_vertices, rand_values)
+    sweep = run_sweep(
+        "rand", SIZES, _rand_measure, seeds=SEEDS, workers=workers
+    )
+    for point, g_n in zip(sweep.points, actual_sizes):
+        rand_series.add(g_n, point.values)
+        above_bounds &= all(
+            v >= corollary2_rounds(g_n, DELTA, epsilon=0.5)
+            for v in point.values
+        )
     record.add_series(det_series)
     record.add_series(rand_series)
     record.check("deterministic colorings valid", det_valid)
-    record.check("randomized colorings valid", rand_valid)
+    # Randomized validity is enforced per cell inside _rand_measure
+    # (an invalid coloring raises and aborts the sweep).
+    record.check("randomized colorings valid", True)
     det_increment = det_series.means[-1] - det_series.means[0]
     rand_increment = rand_series.means[-1] - rand_series.means[0]
     record.check("deterministic rounds grow", det_increment > 0)
@@ -76,6 +94,11 @@ def run_experiment() -> ExperimentRecord:
     return record
 
 
-def test_e03_separation(benchmark, record_experiment):
-    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_e03_separation(benchmark, record_experiment, sweep_workers):
+    record = benchmark.pedantic(
+        run_experiment,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
     record_experiment(record)

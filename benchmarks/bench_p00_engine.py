@@ -1,0 +1,91 @@
+"""P0 — engine and sweep throughput (the perf-smoke experiment).
+
+Not a paper experiment: this record tracks the machinery every other
+experiment runs on.  Two workloads from :mod:`repro.analysis.perf`:
+
+- the sleep-heavy engine micro-benchmark (class-sweep algorithm on a
+  10^4-vertex cycle, 400 wake classes) — the regime where the wake
+  buckets + incremental snapshots must beat the O(n)-per-round
+  reference engine by >= 3x;
+- a scaled-down separation sweep, serial vs ``workers=N`` pool, whose
+  parallel Series must be bit-identical to the serial one (enforced by
+  ``sweep_metrics``, which raises on divergence).
+
+The parallel wall-clock check is gated on the host's core count: on a
+single-core box a process pool cannot beat serial, and the record
+documents that instead of failing.  ``repro bench --compare
+benchmarks/BENCH_baseline.json`` is the tracked-trajectory companion
+to this smoke test.
+"""
+
+import os
+
+from repro.analysis import ExperimentRecord, Series
+from repro.analysis.perf import engine_sleepheavy_metrics, sweep_metrics
+
+ENGINE_N = 10_000
+ENGINE_CLASSES = 400
+SWEEP_WORKERS = 4
+SWEEP_SIZES = (100, 400)
+SWEEP_SEEDS = (0, 1, 2)
+
+
+def run_experiment(workers=None) -> ExperimentRecord:
+    workers = workers or SWEEP_WORKERS
+    cpus = os.cpu_count() or 1
+    record = ExperimentRecord(
+        "P0",
+        "Perf smoke: wake-bucket engine and parallel sweep throughput",
+    )
+    engine = engine_sleepheavy_metrics(
+        n=ENGINE_N, classes=ENGINE_CLASSES, repeats=1
+    )
+    sweep = sweep_metrics(
+        workers=workers, sizes=SWEEP_SIZES, seeds=SWEEP_SEEDS
+    )
+
+    engine_series = Series("engine rounds/sec (sleep-heavy cycle)")
+    engine_series.add(ENGINE_N, [engine["rounds_per_sec"]])
+    record.add_series(engine_series)
+    cells_series = Series("sweep cells/sec vs worker count")
+    cells_series.add(1, [sweep["serial_cells_per_sec"]])
+    cells_series.add(workers, [sweep["parallel_cells_per_sec"]])
+    record.add_series(cells_series)
+
+    record.check(
+        "wake buckets >= 3x over reference engine",
+        engine["speedup_vs_reference"] >= 3.0,
+    )
+    # sweep_metrics raises AssertionError when the pooled Series
+    # diverges from the serial one, so reaching this line proves it.
+    record.check("parallel sweep bit-identical to serial", True)
+    if cpus >= 4:
+        parallel_ok = sweep["parallel_speedup"] >= 2.0
+    elif cpus >= 2:
+        parallel_ok = sweep["parallel_speedup"] >= 1.2
+    else:
+        parallel_ok = True  # pool overhead only; nothing to gain
+    record.check(
+        "parallel sweep wall-clock (gated on core count)", parallel_ok
+    )
+    record.note(
+        f"engine speedup vs reference: "
+        f"{engine['speedup_vs_reference']:.2f}x "
+        f"({engine['fast_seconds']:.3f}s vs "
+        f"{engine['reference_seconds']:.3f}s)"
+    )
+    record.note(
+        f"sweep parallel speedup: {sweep['parallel_speedup']:.2f}x "
+        f"with workers={workers} on {cpus} cpu(s)"
+    )
+    return record
+
+
+def test_p00_engine(benchmark, record_experiment, sweep_workers):
+    record = benchmark.pedantic(
+        run_experiment,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(record)

@@ -21,6 +21,23 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="process-pool size for run_sweep-based benchmarks "
+        "(default: serial; results are bit-identical either way)",
+    )
+
+
+@pytest.fixture
+def sweep_workers(request):
+    """The --workers value, passed to run_sweep by sweep benchmarks."""
+    return request.config.getoption("--workers")
+
+
 @pytest.fixture
 def record_experiment():
     """Persist and display an ExperimentRecord; fail on failed checks."""

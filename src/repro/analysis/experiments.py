@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import AlgorithmFailure
 
 
 @dataclass
@@ -63,30 +65,88 @@ class Series:
         ]
 
 
+#: Sentinel used by pool workers to report a declared failure without
+#: pickling the exception traceback across the process boundary.
+_FAILED = "__algorithm_failure__"
+
+#: The measurement callable a forked pool worker should run.  Set in
+#: the parent immediately before the pool is created; fork-children
+#: inherit it, which lets ``run_sweep`` parallelize arbitrary closures
+#: (bench measures are rarely picklable).
+_WORKER_MEASURE: Optional[Callable[[float, int], float]] = None
+
+
+def _measure_cell(cell: Tuple[float, int, bool]) -> Tuple[str, float, str]:
+    """Run one (x, seed) cell in a pool worker (or inline)."""
+    x, seed, skip_failures = cell
+    assert _WORKER_MEASURE is not None
+    try:
+        return ("ok", float(_WORKER_MEASURE(x, seed)), "")
+    except AlgorithmFailure as exc:
+        if skip_failures:
+            return (_FAILED, 0.0, str(exc))
+        raise
+
+
 def run_sweep(
     name: str,
     xs: Sequence[float],
     measure: Callable[[float, int], float],
     seeds: Sequence[int] = (0, 1, 2),
     skip_failures: bool = False,
+    workers: Optional[int] = None,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
 
     With ``skip_failures`` (for randomized algorithms with a declared
-    failure mode), failed runs are dropped; a point with *no* surviving
-    run still raises.
+    failure mode), runs that raise :class:`AlgorithmFailure` are
+    dropped; a point with *no* surviving run still raises.  Any other
+    exception (``TypeError``, ``ModelViolationError``, ...) is a genuine
+    bug and always propagates.
+
+    With ``workers=N`` (N > 1), the grid × seed cells are fanned out to
+    a process pool.  Determinism contract: ``measure`` must be a pure
+    function of ``(x, seed)`` — every cell seeds its own RNGs — so the
+    returned :class:`Series` is bit-identical to a serial run; cells are
+    reassembled in serial order regardless of completion order.  The
+    pool uses the ``fork`` start method (closures need no pickling);
+    where ``fork`` is unavailable the sweep silently runs serially.
     """
+    cells = [(x, seed, skip_failures) for x in xs for seed in seeds]
+    outcomes = _run_cells(cells, measure, workers)
     series = Series(name)
-    for x in xs:
-        values = []
-        for seed in seeds:
-            try:
-                values.append(float(measure(x, seed)))
-            except Exception:
-                if not skip_failures:
-                    raise
-        series.add(x, values)
+    per_x = len(seeds)
+    for i, x in enumerate(xs):
+        chunk = outcomes[i * per_x:(i + 1) * per_x]
+        series.add(x, [value for tag, value, _ in chunk if tag == "ok"])
     return series
+
+
+def _run_cells(
+    cells: List[Tuple[float, int, bool]],
+    measure: Callable[[float, int], float],
+    workers: Optional[int],
+) -> List[Tuple[str, float, str]]:
+    """Evaluate cells serially or on a fork pool, in cell order."""
+    global _WORKER_MEASURE
+    pool_ctx = None
+    if workers is not None and workers > 1 and len(cells) > 1:
+        import multiprocessing
+
+        try:
+            pool_ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: degrade to serial
+            pool_ctx = None
+    previous = _WORKER_MEASURE
+    _WORKER_MEASURE = measure
+    try:
+        if pool_ctx is None:
+            return [_measure_cell(cell) for cell in cells]
+        assert workers is not None
+        with pool_ctx.Pool(processes=min(workers, len(cells))) as pool:
+            return pool.map(_measure_cell, cells)
+    finally:
+        _WORKER_MEASURE = previous
 
 
 @dataclass

@@ -130,6 +130,56 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import perf
+
+    report = perf.run_perf_suite(
+        workers=args.workers,
+        include_reference=not args.no_reference,
+    )
+    rows = []
+    for name, metric in sorted(report["metrics"].items()):
+        normalized = metric["normalized"]
+        rows.append(
+            [
+                name,
+                f"{metric['value']:.3f}",
+                f"{normalized:.3f}" if normalized is not None else "-",
+            ]
+        )
+    print(
+        render_table(["metric", "value", "normalized/Mops"], rows)
+    )
+    print(
+        f"calibration: {report['calibration_ops_per_sec']:.0f} ops/s, "
+        f"{report['recorded']['cpu_count']} cpu(s)"
+    )
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        perf.save_baseline(report, args.output)
+        print(f"report written to {args.output}")
+    if args.update:
+        perf.save_baseline(report, args.update)
+        print(f"baseline refreshed at {args.update}")
+    if args.compare:
+        if not Path(args.compare).exists():
+            print(
+                f"repro bench: baseline does not exist: {args.compare}",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = perf.load_baseline(args.compare)
+        rows_cmp = perf.compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        print(perf.render_comparison(rows_cmp, args.tolerance))
+        if perf.has_regression(rows_cmp):
+            return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.reporting import main as report_main
 
@@ -207,10 +257,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
+        "bench",
+        help=(
+            "engine/sweep perf suite; --compare gates against a "
+            "committed baseline (exit 1 on regression)"
+        ),
+    )
+    p.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="baseline JSON to compare against "
+        "(e.g. benchmarks/BENCH_baseline.json)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed relative drop before a metric counts as a "
+        "regression (default: 0.35)",
+    )
+    p.add_argument(
+        "--update",
+        metavar="BASELINE",
+        help="write this run's report as the new baseline",
+    )
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the report JSON here (e.g. under "
+        "benchmarks/results/ for CI artifacts)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool size for the sweep macro-benchmark "
+        "(default: 4)",
+    )
+    p.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the O(n)-per-round reference engine timing "
+        "(faster runs while iterating)",
+    )
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
         "lint",
         help=(
             "static LOCAL-model conformance analysis (rules "
-            "LM001-LM006); exit 1 on error-severity findings"
+            "LM001-LM007); exit 1 on error-severity findings"
         ),
     )
     p.add_argument(

@@ -7,8 +7,11 @@ from .engine import (
     RoundTrace,
     RunResult,
     build_contexts,
+    flat_adjacency,
     make_node_rngs,
     run_local,
+    run_local_reference,
+    use_reference_engine,
 )
 from .errors import (
     AlgorithmFailure,
@@ -54,11 +57,14 @@ __all__ = [
     "build_contexts",
     "check_unique_ids",
     "collect_view",
+    "flat_adjacency",
     "id_bit_length",
     "make_node_rngs",
     "reversed_ids",
     "run_local",
+    "run_local_reference",
     "sequential_ids",
+    "use_reference_engine",
     "shuffled_ids",
     "sparse_random_ids",
     "tree_canonical_form",

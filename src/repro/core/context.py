@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from .errors import ModelViolationError
 
@@ -75,7 +75,7 @@ class NodeContext:
         node_id: Optional[int],
         rng: Optional[random.Random],
         node_input: Optional[Dict[str, Any]] = None,
-        global_params: Optional[Dict[str, Any]] = None,
+        global_params: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self._index = index
         self.degree = degree
@@ -85,7 +85,12 @@ class NodeContext:
         self._id = node_id
         self._rng = rng
         self.input: Dict[str, Any] = node_input or {}
-        self.globals: Dict[str, Any] = global_params or {}
+        # Common knowledge by definition (Section I): every vertex sees
+        # the same read-only mapping; the engine shares one instance
+        # across all n contexts.
+        self.globals: Mapping[str, Any] = (
+            global_params if global_params is not None else {}
+        )
         self.state: Dict[str, Any] = {}
         self._pub: Any = None
         self._next_pub: Any = None

@@ -16,13 +16,30 @@ Faithfulness guarantees:
   vertices receive private random streams and no IDs
   (:class:`~repro.core.context.NodeContext` enforces this);
 - a run that exceeds ``max_rounds`` raises instead of under-reporting.
+
+Two implementations share these guarantees:
+
+- :func:`run_local` — the production engine.  It keeps a persistent
+  ``visible`` list and commits only the publishes that actually changed
+  (instead of re-materializing an O(n) snapshot every round), delivers
+  inboxes through a flat CSR adjacency built once per run, and parks
+  ``sleep_until`` vertices in round-keyed wake buckets so sleeping
+  vertices are never scanned.  Per-round cost is O(awake + changed),
+  which is what the paper's shattering analysis predicts the workload
+  looks like: after a few rounds almost every vertex has halted.
+- :func:`run_local_reference` — the original straight-line loop, kept
+  deliberately simple.  The equivalence test suite runs every shipped
+  algorithm under both and asserts identical :class:`RunResult`\\ s;
+  see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from types import MappingProxyType
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algorithm import SyncAlgorithm
 from .context import Model, NodeContext
@@ -116,6 +133,10 @@ def build_contexts(
     check: Theorems 5 and 6 deliberately run algorithms under IDs that
     are unique only within the algorithm's horizon.  The caller asserts
     that the algorithm never compares IDs of farther-apart vertices.
+
+    The global parameters are *common knowledge by definition* (Section
+    I), so all ``n`` contexts share one read-only mapping — a mutation
+    attempt raises ``TypeError`` instead of silently diverging per node.
     """
     n = graph.num_vertices
     max_degree = graph.max_degree
@@ -137,12 +158,11 @@ def build_contexts(
             rngs = [rng_factory(v) for v in range(n)]
         else:
             rngs = list(make_node_rngs(n, seed))
+    shared_globals = MappingProxyType(dict(global_params or {}))
     contexts = []
     for v in range(n):
         node_input: Dict[str, Any] = dict(node_inputs[v]) if node_inputs else {}
-        node_input["reverse_ports"] = [
-            graph.reverse_port(v, p) for p in range(graph.degree(v))
-        ]
+        node_input["reverse_ports"] = graph.reverse_ports(v)
         contexts.append(
             NodeContext(
                 index=v,
@@ -153,10 +173,49 @@ def build_contexts(
                 node_id=ids[v],
                 rng=rngs[v],
                 node_input=node_input,
-                global_params=dict(global_params or {}),
+                global_params=shared_globals,
             )
         )
     return contexts
+
+
+def flat_adjacency(graph: Graph) -> Tuple[List[int], List[int]]:
+    """The graph's adjacency as flat CSR arrays ``(offsets, targets)``.
+
+    ``targets[offsets[v]:offsets[v + 1]]`` lists ``v``'s neighbors in
+    port order.  Built once per run; the hot loop then delivers inboxes
+    with plain list indexing instead of per-step method dispatch.
+    """
+    n = graph.num_vertices
+    offsets = [0] * (n + 1)
+    targets: List[int] = []
+    extend = targets.extend
+    for v in range(n):
+        extend(graph.neighbors(v))
+        offsets[v + 1] = len(targets)
+    return offsets, targets
+
+
+#: Which implementation :func:`run_local` dispatches to ("fast" in
+#: production; "reference" inside :func:`use_reference_engine`).
+_ACTIVE_IMPL = "fast"
+
+
+@contextmanager
+def use_reference_engine() -> Iterator[None]:
+    """Route every :func:`run_local` call to the reference engine.
+
+    Lets the equivalence suite execute whole multi-phase drivers (which
+    call ``run_local`` internally) under the kept-simple implementation
+    without touching their code.
+    """
+    global _ACTIVE_IMPL
+    previous = _ACTIVE_IMPL
+    _ACTIVE_IMPL = "reference"
+    try:
+        yield
+    finally:
+        _ACTIVE_IMPL = previous
 
 
 def run_local(
@@ -186,7 +245,8 @@ def run_local(
         ``{"edge_colors": [c_port0, c_port1, ...]}`` for the sinkless
         problems.
     global_params:
-        Extra common-knowledge parameters, available as ``ctx.globals``.
+        Extra common-knowledge parameters, available as ``ctx.globals``
+        (one shared read-only mapping).
     max_rounds:
         Safety cap; exceeding it raises :class:`SimulationError`.
 
@@ -194,6 +254,176 @@ def run_local(
     -------
     RunResult
         Outputs, exact round count, message count, declared failures.
+
+    Engine invariants (identical to :func:`run_local_reference`; the
+    equivalence suite enforces this):
+
+    - **dirty-commit**: a publish becomes visible only after every step
+      of the publishing round returned — commits are deferred to a
+      separate pass over the (few) dirty vertices, so double buffering
+      is preserved while costing O(changed), not O(n);
+    - **wake buckets**: a vertex sleeping until round ``w`` is parked in
+      ``buckets[w]`` and touched exactly once, when round ``w`` starts.
+      Rounds in which every live vertex sleeps are accounted in bulk
+      (round and message counters advance; nobody is scanned).
+    """
+    if _ACTIVE_IMPL == "reference":
+        return run_local_reference(
+            graph,
+            algorithm,
+            model,
+            ids=ids,
+            seed=seed,
+            node_inputs=node_inputs,
+            global_params=global_params,
+            max_rounds=max_rounds,
+            rng_factory=rng_factory,
+            allow_duplicate_ids=allow_duplicate_ids,
+            trace=trace,
+        )
+    contexts = build_contexts(
+        graph,
+        model,
+        ids=ids,
+        seed=seed,
+        node_inputs=node_inputs,
+        global_params=global_params,
+        rng_factory=rng_factory,
+        allow_duplicate_ids=allow_duplicate_ids,
+    )
+    n = graph.num_vertices
+    clock = _Clock()
+    for ctx in contexts:
+        ctx._clock = clock
+        algorithm.setup(ctx)
+        ctx._commit()
+
+    #: Persistent per-vertex visible values; updated in place by the
+    #: dirty-commit pass instead of being rebuilt every round.
+    visible: List[Any] = [ctx._pub for ctx in contexts]
+    offsets, targets = flat_adjacency(graph)
+
+    rounds = 0
+    messages = 0
+    messages_per_round = 2 * graph.num_edges
+    traces: List[RoundTrace] = []
+
+    #: wake round -> vertices parked until that round.
+    buckets: Dict[int, List[int]] = {}
+    parked = 0
+    runnable: List[int] = []
+    for v in range(n):
+        ctx = contexts[v]
+        if ctx.halted:
+            continue
+        wake = ctx._wake_round
+        if wake is not None and wake > 0:
+            buckets.setdefault(wake, []).append(v)
+            parked += 1
+        else:
+            runnable.append(v)
+
+    step = algorithm.step
+    while runnable or parked:
+        if rounds >= max_rounds:
+            raise SimulationError(
+                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                f"n={n} (likely non-terminating)"
+            )
+        if parked:
+            due = buckets.pop(rounds, None)
+            if due:
+                parked -= len(due)
+                runnable.extend(due)
+            if not runnable:
+                # Every live vertex sleeps: advance the round and
+                # message accounting in bulk up to the next wake (or the
+                # cap, where the guard above raises), scanning nobody.
+                skip = min(min(buckets), max_rounds) - rounds
+                if trace:
+                    traces.extend(
+                        RoundTrace(active=parked, awake=0, halted=0)
+                        for _ in range(skip)
+                    )
+                rounds += skip
+                messages += skip * messages_per_round
+                continue
+        clock.now = rounds
+        active_now = len(runnable) + parked
+        halted_this_round = 0
+        dirty: List[int] = []
+        next_runnable: List[int] = []
+        for v in runnable:
+            ctx = contexts[v]
+            ctx._wake_round = None
+            lo = offsets[v]
+            hi = offsets[v + 1]
+            inbox = [visible[u] for u in targets[lo:hi]]
+            step(ctx, inbox)
+            if ctx._pub_dirty:
+                dirty.append(v)
+            if ctx.halted:
+                halted_this_round += 1
+            else:
+                wake = ctx._wake_round
+                if wake is not None and wake > rounds + 1:
+                    buckets.setdefault(wake, []).append(v)
+                    parked += 1
+                else:
+                    next_runnable.append(v)
+        # Deferred dirty-commit pass: no publish became visible before
+        # every step of this round finished (double buffering).
+        for v in dirty:
+            ctx = contexts[v]
+            ctx._pub = ctx._next_pub
+            ctx._pub_dirty = False
+            visible[v] = ctx._pub
+        if trace:
+            traces.append(
+                RoundTrace(
+                    active=active_now,
+                    awake=len(runnable),
+                    halted=halted_this_round,
+                )
+            )
+        runnable = next_runnable
+        rounds += 1
+        messages += messages_per_round
+
+    failures = {
+        v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
+    }
+    outputs = [ctx.output for ctx in contexts]
+    return RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        messages=messages,
+        failures=failures,
+        trace=traces,
+    )
+
+
+def run_local_reference(
+    graph: Graph,
+    algorithm: SyncAlgorithm,
+    model: Model,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+    trace: bool = False,
+) -> RunResult:
+    """The kept-simple engine: full snapshot and full scan every round.
+
+    Semantically identical to :func:`run_local` (same signature, same
+    :class:`RunResult` down to the trace), but O(n) per round regardless
+    of how many vertices are awake.  It exists as the oracle for the
+    equivalence suite and as the baseline the perf harness measures
+    speedups against; it must stay a direct transcription of the model.
     """
     contexts = build_contexts(
         graph,

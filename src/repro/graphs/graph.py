@@ -125,6 +125,12 @@ class Graph:
         """The port of ``endpoint(v, port)`` that leads back to ``v``."""
         return self._rev[v][port]
 
+    def reverse_ports(self, v: int) -> List[int]:
+        """All reverse ports of ``v`` at once: element ``p`` is the port
+        of ``endpoint(v, p)`` that leads back to ``v``.  Returns a fresh
+        list (callers may keep or mutate it)."""
+        return list(self._rev[v])
+
     def port_of(self, v: int, u: int) -> int:
         """The port of ``v`` whose endpoint is ``u``.
 

@@ -18,6 +18,8 @@ LM004     error     cross-node hidden channel (module state / mutable
 LM005     warning   wall-clock / OS entropy / unordered-set iteration in
                     DetLOCAL node code
 LM006     warning   publishing values derived from ``ctx.now``
+LM007     warning   per-round topology-helper calls in node code the
+                    engine already precomputes (adjacency, reverse ports)
 ========  ========  ====================================================
 """
 
@@ -91,7 +93,26 @@ RULES: Dict[str, RuleSpec] = {
             "values must be an explicit, documented part of the "
             "algorithm's output contract (see NodeContext.now).",
         ),
+        RuleSpec(
+            "LM007",
+            Severity.WARNING,
+            "per-round topology recomputation in node code",
+            "the engine precomputes the flat adjacency (CSR) and every "
+            "vertex's reverse ports once per run; node code re-deriving "
+            "neighbor structure each round repeats that work "
+            "O(rounds) times (see docs/performance.md).",
+        ),
     )
+}
+
+#: Graph-level helpers the engine precomputes per run; calling them per
+#: round from node code is the LM007 pattern.
+_TOPOLOGY_HELPERS = {
+    "neighbors",
+    "endpoint",
+    "reverse_port",
+    "reverse_ports",
+    "port_of",
 }
 
 #: Modules whose call results are nondeterministic across runs.
@@ -240,6 +261,7 @@ class RuleEngine:
                 diagnostics.extend(self._check_lm003(site))
                 diagnostics.extend(self._check_lm004(site))
                 diagnostics.extend(self._check_lm006(site))
+                diagnostics.extend(self._check_lm007(site))
         # One finding per (rule, path, line): a helper shared by several
         # bound classes is reported once, with the first chain found.
         unique: Dict[Tuple[str, str, int], Diagnostic] = {}
@@ -519,6 +541,36 @@ class RuleEngine:
                         "'# repro: ignore[LM006]'",
                     )
                     break
+
+
+    # ------------------------------------------------------------------
+    # LM007 — per-round topology recomputation in node code
+    # ------------------------------------------------------------------
+    def _check_lm007(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        for node in ast.walk(site.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TOPOLOGY_HELPERS
+            ):
+                continue
+            receiver = node.func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in site.ctx_names
+            ):
+                continue
+            yield self._emit(
+                "LM007",
+                site,
+                node,
+                f"algorithm {algo!r} calls the topology helper "
+                f"{node.func.attr!r} per round in node code; the "
+                "engine precomputes this per run",
+                "read ctx.input['reverse_ports'] / the inbox instead "
+                "of rebuilding neighbor structure every step",
+            )
 
 
 def _module_origin(

@@ -1,0 +1,33 @@
+"""Seeded LM007 violations: node code recomputing per-round topology
+the engine already precomputes (adjacency, reverse ports)."""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class PortRebuilder(SyncAlgorithm):
+    """Rebuilds neighbor structure every round instead of reading the
+    precomputed ``ctx.input["reverse_ports"]`` / the inbox."""
+
+    name = "port-rebuilder"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        helper = ctx.globals["topo"]
+        # seeded: per-round reverse-port recomputation
+        back = [helper.reverse_port(0, p) for p in ctx.ports]
+        # seeded: per-round neighbor-list rebuild
+        degree_sum = len(helper.neighbors(0))
+        ctx.publish(degree_sum + len(back))
+
+
+def driver(graph, topo):
+    return run_local(
+        graph,
+        PortRebuilder(),
+        Model.DET,
+        global_params={"topo": topo},
+    )

@@ -2,6 +2,7 @@
 tables."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -23,6 +24,7 @@ from repro.analysis import (
     run_sweep,
     separation_factor,
 )
+from repro.core import AlgorithmFailure
 
 
 class TestMathHelpers:
@@ -109,7 +111,7 @@ class TestSweep:
     def test_skip_failures(self):
         def measure(x, seed):
             if seed == 0:
-                raise RuntimeError("boom")
+                raise AlgorithmFailure("declared failure")
             return x
 
         series = run_sweep(
@@ -117,12 +119,82 @@ class TestSweep:
         )
         assert series.points[0].values == [5.0]
 
+    def test_skip_failures_only_swallows_declared_failures(self):
+        """A genuine bug (TypeError, ModelViolationError, ...) must
+        surface even in a skip_failures sweep."""
+
+        def measure(x, seed):
+            raise TypeError("genuine bug")
+
+        with pytest.raises(TypeError):
+            run_sweep(
+                "buggy", [1], measure, seeds=(0,), skip_failures=True
+            )
+
+    def test_declared_failure_raises_without_skip(self):
+        def measure(x, seed):
+            raise AlgorithmFailure("declared failure")
+
+        with pytest.raises(AlgorithmFailure):
+            run_sweep("dead", [1], measure, seeds=(0,))
+
     def test_all_failures_raise(self):
         def measure(x, seed):
-            raise RuntimeError("boom")
+            raise AlgorithmFailure("boom")
 
         with pytest.raises(Exception):
             run_sweep("dead", [1], measure, seeds=(0,), skip_failures=True)
+
+    def test_workers_bit_identical_to_serial(self):
+        """The determinism contract: a 4-worker sweep returns the same
+        Series (xs, per-point value lists, order) as the serial run."""
+
+        def measure(x, seed):
+            rng = random.Random(int(x) * 1000003 + seed)
+            return x * 1000 + seed + rng.random()
+
+        serial = run_sweep("s", [1, 2, 3], measure, seeds=(0, 1, 2))
+        parallel = run_sweep(
+            "s", [1, 2, 3], measure, seeds=(0, 1, 2), workers=4
+        )
+        assert serial.xs == parallel.xs
+        for a, b in zip(serial.points, parallel.points):
+            assert a.values == b.values
+
+    def test_workers_skip_failures(self):
+        def measure(x, seed):
+            if seed == 1:
+                raise AlgorithmFailure("declared failure")
+            return x + seed
+
+        serial = run_sweep(
+            "f", [7, 8], measure, seeds=(0, 1, 2), skip_failures=True
+        )
+        parallel = run_sweep(
+            "f",
+            [7, 8],
+            measure,
+            seeds=(0, 1, 2),
+            skip_failures=True,
+            workers=3,
+        )
+        assert [p.values for p in serial.points] == [
+            [7.0, 9.0],
+            [8.0, 10.0],
+        ]
+        assert [p.values for p in parallel.points] == [
+            p.values for p in serial.points
+        ]
+
+    def test_workers_propagate_genuine_bugs(self):
+        def measure(x, seed):
+            raise ValueError("genuine bug in a worker")
+
+        with pytest.raises(ValueError):
+            run_sweep(
+                "b", [1, 2], measure, seeds=(0, 1), workers=2,
+                skip_failures=True,
+            )
 
     def test_series_empty_sample_rejected(self):
         series = Series("s")

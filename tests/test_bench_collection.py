@@ -56,8 +56,8 @@ def test_every_bench_module_records_its_experiment():
 
 def test_experiment_ids_match_filenames():
     for path in sorted(BENCHMARKS.glob("bench_*.py")):
-        stem = path.stem  # bench_e03_separation / bench_a01_...
-        match = re.match(r"bench_([ae])(\d+)_", stem)
+        stem = path.stem  # bench_e03_separation / bench_a01_ / bench_p00_
+        match = re.match(r"bench_([aep])(\d+)_", stem)
         assert match, f"unexpected benchmark filename {path.name}"
         expected_id = f"{match.group(1).upper()}{int(match.group(2))}"
         text = path.read_text()

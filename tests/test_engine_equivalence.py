@@ -1,0 +1,318 @@
+"""Fast engine vs reference engine: observable equivalence.
+
+The production :func:`repro.core.run_local` (incremental snapshots, CSR
+inbox delivery, wake buckets) must be indistinguishable from the
+kept-simple :func:`repro.core.run_local_reference` (full snapshot and
+full scan every round).  This suite pins that down two ways:
+
+- direct ``run_local`` calls with ``trace=True`` on synthetic
+  algorithms exercising the optimized paths (sleep buckets, partial
+  publishes, failures, max_rounds), asserting full ``RunResult``
+  equality — outputs, rounds, messages, failures, and trace;
+- driver-level comparisons running every shipped algorithm family
+  (coloring, MIS, matching, sinkless, Δ⁵⁵, decomposition) on fixed
+  seeds, once normally and once under :func:`use_reference_engine`,
+  asserting identical labelings, round counts, and phase logs.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    AlgorithmReport,
+    barenboim_elkin_coloring,
+    chang_kopelowitz_pettie_coloring,
+    delta_plus_one_coloring,
+    deterministic_matching,
+    deterministic_mis,
+    deterministic_sinkless_orientation,
+    luby_mis,
+    mpx_decomposition,
+    pettie_su_tree_coloring,
+    random_sinkless_orientation,
+    randomized_matching,
+)
+from repro.core import (
+    Model,
+    SyncAlgorithm,
+    run_local,
+    run_local_reference,
+    use_reference_engine,
+)
+from repro.graphs.generators import (
+    complete_regular_tree_with_size,
+    cycle_graph,
+    random_regular_graph,
+    random_tree_prufer,
+    ring_of_cycles,
+)
+
+
+def assert_results_identical(fast, reference):
+    """Full RunResult equality: outputs, rounds, messages, failures,
+    trace (RoundTrace dataclasses compare field-wise)."""
+    assert fast.outputs == reference.outputs
+    assert fast.rounds == reference.rounds
+    assert fast.messages == reference.messages
+    assert fast.failures == reference.failures
+    assert fast.trace == reference.trace
+
+
+def run_both(graph, algorithm_factory, model, **kwargs):
+    fast = run_local(graph, algorithm_factory(), model, trace=True, **kwargs)
+    reference = run_local_reference(
+        graph, algorithm_factory(), model, trace=True, **kwargs
+    )
+    assert_results_identical(fast, reference)
+    return fast
+
+
+# ----------------------------------------------------------------------
+# Synthetic algorithms targeting the optimized code paths
+# ----------------------------------------------------------------------
+class StaggeredSleeper(SyncAlgorithm):
+    """Classes wake at different rounds — exercises wake buckets and
+    the bulk round-skip (some rounds have zero awake vertices)."""
+
+    name = "staggered-sleeper"
+
+    def setup(self, ctx):
+        ctx.publish(("t", ctx.input["klass"]))
+        ctx.sleep_until(ctx.input["klass"])
+
+    def step(self, ctx, inbox):
+        ctx.halt(sum(1 for m in inbox if m is not None))
+
+
+class RepeatSleeper(SyncAlgorithm):
+    """Re-parks itself from inside step — a vertex passes through the
+    wake buckets several times before halting."""
+
+    name = "repeat-sleeper"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+        ctx.sleep_until(ctx.input["klass"])
+
+    def step(self, ctx, inbox):
+        count = ctx.input.get("hops", 0) + ctx.now
+        ctx.publish(ctx.now)
+        if ctx.now < 3 * (ctx.input["klass"] + 1):
+            ctx.sleep_until(ctx.now + ctx.input["klass"] + 2)
+        else:
+            ctx.halt(("done", count, tuple(inbox)))
+
+
+class PartialPublisher(SyncAlgorithm):
+    """Only even vertices republish each round — exercises the dirty
+    commit pass (most visible values are stale-but-valid)."""
+
+    name = "partial-publisher"
+
+    def setup(self, ctx):
+        ctx.publish(("init", ctx.id))
+
+    def step(self, ctx, inbox):
+        if ctx.id % 2 == 0:
+            ctx.publish(("round", ctx.now, ctx.id))
+        if ctx.now >= 4:
+            ctx.halt(tuple(inbox))
+
+
+class FlakyHalter(SyncAlgorithm):
+    """Some vertices fail, some halt, at staggered rounds — exercises
+    the failure bookkeeping and per-round halted counts."""
+
+    name = "flaky-halter"
+
+    def setup(self, ctx):
+        ctx.publish(ctx.id)
+
+    def step(self, ctx, inbox):
+        if ctx.id % 5 == 3 and ctx.now == 1 + ctx.id % 3:
+            ctx.fail(f"planned failure at {ctx.now}")
+        elif ctx.now >= 2 + ctx.id % 4:
+            ctx.halt(len([m for m in inbox if m is not None]))
+        else:
+            ctx.publish((ctx.id, ctx.now))
+
+
+class NeverHalts(SyncAlgorithm):
+    """Runs into the max_rounds guard."""
+
+    name = "never-halts"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.publish(ctx.now)
+
+
+class RandomTalker(SyncAlgorithm):
+    """RandLOCAL: per-vertex RNG streams must line up across engines."""
+
+    name = "random-talker"
+
+    def setup(self, ctx):
+        ctx.publish(ctx.random.random())
+
+    def step(self, ctx, inbox):
+        draw = ctx.random.random()
+        if draw < 0.3:
+            ctx.halt((round(draw, 6), ctx.now))
+        else:
+            ctx.publish(draw)
+
+
+class TestSyntheticEquivalence:
+    def test_staggered_sleep_with_bulk_skips(self):
+        graph = cycle_graph(60)
+        inputs = [{"klass": (v * 7) % 23 + (v % 3) * 40} for v in range(60)]
+        result = run_both(
+            graph, StaggeredSleeper, Model.DET, node_inputs=inputs
+        )
+        assert result.rounds == max(i["klass"] for i in inputs) + 1
+
+    def test_repeated_sleep_cycles(self):
+        graph = ring_of_cycles(4, 5)
+        inputs = [
+            {"klass": v % 6, "hops": v} for v in range(graph.num_vertices)
+        ]
+        run_both(graph, RepeatSleeper, Model.DET, node_inputs=inputs)
+
+    def test_partial_publish_dirty_commit(self):
+        run_both(cycle_graph(31), PartialPublisher, Model.DET)
+
+    def test_failures_and_staggered_halts(self):
+        result = run_both(cycle_graph(40), FlakyHalter, Model.DET)
+        assert result.failures  # the scenario really exercises failures
+
+    def test_max_rounds_guard(self):
+        from repro.core import SimulationError
+
+        graph = cycle_graph(10)
+        with pytest.raises(SimulationError, match="exceeded 12"):
+            run_local(graph, NeverHalts(), Model.DET, max_rounds=12)
+        with pytest.raises(SimulationError, match="exceeded 12"):
+            run_local_reference(
+                graph, NeverHalts(), Model.DET, max_rounds=12
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_randomized_streams_match(self, seed):
+        run_both(
+            cycle_graph(50), RandomTalker, Model.RAND, seed=seed
+        )
+
+    def test_sleep_past_max_rounds_still_raises(self):
+        class FarSleeper(SyncAlgorithm):
+            name = "far-sleeper"
+
+            def setup(self, ctx):
+                ctx.publish(0)
+                ctx.sleep_until(10_000)
+
+            def step(self, ctx, inbox):
+                ctx.halt(0)
+
+        from repro.core import SimulationError
+
+        for engine in (run_local, run_local_reference):
+            with pytest.raises(SimulationError, match="exceeded 50"):
+                engine(
+                    cycle_graph(6),
+                    FarSleeper(),
+                    Model.DET,
+                    max_rounds=50,
+                )
+
+
+# ----------------------------------------------------------------------
+# Every shipped algorithm family, fast vs reference, fixed seeds
+# ----------------------------------------------------------------------
+def _phases(report: AlgorithmReport):
+    return [(p.name, p.rounds, p.messages) for p in report.log.phases]
+
+
+def assert_reports_identical(fast, reference):
+    assert fast.labeling == reference.labeling
+    assert fast.rounds == reference.rounds
+    assert _phases(fast) == _phases(reference)
+
+
+def _sinkless_graph():
+    from repro.graphs.generators import circulant_graph
+
+    # Connected, min degree 3: every component has a cycle and the
+    # deterministic driver's diameter-based radius is defined.
+    return circulant_graph(18, [1, 2])
+
+
+DRIVERS = {
+    "delta55-coloring": lambda: chang_kopelowitz_pettie_coloring(
+        complete_regular_tree_with_size(7, 120), seed=3, min_delta=7
+    ),
+    "pettie-su-tree-coloring": lambda: pettie_su_tree_coloring(
+        complete_regular_tree_with_size(9, 200), seed=1
+    ),
+    "barenboim-elkin-coloring": lambda: barenboim_elkin_coloring(
+        random_tree_prufer(90, random.Random(5)), 6
+    ),
+    "delta-plus-one-coloring": lambda: delta_plus_one_coloring(
+        random_regular_graph(48, 4, random.Random(2))
+    ),
+    "luby-mis": lambda: luby_mis(
+        random_regular_graph(60, 4, random.Random(3)), seed=7
+    ),
+    "deterministic-mis": lambda: deterministic_mis(
+        random_regular_graph(60, 4, random.Random(3))
+    ),
+    "randomized-matching": lambda: randomized_matching(
+        random_regular_graph(40, 3, random.Random(4)), seed=11
+    ),
+    "deterministic-matching": lambda: deterministic_matching(
+        random_regular_graph(40, 3, random.Random(4))
+    ),
+    "random-sinkless": lambda: random_sinkless_orientation(
+        _sinkless_graph(), seed=5
+    )[0],
+    "deterministic-sinkless": lambda: deterministic_sinkless_orientation(
+        _sinkless_graph()
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+def test_shipped_driver_matches_reference_engine(name):
+    """Each driver (possibly multi-phase) must produce byte-identical
+    reports whether its internal run_local calls hit the fast engine
+    or the reference engine."""
+    driver = DRIVERS[name]
+    fast = driver()
+    with use_reference_engine():
+        reference = driver()
+    assert_reports_identical(fast, reference)
+
+
+def test_mpx_decomposition_matches_reference_engine():
+    graph = random_regular_graph(64, 4, random.Random(9))
+    fast = mpx_decomposition(graph, beta=0.4, seed=6)
+    with use_reference_engine():
+        reference = mpx_decomposition(graph, beta=0.4, seed=6)
+    assert fast.assignment == reference.assignment
+    assert fast.distances == reference.distances
+    assert fast.rounds == reference.rounds
+
+
+def test_use_reference_engine_restores_fast_engine():
+    from repro.core import engine
+
+    assert engine._ACTIVE_IMPL == "fast"
+    with use_reference_engine():
+        assert engine._ACTIVE_IMPL == "reference"
+        with use_reference_engine():
+            assert engine._ACTIVE_IMPL == "reference"
+        assert engine._ACTIVE_IMPL == "reference"
+    assert engine._ACTIVE_IMPL == "fast"

@@ -49,6 +49,7 @@ class TestRuleTruePositives:
             ("lm004_bad.py", "LM004", 4),
             ("lm005_bad.py", "LM005", 3),
             ("lm006_bad.py", "LM006", 2),
+            ("lm007_bad.py", "LM007", 2),
         ],
     )
     def test_rule_catches_seeded_violation(self, fixture, rule, count):
