@@ -6,15 +6,25 @@ measurement function over a parameter grid with several seeds, collects
 :mod:`repro.analysis.tables`.  Keeping it here (rather than in each
 bench file) makes every experiment's shape identical: generate → run →
 verify → record.
+
+Telemetry: ``run_sweep(observer_factory=...)`` attaches a fresh
+observer (see :mod:`repro.obs`) around each cell's measurement and
+collects its ``summary()`` dict.  Summaries ride back from forked pool
+workers as pickled plain dicts and are reassembled in grid order, so
+the per-cell telemetry — like the values themselves — is bit-identical
+to a serial run.  A summary that cannot be pickled raises
+:class:`~repro.core.errors.TelemetryError` inside the worker with a
+clear message instead of a bare pool crash.
 """
 
 from __future__ import annotations
 
+import pickle
 import statistics
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.errors import AlgorithmFailure
+from ..core.errors import AlgorithmFailure, TelemetryError
 
 
 @dataclass
@@ -43,12 +53,27 @@ class Series:
 
     name: str
     points: List[Point] = field(default_factory=list)
+    #: Per-cell metric summaries in grid order (x-major, then seed),
+    #: populated when ``run_sweep`` ran with an ``observer_factory``.
+    #: Each entry is ``{"x": ..., "seed": ..., "summary": {...}}``.
+    cell_telemetry: List[Dict[str, Any]] = field(default_factory=list)
 
     def add(self, x: float, values: Iterable[float]) -> None:
         values = list(values)
         if not values:
             raise ValueError(f"series {self.name!r}: empty sample at x={x}")
         self.points.append(Point(x, values))
+
+    def telemetry(self) -> Optional[Dict[str, Any]]:
+        """All cell summaries merged deterministically (None if the
+        sweep ran without an observer factory)."""
+        if not self.cell_telemetry:
+            return None
+        from ..obs.metrics import merge_summaries
+
+        return merge_summaries(
+            [cell["summary"] for cell in self.cell_telemetry]
+        )
 
     @property
     def xs(self) -> List[float]:
@@ -75,17 +100,74 @@ _FAILED = "__algorithm_failure__"
 #: (bench measures are rarely picklable).
 _WORKER_MEASURE: Optional[Callable[[float, int], float]] = None
 
+#: Per-cell observer factory, inherited by fork-children like
+#: ``_WORKER_MEASURE``.  ``None`` disables telemetry collection.
+_WORKER_OBSERVER_FACTORY: Optional[Callable[[], Any]] = None
 
-def _measure_cell(cell: Tuple[float, int, bool]) -> Tuple[str, float, str]:
+#: True while cells run on a process pool — summaries must pickle.
+_POOLED = False
+
+
+def _check_observer(observer: Any) -> None:
+    """Fail fast on factories producing unusable observers."""
+    if not callable(getattr(observer, "summary", None)):
+        raise TelemetryError(
+            f"observer_factory produced {type(observer).__name__}, "
+            "which has no summary() method — run_sweep telemetry "
+            "needs MetricsObserver-style summaries"
+        )
+    if not hasattr(observer, "on_run_start"):
+        raise TelemetryError(
+            f"observer_factory produced {type(observer).__name__}, "
+            "which lacks the RunObserver callbacks — subclass "
+            "repro.obs.RunObserver"
+        )
+
+
+def _cell_summary(observer: Any) -> Dict[str, Any]:
+    """Extract and (when pooled) pickle-check an observer's summary."""
+    summary = observer.summary()
+    if _POOLED:
+        try:
+            pickle.dumps(summary)
+        except Exception as exc:
+            raise TelemetryError(
+                f"cell telemetry summary from "
+                f"{type(observer).__name__} is not picklable and "
+                "cannot be merged back from a pool worker: "
+                f"{exc}.  Keep summaries plain dicts of JSON-safe "
+                "values, or run the sweep with workers=None."
+            ) from exc
+    return summary
+
+
+def _measure_cell(
+    cell: Tuple[float, int, bool],
+) -> Tuple[str, float, str, Optional[Dict[str, Any]]]:
     """Run one (x, seed) cell in a pool worker (or inline)."""
     x, seed, skip_failures = cell
     assert _WORKER_MEASURE is not None
+    factory = _WORKER_OBSERVER_FACTORY
+    observer = factory() if factory is not None else None
+    if observer is not None:
+        _check_observer(observer)
     try:
-        return ("ok", float(_WORKER_MEASURE(x, seed)), "")
+        if observer is None:
+            value = float(_WORKER_MEASURE(x, seed))
+        else:
+            from ..core.engine import observe_runs
+
+            with observe_runs(observer):
+                value = float(_WORKER_MEASURE(x, seed))
     except AlgorithmFailure as exc:
         if skip_failures:
-            return (_FAILED, 0.0, str(exc))
+            summary = (
+                _cell_summary(observer) if observer is not None else None
+            )
+            return (_FAILED, 0.0, str(exc), summary)
         raise
+    summary = _cell_summary(observer) if observer is not None else None
+    return ("ok", value, "", summary)
 
 
 def run_sweep(
@@ -95,6 +177,7 @@ def run_sweep(
     seeds: Sequence[int] = (0, 1, 2),
     skip_failures: bool = False,
     workers: Optional[int] = None,
+    observer_factory: Optional[Callable[[], Any]] = None,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
 
@@ -111,14 +194,27 @@ def run_sweep(
     reassembled in serial order regardless of completion order.  The
     pool uses the ``fork`` start method (closures need no pickling);
     where ``fork`` is unavailable the sweep silently runs serially.
+
+    With ``observer_factory``, each cell runs under a fresh observer
+    (attached ambiently via :func:`repro.core.observe_runs`, so every
+    ``run_local`` call the measurement makes is covered) and the
+    returned Series carries ``cell_telemetry`` in grid order —
+    bit-identical whether the cells ran serially or pooled.
     """
     cells = [(x, seed, skip_failures) for x in xs for seed in seeds]
-    outcomes = _run_cells(cells, measure, workers)
+    outcomes = _run_cells(cells, measure, workers, observer_factory)
     series = Series(name)
     per_x = len(seeds)
     for i, x in enumerate(xs):
         chunk = outcomes[i * per_x:(i + 1) * per_x]
-        series.add(x, [value for tag, value, _ in chunk if tag == "ok"])
+        series.add(
+            x, [value for tag, value, _, _ in chunk if tag == "ok"]
+        )
+    if observer_factory is not None:
+        series.cell_telemetry = [
+            {"x": x, "seed": seed, "summary": summary}
+            for (x, seed, _), (_, _, _, summary) in zip(cells, outcomes)
+        ]
     return series
 
 
@@ -126,9 +222,10 @@ def _run_cells(
     cells: List[Tuple[float, int, bool]],
     measure: Callable[[float, int], float],
     workers: Optional[int],
-) -> List[Tuple[str, float, str]]:
+    observer_factory: Optional[Callable[[], Any]] = None,
+) -> List[Tuple[str, float, str, Optional[Dict[str, Any]]]]:
     """Evaluate cells serially or on a fork pool, in cell order."""
-    global _WORKER_MEASURE
+    global _WORKER_MEASURE, _WORKER_OBSERVER_FACTORY, _POOLED
     pool_ctx = None
     if workers is not None and workers > 1 and len(cells) > 1:
         import multiprocessing
@@ -138,7 +235,14 @@ def _run_cells(
         except ValueError:  # platform without fork: degrade to serial
             pool_ctx = None
     previous = _WORKER_MEASURE
+    previous_factory = _WORKER_OBSERVER_FACTORY
+    previous_pooled = _POOLED
     _WORKER_MEASURE = measure
+    _WORKER_OBSERVER_FACTORY = observer_factory
+    # Set before the pool forks so children inherit the flag and
+    # pickle-check their summaries at the source (clear error there
+    # beats an opaque pool crash on the way back).
+    _POOLED = pool_ctx is not None
     try:
         if pool_ctx is None:
             return [_measure_cell(cell) for cell in cells]
@@ -147,6 +251,8 @@ def _run_cells(
             return pool.map(_measure_cell, cells)
     finally:
         _WORKER_MEASURE = previous
+        _WORKER_OBSERVER_FACTORY = previous_factory
+        _POOLED = previous_pooled
 
 
 @dataclass
@@ -163,15 +269,24 @@ class ExperimentRecord:
     series: List[Series] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Named metric summaries (``MetricsObserver.summary()`` shape),
+    #: e.g. one merged summary per sweep; rendered as its own section.
+    telemetry: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def add_series(self, series: Series) -> None:
         self.series.append(series)
+        merged = series.telemetry()
+        if merged is not None:
+            self.add_telemetry(series.name, merged)
 
     def check(self, name: str, ok: bool) -> None:
         self.checks[name] = bool(ok)
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def add_telemetry(self, name: str, summary: Dict[str, Any]) -> None:
+        self.telemetry[name] = summary
 
     @property
     def all_checks_pass(self) -> bool:
@@ -187,6 +302,26 @@ class ExperimentRecord:
                 render_table(
                     ["x", "mean", "min", "max"], series.as_rows()
                 )
+            )
+        for name, summary in self.telemetry.items():
+            lines.append(f"-- telemetry: {name}")
+            rows = []
+            for metric, snap in summary.get("metrics", {}).items():
+                if snap["type"] in ("counter", "gauge"):
+                    rows.append([metric, snap["type"], snap["value"]])
+                else:
+                    mean = snap["mean"]
+                    rows.append(
+                        [
+                            metric,
+                            "histogram",
+                            f"mean={mean:.3g} max={snap['max']}"
+                            if mean is not None
+                            else "empty",
+                        ]
+                    )
+            lines.append(
+                render_table(["metric", "type", "value"], rows)
             )
         for name, ok in self.checks.items():
             lines.append(f"check {name}: {'PASS' if ok else 'FAIL'}")

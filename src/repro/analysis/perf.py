@@ -150,6 +150,60 @@ def engine_sleepheavy_metrics(
     return metrics
 
 
+def tracing_overhead_metrics(
+    n: int = 10_000,
+    classes: int = 400,
+    repeats: int = 2,
+) -> Dict[str, float]:
+    """Cost of observation: the sleep-heavy workload bare, with a
+    :class:`~repro.obs.MetricsObserver`, and with a
+    :class:`~repro.obs.JsonlTraceObserver` streaming to the null
+    device.  The overhead *ratios* (traced time / bare time) are
+    recorded, not gated — the acceptance bar is that the bare run,
+    whose hot loop carries only a ``hub is not None`` test, does not
+    regress.
+    """
+    import os as _os
+
+    from ..graphs.generators import cycle_graph
+    from ..obs import JsonlTraceObserver, MetricsObserver
+
+    graph = cycle_graph(n)
+    inputs = _sleepheavy_inputs(n, classes)
+
+    def run(observers: Any) -> None:
+        run_local(
+            graph,
+            ClassSweepSleeper(),
+            Model.DET,
+            node_inputs=inputs,
+            observers=observers,
+        )
+
+    bare_seconds = _time_best(lambda: run(None), repeats)
+    metrics_seconds = _time_best(
+        lambda: run([MetricsObserver()]), repeats
+    )
+    devnull = open(_os.devnull, "w", encoding="utf-8")
+    try:
+        def traced() -> None:
+            run([JsonlTraceObserver(devnull, topology=False)])
+
+        traced_seconds = _time_best(traced, repeats)
+    finally:
+        devnull.close()
+    return {
+        "n": float(n),
+        "rounds": float(classes),
+        "bare_seconds": bare_seconds,
+        "metrics_seconds": metrics_seconds,
+        "traced_seconds": traced_seconds,
+        "metrics_overhead_ratio": metrics_seconds / bare_seconds,
+        "tracing_overhead_ratio": traced_seconds / bare_seconds,
+        "traced_rounds_per_sec": classes / traced_seconds,
+    }
+
+
 def _sweep_measure(n: float, seed: int) -> float:
     """One E3-style sweep cell: randomized Δ=9 tree coloring rounds."""
     from ..algorithms import pettie_su_tree_coloring
@@ -215,6 +269,7 @@ def run_perf_suite(
     """
     ops_per_sec = calibrate_ops_per_sec()
     engine = engine_sleepheavy_metrics(include_reference=include_reference)
+    tracing = tracing_overhead_metrics()
     sweep = sweep_metrics(workers=workers)
 
     def throughput(value: float) -> Dict[str, Optional[float]]:
@@ -226,6 +281,14 @@ def run_perf_suite(
     metrics: Dict[str, Dict[str, Optional[float]]] = {
         "engine_sleepheavy_rounds_per_sec": throughput(
             engine["rounds_per_sec"]
+        ),
+        # Throughput with a JSONL trace attached: gated like any other
+        # metric once a refreshed baseline records it.  The overhead
+        # *ratios* live in raw["tracing_overhead"] only — they are
+        # lower-is-better and must not enter this higher-is-better
+        # comparison.
+        "engine_traced_rounds_per_sec": throughput(
+            tracing["traced_rounds_per_sec"]
         ),
         "sweep_serial_cells_per_sec": throughput(
             sweep["serial_cells_per_sec"]
@@ -248,7 +311,11 @@ def run_perf_suite(
         },
         "calibration_ops_per_sec": ops_per_sec,
         "metrics": metrics,
-        "raw": {"engine_sleepheavy": engine, "sweep": sweep},
+        "raw": {
+            "engine_sleepheavy": engine,
+            "tracing_overhead": tracing,
+            "sweep": sweep,
+        },
     }
 
 

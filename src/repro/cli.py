@@ -26,6 +26,7 @@ from .analysis import render_table
 from .graphs.generators import (
     complete_regular_tree_with_size,
     random_regular_graph,
+    random_tree_bounded_degree,
     random_tree_preferential,
 )
 from .lcl import KColoring, MaximalIndependentSet
@@ -156,6 +157,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"calibration: {report['calibration_ops_per_sec']:.0f} ops/s, "
         f"{report['recorded']['cpu_count']} cpu(s)"
     )
+    tracing = report["raw"].get("tracing_overhead")
+    if tracing:
+        print(
+            "tracing overhead (recorded, not gated): "
+            f"jsonl {tracing['tracing_overhead_ratio']:.2f}x, "
+            f"metrics {tracing['metrics_overhead_ratio']:.2f}x "
+            "vs bare engine"
+        )
     if args.output:
         Path(args.output).parent.mkdir(parents=True, exist_ok=True)
         perf.save_baseline(report, args.output)
@@ -178,6 +187,142 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if perf.has_regression(rows_cmp):
             return 1
     return 0
+
+
+def _traced_workload(args: argparse.Namespace, observer) -> None:
+    """Run the chosen demo workload with ``observer`` attached to
+    every run_local call it makes."""
+    from .core import observe_runs
+
+    rng = random.Random(args.seed)
+    with observe_runs(observer):
+        if args.workload == "coloring":
+            tree = random_tree_bounded_degree(args.n, args.delta, rng)
+            _rand_delta_coloring(tree, tree.max_degree, args.seed)
+        else:
+            g = random_regular_graph(args.n, args.delta, rng)
+            luby_mis(g, seed=args.seed)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import JsonlTraceObserver
+
+    if args.n < 2 or args.delta < 2:
+        print(
+            f"repro trace: need n >= 2 and delta >= 2, got "
+            f"n={args.n} delta={args.delta}",
+            file=sys.stderr,
+        )
+        return 2
+    Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+    observer = JsonlTraceObserver(
+        args.output,
+        payload_values=args.values,
+        topology=not args.no_topology,
+        node_steps=args.steps,
+    )
+    try:
+        _traced_workload(args, observer)
+    finally:
+        observer.close()
+    print(
+        f"trace written: {args.output} "
+        f"({observer.events_written} events, workload={args.workload}, "
+        f"n={args.n}, delta={args.delta}, seed={args.seed})"
+    )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .obs import profile_trace, render_profile_report
+
+    if args.trace is not None:
+        trace_path = args.trace
+        if not Path(trace_path).exists():
+            print(
+                f"repro profile: trace does not exist: {trace_path}",
+                file=sys.stderr,
+            )
+            return 2
+        cleanup = False
+    else:
+        # Driver mode: the Theorem 10 randomized Δ-coloring run whose
+        # Phase 1 the profiler measures (BAD = unresolved sentinel).
+        if args.delta < 9:
+            print(
+                "repro profile: driver mode needs --delta >= 9 "
+                "(Theorem 10's color-bidding phase); "
+                "use --trace to profile any recorded run",
+                file=sys.stderr,
+            )
+            return 2
+        if args.n < 2:
+            print(
+                f"repro profile: need n >= 2, got n={args.n}",
+                file=sys.stderr,
+            )
+            return 2
+        from .obs import JsonlTraceObserver
+
+        if args.keep_trace:
+            trace_path = args.keep_trace
+            Path(trace_path).parent.mkdir(parents=True, exist_ok=True)
+            cleanup = False
+        else:
+            fd, trace_path = tempfile.mkstemp(
+                prefix="repro-profile-", suffix=".jsonl"
+            )
+            import os
+
+            os.close(fd)
+            cleanup = True
+        observer = JsonlTraceObserver(trace_path)
+        try:
+            from .core import observe_runs
+
+            tree = random_tree_bounded_degree(
+                args.n, args.delta, random.Random(args.seed)
+            )
+            with observe_runs(observer):
+                pettie_su_tree_coloring(tree, seed=args.seed)
+        finally:
+            observer.close()
+    try:
+        from .algorithms.rand_tree_coloring import BAD
+
+        unresolved = BAD if args.trace is None else args.unresolved
+        profile = profile_trace(
+            trace_path,
+            run=args.run,
+            threshold=args.threshold,
+            **(
+                {"unresolved": unresolved}
+                if unresolved is not None
+                else {}
+            ),
+        )
+    except ValueError as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cleanup:
+            import os
+
+            os.unlink(trace_path)
+    report = render_profile_report(profile)
+    print(report)
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+            fh.write("\n")
+        print(f"report written to {args.output}")
+    return 0 if profile.ok() else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -301,6 +446,98 @@ def build_parser() -> argparse.ArgumentParser:
         "(faster runs while iterating)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help=(
+            "run a demo workload with the JSONL trace observer "
+            "attached and write the event stream"
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        choices=("coloring", "mis"),
+        default="coloring",
+        help="coloring = randomized Δ-coloring driver (Theorem 10), "
+        "mis = Luby's MIS (default: coloring)",
+    )
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--delta", type=int, default=9)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        required=True,
+        help="JSONL file to write (overwritten)",
+    )
+    p.add_argument(
+        "--values",
+        action="store_true",
+        help="include published payload values on publish events",
+    )
+    p.add_argument(
+        "--no-topology",
+        action="store_true",
+        help="omit the edge list from run_start events (smaller "
+        "traces; disables component profiling)",
+    )
+    p.add_argument(
+        "--steps",
+        action="store_true",
+        help="emit one event per vertex step (large traces)",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help=(
+            "shattering profiler: halt-fraction curve F(t) and "
+            "surviving-component sizes vs Theorem 3's predictions "
+            "(exit 1 when the measured shape fails the checks)"
+        ),
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="profile an existing JSONL trace instead of running the "
+        "randomized Δ-coloring driver",
+    )
+    p.add_argument(
+        "--run",
+        type=int,
+        default=0,
+        help="which run of a multi-run trace to profile (default: 0, "
+        "the driver's Phase 1)",
+    )
+    p.add_argument(
+        "--unresolved",
+        type=int,
+        default=None,
+        help="halt output marking an abandoned vertex (trace mode "
+        "only; driver mode always uses the BAD sentinel)",
+    )
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--delta", type=int, default=9)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.9,
+        help="halt fraction defining the shattering round "
+        "(default: 0.9)",
+    )
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the text report here",
+    )
+    p.add_argument(
+        "--keep-trace",
+        metavar="PATH",
+        help="driver mode: keep the intermediate JSONL trace at PATH "
+        "instead of a deleted tempfile",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "lint",

@@ -150,6 +150,22 @@ class NodeContext:
         return self._pub
 
     @property
+    def pending_publish(self) -> Any:
+        """The value :meth:`publish` staged this round, or the visible
+        value if nothing was staged.
+
+        Read-only spectator view for observers (see
+        ``docs/observability.md``): during a round, ``published`` is
+        still last round's value (double buffering); this is what will
+        become visible at the round boundary.  Observers must treat the
+        context as read-only — mutating it from a callback is flagged
+        by static-analysis rule LM008.
+        """
+        if self._pub_dirty:
+            return self._next_pub
+        return self._pub
+
+    @property
     def now(self) -> int:
         """Index of the round currently executing (0-based; the first
         :meth:`~repro.core.algorithm.SyncAlgorithm.step` call is round 0).

@@ -31,6 +31,15 @@ Two implementations share these guarantees:
   deliberately simple.  The equivalence test suite runs every shipped
   algorithm under both and asserts identical :class:`RunResult`\\ s;
   see ``docs/performance.md``.
+
+Both engines accept *observers* (``observers=[...]`` or ambiently via
+:func:`observe_runs`): read-only spectators implementing the
+``repro.obs.RunObserver`` callback protocol.  Dispatch is guarded by a
+single ``hub is not None`` test, so runs without observers pay nothing,
+and the two engines emit **identical event streams** for the same run —
+per-node events are delivered in ascending vertex order and
+bulk-accounted sleeping rounds are reported through synthesized
+round-start/round-end events.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +58,10 @@ from ..graphs.graph import Graph
 
 #: Default safety cap on rounds; generously above any algorithm here.
 DEFAULT_MAX_ROUNDS = 100_000
+
+#: Round index observers see for events fired during ``setup`` (before
+#: any communication round; matches ``ctx.now`` inside ``setup``).
+SETUP_ROUND = -1
 
 
 class _Clock:
@@ -99,6 +112,150 @@ class RunResult:
     def work(self) -> int:
         """Total vertex-steps executed (empty trace -> 0)."""
         return sum(t.awake for t in self.trace)
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Static facts about one engine run, handed to observers at
+    ``on_run_start``.
+
+    Every field except ``graph`` is a plain scalar so trace writers can
+    serialize the metadata verbatim; ``graph`` is the in-process handle
+    that graph-aware observers (locality accounting, shattering
+    profiles) may *read* — observers are spectators and must never
+    mutate it (static-analysis rule LM008).  The metadata is identical
+    between :func:`run_local` and :func:`run_local_reference` so that
+    traces stay byte-identical across engines.
+    """
+
+    algorithm: str
+    model: Model
+    n: int
+    num_edges: int
+    max_degree: int
+    max_rounds: int
+    seed: Optional[int] = None
+    graph: Optional[Graph] = None
+
+
+class _ObserverHub:
+    """Fans one engine event out to every attached observer.
+
+    The engines hold ``hub = None`` when nothing is attached, so the
+    hot loop pays exactly one ``is not None`` test per vertex-step; all
+    per-event work lives behind that guard.  Observer exceptions
+    propagate — a broken observer must fail loudly, not silently skew
+    what it measures.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: Sequence[Any]) -> None:
+        self.observers = tuple(observers)
+
+    def run_start(self, meta: RunMeta) -> None:
+        for obs in self.observers:
+            obs.on_run_start(meta)
+
+    def round_start(self, round_index: int, active: int) -> None:
+        for obs in self.observers:
+            obs.on_round_start(round_index, active)
+
+    def node_step(
+        self, round_index: int, vertex: int, ctx: NodeContext
+    ) -> None:
+        for obs in self.observers:
+            obs.on_node_step(round_index, vertex, ctx)
+
+    def publish(self, round_index: int, vertex: int, value: Any) -> None:
+        for obs in self.observers:
+            obs.on_publish(round_index, vertex, value)
+
+    def halt(self, round_index: int, vertex: int, output: Any) -> None:
+        for obs in self.observers:
+            obs.on_halt(round_index, vertex, output)
+
+    def failure(self, round_index: int, vertex: int, reason: str) -> None:
+        for obs in self.observers:
+            obs.on_failure(round_index, vertex, reason)
+
+    def round_end(
+        self,
+        round_index: int,
+        awake: int,
+        halted: int,
+        messages: int,
+    ) -> None:
+        for obs in self.observers:
+            obs.on_round_end(round_index, awake, halted, messages)
+
+    def run_end(self, result: "RunResult") -> None:
+        for obs in self.observers:
+            obs.on_run_end(result)
+
+
+#: Ambiently attached observers (see :func:`observe_runs`).
+_GLOBAL_OBSERVERS: Tuple[Any, ...] = ()
+
+
+@contextmanager
+def observe_runs(*observers: Any) -> Iterator[None]:
+    """Attach ``observers`` to every ``run_local`` call in scope.
+
+    The counterpart of :func:`use_reference_engine`: multi-phase
+    drivers call ``run_local`` internally and take no ``observers``
+    argument, so telemetry for a whole driver execution is attached
+    ambiently::
+
+        trace = JsonlTraceObserver("run.jsonl")
+        with observe_runs(trace):
+            pettie_su_tree_coloring(tree, seed=1)
+
+    Nested scopes compose (inner observers are appended); the previous
+    set is restored on exit even when the run raises.  Explicit
+    ``run_local(..., observers=[...])`` observers are dispatched before
+    ambient ones.
+    """
+    global _GLOBAL_OBSERVERS
+    previous = _GLOBAL_OBSERVERS
+    _GLOBAL_OBSERVERS = previous + tuple(observers)
+    try:
+        yield
+    finally:
+        _GLOBAL_OBSERVERS = previous
+
+
+def _attached_observers(
+    observers: Optional[Sequence[Any]],
+) -> Tuple[Any, ...]:
+    """Explicit observers first, then the ambient ``observe_runs`` set."""
+    if observers:
+        return tuple(observers) + _GLOBAL_OBSERVERS
+    return _GLOBAL_OBSERVERS
+
+
+def _run_setup(
+    contexts: List[NodeContext],
+    algorithm: SyncAlgorithm,
+    clock: _Clock,
+    hub: Optional[_ObserverHub],
+) -> None:
+    """Round-free setup pass, shared verbatim by both engines.
+
+    Observer events fired here carry :data:`SETUP_ROUND` (-1): publishes
+    and halts that happen before the first communication round.
+    """
+    for v, ctx in enumerate(contexts):
+        ctx._clock = clock
+        algorithm.setup(ctx)
+        if hub is not None:
+            if ctx._pub_dirty:
+                hub.publish(SETUP_ROUND, v, ctx._next_pub)
+            if ctx.failure is not None:
+                hub.failure(SETUP_ROUND, v, ctx.failure)
+            elif ctx.halted:
+                hub.halt(SETUP_ROUND, v, ctx.output)
+        ctx._commit()
 
 
 def make_node_rngs(n: int, seed: Optional[int]) -> List[random.Random]:
@@ -231,6 +388,7 @@ def run_local(
     rng_factory: Optional[Any] = None,
     allow_duplicate_ids: bool = False,
     trace: bool = False,
+    observers: Optional[Sequence[Any]] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` under ``model``.
 
@@ -249,6 +407,12 @@ def run_local(
         (one shared read-only mapping).
     max_rounds:
         Safety cap; exceeding it raises :class:`SimulationError`.
+    observers:
+        Read-only spectators implementing the ``repro.obs.RunObserver``
+        callback protocol (combined with any ambient
+        :func:`observe_runs` observers).  Attaching observers never
+        changes the :class:`RunResult`; with none attached the
+        dispatch costs one pointer test per vertex-step.
 
     Returns
     -------
@@ -280,6 +444,7 @@ def run_local(
             rng_factory=rng_factory,
             allow_duplicate_ids=allow_duplicate_ids,
             trace=trace,
+            observers=observers,
         )
     contexts = build_contexts(
         graph,
@@ -292,11 +457,23 @@ def run_local(
         allow_duplicate_ids=allow_duplicate_ids,
     )
     n = graph.num_vertices
+    attached = _attached_observers(observers)
+    hub = _ObserverHub(attached) if attached else None
+    if hub is not None:
+        hub.run_start(
+            RunMeta(
+                algorithm=algorithm.name,
+                model=model,
+                n=n,
+                num_edges=graph.num_edges,
+                max_degree=graph.max_degree,
+                max_rounds=max_rounds,
+                seed=seed,
+                graph=graph,
+            )
+        )
     clock = _Clock()
-    for ctx in contexts:
-        ctx._clock = clock
-        algorithm.setup(ctx)
-        ctx._commit()
+    _run_setup(contexts, algorithm, clock, hub)
 
     #: Persistent per-vertex visible values; updated in place by the
     #: dirty-commit pass instead of being rebuilt every round.
@@ -339,17 +516,35 @@ def run_local(
                 # Every live vertex sleeps: advance the round and
                 # message accounting in bulk up to the next wake (or the
                 # cap, where the guard above raises), scanning nobody.
+                # The skipped span is still fully observable: each
+                # bulk-accounted round gets a synthesized trace entry
+                # and round-start/round-end events carrying the same
+                # active/awake/halted counts the reference engine
+                # reports for it (all parked vertices active, nobody
+                # awake, nobody halting).
                 skip = min(min(buckets), max_rounds) - rounds
                 if trace:
                     traces.extend(
                         RoundTrace(active=parked, awake=0, halted=0)
                         for _ in range(skip)
                     )
+                if hub is not None:
+                    for r in range(rounds, rounds + skip):
+                        hub.round_start(r, parked)
+                        hub.round_end(r, 0, 0, messages_per_round)
                 rounds += skip
                 messages += skip * messages_per_round
                 continue
         clock.now = rounds
+        if hub is not None:
+            # Canonical event order: the reference engine scans
+            # vertices ascending, so the observed fast engine does too
+            # (per-round vertex steps are order-independent under
+            # double buffering — RunResult is unchanged).
+            runnable.sort()
+            hub.round_start(rounds, len(runnable) + parked)
         active_now = len(runnable) + parked
+        awake_now = len(runnable)
         halted_this_round = 0
         dirty: List[int] = []
         next_runnable: List[int] = []
@@ -371,6 +566,14 @@ def run_local(
                     parked += 1
                 else:
                     next_runnable.append(v)
+            if hub is not None:
+                hub.node_step(rounds, v, ctx)
+                if ctx._pub_dirty:
+                    hub.publish(rounds, v, ctx._next_pub)
+                if ctx.failure is not None:
+                    hub.failure(rounds, v, ctx.failure)
+                elif ctx.halted:
+                    hub.halt(rounds, v, ctx.output)
         # Deferred dirty-commit pass: no publish became visible before
         # every step of this round finished (double buffering).
         for v in dirty:
@@ -382,9 +585,13 @@ def run_local(
             traces.append(
                 RoundTrace(
                     active=active_now,
-                    awake=len(runnable),
+                    awake=awake_now,
                     halted=halted_this_round,
                 )
+            )
+        if hub is not None:
+            hub.round_end(
+                rounds, awake_now, halted_this_round, messages_per_round
             )
         runnable = next_runnable
         rounds += 1
@@ -394,13 +601,16 @@ def run_local(
         v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
     }
     outputs = [ctx.output for ctx in contexts]
-    return RunResult(
+    result = RunResult(
         outputs=outputs,
         rounds=rounds,
         messages=messages,
         failures=failures,
         trace=traces,
     )
+    if hub is not None:
+        hub.run_end(result)
+    return result
 
 
 def run_local_reference(
@@ -416,6 +626,7 @@ def run_local_reference(
     rng_factory: Optional[Any] = None,
     allow_duplicate_ids: bool = False,
     trace: bool = False,
+    observers: Optional[Sequence[Any]] = None,
 ) -> RunResult:
     """The kept-simple engine: full snapshot and full scan every round.
 
@@ -424,6 +635,10 @@ def run_local_reference(
     of how many vertices are awake.  It exists as the oracle for the
     equivalence suite and as the baseline the perf harness measures
     speedups against; it must stay a direct transcription of the model.
+
+    Observers attached here see the exact same event stream as under
+    the fast engine — the telemetry determinism contract the
+    equivalence suite pins down.
     """
     contexts = build_contexts(
         graph,
@@ -436,11 +651,23 @@ def run_local_reference(
         allow_duplicate_ids=allow_duplicate_ids,
     )
     n = graph.num_vertices
+    attached = _attached_observers(observers)
+    hub = _ObserverHub(attached) if attached else None
+    if hub is not None:
+        hub.run_start(
+            RunMeta(
+                algorithm=algorithm.name,
+                model=model,
+                n=n,
+                num_edges=graph.num_edges,
+                max_degree=graph.max_degree,
+                max_rounds=max_rounds,
+                seed=seed,
+                graph=graph,
+            )
+        )
     clock = _Clock()
-    for ctx in contexts:
-        ctx._clock = clock
-        algorithm.setup(ctx)
-        ctx._commit()
+    _run_setup(contexts, algorithm, clock, hub)
 
     rounds = 0
     messages = 0
@@ -454,6 +681,8 @@ def run_local_reference(
                 f"n={n} (likely non-terminating)"
             )
         clock.now = rounds
+        if hub is not None:
+            hub.round_start(rounds, len(active))
         snapshot = [ctx._pub for ctx in contexts]
         dirty = False
         awake = 0
@@ -470,6 +699,14 @@ def run_local_reference(
             if ctx.halted:
                 dirty = True
                 halted_this_round += 1
+            if hub is not None:
+                hub.node_step(rounds, v, ctx)
+                if ctx._pub_dirty:
+                    hub.publish(rounds, v, ctx._next_pub)
+                if ctx.failure is not None:
+                    hub.failure(rounds, v, ctx.failure)
+                elif ctx.halted:
+                    hub.halt(rounds, v, ctx.output)
         for v in active:
             contexts[v]._commit()
         if trace:
@@ -480,6 +717,10 @@ def run_local_reference(
                     halted=halted_this_round,
                 )
             )
+        if hub is not None:
+            hub.round_end(
+                rounds, awake, halted_this_round, messages_per_round
+            )
         if dirty:
             active = [v for v in active if not contexts[v].halted]
         rounds += 1
@@ -489,10 +730,13 @@ def run_local_reference(
         v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
     }
     outputs = [ctx.output for ctx in contexts]
-    return RunResult(
+    result = RunResult(
         outputs=outputs,
         rounds=rounds,
         messages=messages,
         failures=failures,
         trace=traces,
     )
+    if hub is not None:
+        hub.run_end(result)
+    return result

@@ -34,3 +34,10 @@ class AlgorithmFailure(ReproError):
 
 class VerificationError(ReproError):
     """An output labeling failed its LCL verifier."""
+
+
+class TelemetryError(ReproError):
+    """The observability layer was misconfigured — e.g. a per-cell
+    metric summary produced under ``run_sweep(workers=N)`` is not
+    picklable and therefore cannot be merged back from a forked
+    worker deterministically."""

@@ -1,0 +1,63 @@
+"""Structured telemetry for the LOCAL engine.
+
+The engine (both :func:`repro.core.run_local` and the reference
+implementation) emits a stream of events — run/round boundaries, vertex
+steps, publishes, halts, failures — to any attached
+:class:`RunObserver`.  This package holds the observer protocol and the
+built-in observers:
+
+- :class:`MetricsObserver` — counters/gauges/histograms: message and
+  payload-byte accounting, awake fractions, per-node halt rounds, and
+  the effective locality radius each vertex consumed (ball-growth
+  accounting in the style of ``algorithms/ball.py``);
+- :class:`JsonlTraceObserver` — a deterministic JSONL event stream
+  with a versioned schema, byte-identical across engines and repeated
+  runs of the same seed;
+- :mod:`repro.obs.shattering` — a profiler that computes, from a
+  trace, the halt-fraction curve F(t) and the surviving-subgraph
+  component-size distribution, quantifying the paper's Theorem 3
+  (graph shattering) per run.
+
+Observers are read-only spectators: callbacks must not mutate the
+context or graph they are shown (static-analysis rule LM008 flags
+violations).  See ``docs/observability.md`` for the event schema and
+ordering contract.
+"""
+
+from .metrics import (
+    MetricsObserver,
+    MetricsRegistry,
+    estimate_payload_bytes,
+    merge_summaries,
+)
+from .observer import RunObserver
+from .shattering import (
+    RoundShatterStats,
+    ShatteringProfile,
+    profile_events,
+    profile_trace,
+    render_profile_report,
+)
+from .trace import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    JsonlTraceObserver,
+    read_trace,
+)
+
+__all__ = [
+    "JsonlTraceObserver",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "RoundShatterStats",
+    "RunObserver",
+    "ShatteringProfile",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "estimate_payload_bytes",
+    "merge_summaries",
+    "profile_events",
+    "profile_trace",
+    "read_trace",
+    "render_profile_report",
+]

@@ -1,0 +1,364 @@
+"""Metrics collection: registry primitives and the MetricsObserver.
+
+:class:`MetricsRegistry` is a small counters/gauges/histograms registry
+(the usual production-monitoring shapes, kept dependency-free);
+:class:`MetricsObserver` populates one from engine events:
+
+- ``messages_total`` / ``publishes_total`` / ``rounds_total`` /
+  ``halted_total`` / ``failed_total`` — counters;
+- ``payload_bytes_total`` — counter of estimated published bytes
+  (:func:`estimate_payload_bytes`; the LOCAL model's messages are
+  unbounded, so this measures what an implementation *would* ship);
+- ``awake_fraction`` / ``round_payload_bytes`` — per-round histograms;
+- ``halt_round`` / ``locality_radius`` — per-vertex histograms, the
+  latter via ball-growth accounting: a stepping vertex's information
+  radius grows to ``1 + max(radius published by its neighbors)``,
+  mirroring how :class:`repro.algorithms.ball.BallCollection` grows
+  views.  A vertex's radius at halt is the locality it actually
+  consumed — for shattering algorithms this stays far below the
+  deterministic diameter bound.
+
+Summaries are plain JSON-safe dicts so :func:`repro.analysis.run_sweep`
+can pickle them back from forked workers; :func:`merge_summaries`
+combines them deterministically (counters add, gauges take the max,
+histograms pool their moments).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.engine import RunMeta, RunResult, SETUP_ROUND
+from .observer import RunObserver
+
+#: Deterministic size charged for objects whose ``repr`` would embed a
+#: memory address (default ``object.__repr__``) — never call that repr,
+#: it would break byte-identical summaries across runs.
+_OPAQUE_OBJECT_BYTES = 16
+
+
+def estimate_payload_bytes(value: Any) -> int:
+    """Deterministic estimate of a published value's wire size.
+
+    Not a serialization — a stable accounting rule: primitives cost
+    their natural width, containers cost framing plus contents, and
+    opaque objects cost a flat :data:`_OPAQUE_OBJECT_BYTES` (their
+    ``repr`` may embed addresses, which would poison determinism).
+    """
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, (value.bit_length() + 7) // 8)
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(estimate_payload_bytes(item) for item in value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            estimate_payload_bytes(k) + estimate_payload_bytes(v)
+            for k, v in value.items()
+        )
+    if type(value).__repr__ is object.__repr__:
+        return _OPAQUE_OBJECT_BYTES
+    return len(repr(value).encode("utf-8"))
+
+
+class Counter:
+    """Monotonic count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming moments: count, total, min, max (no buckets — the
+    distributions we watch are small and summaries must merge)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric, get-or-create, snapshot to a plain dict."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-safe dump of every metric, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+
+class MetricsObserver(RunObserver):
+    """Populate a :class:`MetricsRegistry` from engine events.
+
+    One instance may watch several runs (every phase of a driver under
+    :func:`repro.core.observe_runs`); counters and histograms aggregate
+    across runs, per-run locality state resets at each
+    ``on_run_start``.  Setup-round publishes are folded into the first
+    round's payload accounting.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.runs = 0
+        #: Per-run, per-round curve: list (over runs) of lists of dicts.
+        self.round_curves: List[List[Dict[str, Any]]] = []
+        self._n = 0
+        self._graph: Any = None
+        self._radius: List[int] = []
+        self._pub_radius: List[int] = []
+        self._pending_radius: Dict[int, int] = {}
+        self._round_payload = 0
+        self._round_publishes = 0
+
+    # -- engine callbacks ----------------------------------------------
+    def on_run_start(self, meta: RunMeta) -> None:
+        self.runs += 1
+        self.round_curves.append([])
+        self._n = meta.n
+        self._graph = meta.graph
+        self._radius = [0] * meta.n
+        self._pub_radius = [0] * meta.n
+        self._pending_radius = {}
+        self._round_payload = 0
+        self._round_publishes = 0
+
+    def on_round_start(self, round_index: int, active: int) -> None:
+        # Publishes staged last round (or in setup) became visible at
+        # this round boundary — commit their information radii, exactly
+        # like the engine's double buffering commits values.
+        if self._pending_radius:
+            for v, r in self._pending_radius.items():
+                self._pub_radius[v] = r
+            self._pending_radius = {}
+
+    def on_node_step(
+        self, round_index: int, vertex: int, ctx: Any
+    ) -> None:
+        if self._graph is not None:
+            grown = self._radius[vertex]
+            for u in self._graph.neighbors(vertex):
+                reach = self._pub_radius[u] + 1
+                if reach > grown:
+                    grown = reach
+            self._radius[vertex] = grown
+
+    def on_publish(
+        self, round_index: int, vertex: int, value: Any
+    ) -> None:
+        size = estimate_payload_bytes(value)
+        self.registry.counter("publishes_total").inc()
+        self.registry.counter("payload_bytes_total").inc(size)
+        self._round_payload += size
+        self._round_publishes += 1
+        if self._radius:
+            self._pending_radius[vertex] = self._radius[vertex]
+
+    def on_halt(self, round_index: int, vertex: int, output: Any) -> None:
+        self.registry.counter("halted_total").inc()
+        self.registry.histogram("halt_round").observe(round_index)
+        if self._radius:
+            self.registry.histogram("locality_radius").observe(
+                self._radius[vertex]
+            )
+
+    def on_failure(
+        self, round_index: int, vertex: int, reason: str
+    ) -> None:
+        self.registry.counter("failed_total").inc()
+
+    def on_round_end(
+        self,
+        round_index: int,
+        awake: int,
+        halted: int,
+        messages: int,
+    ) -> None:
+        self.registry.counter("rounds_total").inc()
+        self.registry.counter("messages_total").inc(messages)
+        fraction = awake / self._n if self._n else 0.0
+        self.registry.histogram("awake_fraction").observe(fraction)
+        self.registry.histogram("round_payload_bytes").observe(
+            self._round_payload
+        )
+        self.round_curves[-1].append(
+            {
+                "round": round_index,
+                "awake": awake,
+                "halted": halted,
+                "messages": messages,
+                "publishes": self._round_publishes,
+                "payload_bytes": self._round_payload,
+            }
+        )
+        self._round_payload = 0
+        self._round_publishes = 0
+
+    def on_run_end(self, result: RunResult) -> None:
+        if self._radius:
+            self.registry.gauge("max_locality_radius").set(
+                max(self._radius)
+            )
+
+    # -- summaries ------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Plain JSON-safe dict: scalar metrics, no per-round curves.
+
+        This is what :func:`repro.analysis.run_sweep` ships back from
+        forked workers and merges across cells — keep it picklable and
+        deterministic.
+        """
+        return {
+            "schema": "repro.obs.metrics",
+            "version": 1,
+            "runs": self.runs,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+def _merge_metric(
+    name: str, a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Any]:
+    if a["type"] != b["type"]:
+        raise ValueError(
+            f"metric {name!r} has conflicting types: "
+            f"{a['type']} vs {b['type']}"
+        )
+    if a["type"] == "counter":
+        return {"type": "counter", "value": a["value"] + b["value"]}
+    if a["type"] == "gauge":
+        return {"type": "gauge", "value": max(a["value"], b["value"])}
+    count = a["count"] + b["count"]
+    total = a["total"] + b["total"]
+    mins = [x["min"] for x in (a, b) if x["min"] is not None]
+    maxs = [x["max"] for x in (a, b) if x["max"] is not None]
+    return {
+        "type": "histogram",
+        "count": count,
+        "total": total,
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "mean": (total / count) if count else None,
+    }
+
+
+def merge_summaries(
+    summaries: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Deterministically combine :meth:`MetricsObserver.summary` dicts.
+
+    Counters add, gauges keep the maximum, histograms pool moments.
+    Merging is order-insensitive for counters/histograms and reduced
+    with ``max`` for gauges, so any grid order yields the same result
+    — the bit-identical-to-serial contract ``run_sweep`` tests rely on.
+    """
+    merged: Dict[str, Any] = {
+        "schema": "repro.obs.metrics",
+        "version": 1,
+        "runs": 0,
+        "metrics": {},
+    }
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for summary in summaries:
+        merged["runs"] += summary.get("runs", 0)
+        for name, snap in summary.get("metrics", {}).items():
+            if name in metrics:
+                metrics[name] = _merge_metric(name, metrics[name], snap)
+            else:
+                metrics[name] = dict(snap)
+    merged["metrics"] = {name: metrics[name] for name in sorted(metrics)}
+    return merged
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "SETUP_ROUND",
+    "estimate_payload_bytes",
+    "merge_summaries",
+]

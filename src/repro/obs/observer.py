@@ -1,0 +1,85 @@
+"""The observer callback protocol.
+
+:class:`RunObserver` is the no-op base class engine observers derive
+from: subclass it, override the callbacks you care about, and pass
+instances to ``run_local(observers=[...])`` or attach them ambiently
+with :func:`repro.core.observe_runs` (covers every ``run_local`` call a
+multi-phase driver makes).
+
+Ordering contract (identical for the fast and reference engines; the
+equivalence suite pins it):
+
+1. ``on_run_start(meta)`` — once, before ``setup``.
+2. Setup events at round index :data:`repro.core.SETUP_ROUND` (-1):
+   per vertex in ascending order, ``on_publish`` if it published, then
+   ``on_failure`` or ``on_halt`` if it failed/halted in ``setup``.
+3. Per executed round ``r``: ``on_round_start(r, active)``; then per
+   *stepping* vertex in ascending order ``on_node_step`` followed by
+   its ``on_publish`` / ``on_failure`` / ``on_halt`` events; then
+   ``on_round_end(r, awake, halted, messages)``.  Rounds where every
+   live vertex sleeps are bulk-accounted by the fast engine but still
+   emit ``on_round_start``/``on_round_end`` (awake = halted = 0).
+4. ``on_run_end(result)`` — once, unless the run raised (e.g. the
+   ``max_rounds`` guard), in which case the stream simply stops.
+
+Observers are **read-only spectators**.  The ``ctx`` handed to
+``on_node_step`` is live engine state: reading (``ctx.halted``,
+``ctx.output``, ``ctx.pending_publish``, ...) is fine, calling
+lifecycle methods or assigning attributes is not (rule LM008).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.context import NodeContext
+from ..core.engine import RunMeta, RunResult
+
+
+class RunObserver:
+    """No-op base class for engine observers; override what you need.
+
+    Every callback has an empty default, so subclasses only pay for the
+    events they use.  One observer instance may watch several runs in
+    sequence (e.g. each phase of a multi-phase driver under
+    :func:`repro.core.observe_runs`); ``on_run_start`` marks each new
+    run's boundary.
+    """
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        """A run is starting; ``meta`` holds its static facts."""
+
+    def on_round_start(self, round_index: int, active: int) -> None:
+        """Round ``round_index`` begins with ``active`` live vertices."""
+
+    def on_node_step(
+        self, round_index: int, vertex: int, ctx: NodeContext
+    ) -> None:
+        """Vertex ``vertex`` executed ``step`` this round.  ``ctx`` is
+        live engine state — read-only (see LM008)."""
+
+    def on_publish(
+        self, round_index: int, vertex: int, value: Any
+    ) -> None:
+        """Vertex ``vertex`` published ``value`` (visible next round)."""
+
+    def on_halt(self, round_index: int, vertex: int, output: Any) -> None:
+        """Vertex ``vertex`` halted with ``output``."""
+
+    def on_failure(
+        self, round_index: int, vertex: int, reason: str
+    ) -> None:
+        """Vertex ``vertex`` declared failure with ``reason``."""
+
+    def on_round_end(
+        self,
+        round_index: int,
+        awake: int,
+        halted: int,
+        messages: int,
+    ) -> None:
+        """Round ended: ``awake`` vertices stepped, ``halted`` of them
+        halted, ``messages`` point-to-point messages were delivered."""
+
+    def on_run_end(self, result: RunResult) -> None:
+        """The run completed with ``result``."""

@@ -1,0 +1,278 @@
+"""JSONL trace streaming with a versioned, deterministic schema.
+
+:class:`JsonlTraceObserver` writes one JSON object per engine event,
+one per line.  Determinism is a hard contract (an acceptance criterion
+of the telemetry layer): the bytes are identical across repeated runs
+of the same seed and across the fast/reference engines, because
+
+- keys are sorted and separators are fixed (no whitespace variance);
+- no wall-clock timestamps and no engine-identifying fields appear;
+- values are canonicalized by :func:`_json_safe` — sets are sorted,
+  tuples become lists, and objects whose ``repr`` would embed a memory
+  address are replaced by a stable type marker.
+
+Schema (``schema``/``version`` stamped on the ``run_start`` line):
+
+- ``run_start``: algorithm, model, n, m, max_degree, max_rounds, seed,
+  and (unless ``topology=False``) the edge list — everything the
+  shattering profiler needs to work from the trace alone.
+- ``round_start`` / ``round_end``: round boundaries with activity
+  counts; bulk-skipped sleeping rounds appear like any other round.
+- ``publish`` (with estimated ``bytes``; the value itself only under
+  ``payload_values=True``), ``halt`` (always carries the output value
+  — profilers key on it), ``failure``.
+- ``run_end``: rounds, messages, failure count.
+
+Per-vertex ``step`` events are off by default (``node_steps=True`` to
+enable) — they dominate trace size without serving the built-in
+profilers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+
+from ..core.engine import RunMeta, RunResult
+from .metrics import estimate_payload_bytes
+from .observer import RunObserver
+
+TRACE_SCHEMA = "repro.obs.trace"
+TRACE_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Canonical JSON form of an arbitrary published/output value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [_json_safe(item) for item in value]
+        return sorted(
+            items,
+            key=lambda x: json.dumps(x, sort_keys=True, default=str),
+        )
+    if isinstance(value, dict):
+        return {
+            _key_str(k): _json_safe(v) for k, v in value.items()
+        }
+    if type(value).__repr__ is object.__repr__:
+        # Default repr embeds a memory address — never let one reach
+        # the stream, it would break byte-identity across runs.
+        return {"__opaque__": type(value).__name__}
+    return {"__repr__": repr(value)}
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    return json.dumps(_json_safe(key), sort_keys=True, default=str)
+
+
+def _dumps(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlTraceObserver(RunObserver):
+    """Stream engine events to a JSONL file (or open text stream).
+
+    Parameters
+    ----------
+    target:
+        Path to (over)write, or an already-open text stream (not
+        closed by :meth:`close` in that case).
+    payload_values:
+        Include published values on ``publish`` lines (off by default;
+        halt outputs are always included).
+    topology:
+        Include the edge list on ``run_start`` lines so profiles can
+        be computed from the trace alone.
+    node_steps:
+        Emit a ``step`` line per vertex step (off by default; traces
+        grow by n × rounds lines when enabled).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, TextIO],
+        *,
+        payload_values: bool = False,
+        topology: bool = True,
+        node_steps: bool = False,
+    ) -> None:
+        if isinstance(target, str):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.payload_values = payload_values
+        self.topology = topology
+        self.node_steps = node_steps
+        self.events_written = 0
+        self._run = -1
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, obj: Dict[str, Any]) -> None:
+        self._stream.write(_dumps(obj))
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTraceObserver":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- engine callbacks ----------------------------------------------
+    def on_run_start(self, meta: RunMeta) -> None:
+        self._run += 1
+        line: Dict[str, Any] = {
+            "event": "run_start",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_VERSION,
+            "run": self._run,
+            "algorithm": meta.algorithm,
+            "model": meta.model.name,
+            "n": meta.n,
+            "m": meta.num_edges,
+            "max_degree": meta.max_degree,
+            "max_rounds": meta.max_rounds,
+            "seed": meta.seed,
+        }
+        if self.topology and meta.graph is not None:
+            line["edges"] = [[u, v] for u, v in meta.graph.edges()]
+        self._emit(line)
+
+    def on_round_start(self, round_index: int, active: int) -> None:
+        self._emit(
+            {
+                "event": "round_start",
+                "run": self._run,
+                "round": round_index,
+                "active": active,
+            }
+        )
+
+    def on_node_step(
+        self, round_index: int, vertex: int, ctx: Any
+    ) -> None:
+        if self.node_steps:
+            self._emit(
+                {
+                    "event": "step",
+                    "run": self._run,
+                    "round": round_index,
+                    "v": vertex,
+                }
+            )
+
+    def on_publish(
+        self, round_index: int, vertex: int, value: Any
+    ) -> None:
+        line: Dict[str, Any] = {
+            "event": "publish",
+            "run": self._run,
+            "round": round_index,
+            "v": vertex,
+            "bytes": estimate_payload_bytes(value),
+        }
+        if self.payload_values:
+            line["value"] = _json_safe(value)
+        self._emit(line)
+
+    def on_halt(self, round_index: int, vertex: int, output: Any) -> None:
+        self._emit(
+            {
+                "event": "halt",
+                "run": self._run,
+                "round": round_index,
+                "v": vertex,
+                "value": _json_safe(output),
+            }
+        )
+
+    def on_failure(
+        self, round_index: int, vertex: int, reason: str
+    ) -> None:
+        self._emit(
+            {
+                "event": "failure",
+                "run": self._run,
+                "round": round_index,
+                "v": vertex,
+                "reason": reason,
+            }
+        )
+
+    def on_round_end(
+        self,
+        round_index: int,
+        awake: int,
+        halted: int,
+        messages: int,
+    ) -> None:
+        self._emit(
+            {
+                "event": "round_end",
+                "run": self._run,
+                "round": round_index,
+                "awake": awake,
+                "halted": halted,
+                "messages": messages,
+            }
+        )
+
+    def on_run_end(self, result: RunResult) -> None:
+        self._emit(
+            {
+                "event": "run_end",
+                "run": self._run,
+                "rounds": result.rounds,
+                "messages": result.messages,
+                "failures": len(result.failures),
+            }
+        )
+        self._stream.flush()
+
+
+def read_trace(
+    path: str, run: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of event dicts.
+
+    With ``run`` given, only that run's events are returned; raises
+    ``ValueError`` if the trace contains no such run.
+    """
+    events = list(iter_trace(path))
+    if run is None:
+        return events
+    selected = [e for e in events if e.get("run") == run]
+    if not selected:
+        raise ValueError(f"trace {path!r} has no events for run {run}")
+    return selected
+
+
+def iter_trace(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream a JSONL trace without loading it whole."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+__all__ = [
+    "JsonlTraceObserver",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "iter_trace",
+    "read_trace",
+]

@@ -20,6 +20,8 @@ LM005     warning   wall-clock / OS entropy / unordered-set iteration in
 LM006     warning   publishing values derived from ``ctx.now``
 LM007     warning   per-round topology-helper calls in node code the
                     engine already precomputes (adjacency, reverse ports)
+LM008     warning   observer callbacks mutating ctx/graph state
+                    (observers must be read-only spectators)
 ========  ========  ====================================================
 """
 
@@ -38,7 +40,7 @@ from typing import (
 )
 
 from .bindings import DET, RAND, Binding, bind_models, entry_keys
-from .callgraph import CallGraph, FunctionInfo, FunctionNode
+from .callgraph import CallGraph, ClassInfo, FunctionInfo, FunctionNode
 from .diagnostics import Diagnostic, RuleSpec, Severity
 from .modules import ModuleInfo
 
@@ -102,7 +104,39 @@ RULES: Dict[str, RuleSpec] = {
             "neighbor structure each round repeats that work "
             "O(rounds) times (see docs/performance.md).",
         ),
+        RuleSpec(
+            "LM008",
+            Severity.WARNING,
+            "observer callback mutates engine state",
+            "observers are read-only spectators: a callback that "
+            "mutates the live ctx (or draws from ctx.random) changes "
+            "the run it claims to measure, voiding the telemetry "
+            "determinism contract (docs/observability.md).",
+        ),
     )
+}
+
+#: The RunObserver callback protocol (see repro/obs/observer.py); a
+#: class defining any of these is treated as an observer by LM008.
+_OBSERVER_CALLBACKS = {
+    "on_run_start",
+    "on_round_start",
+    "on_node_step",
+    "on_publish",
+    "on_halt",
+    "on_failure",
+    "on_round_end",
+    "on_run_end",
+}
+
+#: NodeContext lifecycle methods; calling one from an observer callback
+#: steers the run instead of watching it.
+_CTX_LIFECYCLE = {
+    "publish",
+    "halt",
+    "fail",
+    "sleep_until",
+    "_commit",
 }
 
 #: Graph-level helpers the engine precomputes per run; calling them per
@@ -262,6 +296,8 @@ class RuleEngine:
                 diagnostics.extend(self._check_lm004(site))
                 diagnostics.extend(self._check_lm006(site))
                 diagnostics.extend(self._check_lm007(site))
+        # LM008 ranges over observer classes, not algorithm bindings.
+        diagnostics.extend(self._check_lm008())
         # One finding per (rule, path, line): a helper shared by several
         # bound classes is reported once, with the first chain found.
         unique: Dict[Tuple[str, str, int], Diagnostic] = {}
@@ -571,6 +607,155 @@ class RuleEngine:
                 "read ctx.input['reverse_ports'] / the inbox instead "
                 "of rebuilding neighbor structure every step",
             )
+
+
+    # ------------------------------------------------------------------
+    # LM008 — observer callbacks must not mutate engine state
+    # ------------------------------------------------------------------
+    def _check_lm008(self) -> Iterator[Diagnostic]:
+        for cls_name in sorted(self.graph.classes):
+            cls = self.graph.classes[cls_name]
+            callbacks = {
+                name: node
+                for name, node in cls.methods.items()
+                if name in _OBSERVER_CALLBACKS
+            }
+            if not callbacks:
+                continue
+            for name in sorted(callbacks):
+                method = callbacks[name]
+                ctx_names = _ctx_param_names(method)
+                tracked = ctx_names | _graph_param_names(method)
+                if not tracked:
+                    continue
+                yield from self._lm008_method(
+                    cls, name, method, tracked, ctx_names
+                )
+
+    def _lm008_method(
+        self,
+        cls: "ClassInfo",
+        name: str,
+        method: FunctionNode,
+        tracked: Set[str],
+        ctx_names: Set[str],
+    ) -> Iterator[Diagnostic]:
+        spec = RULES["LM008"]
+        where = f"{cls.name}.{name}"
+
+        def emit(node: ast.AST, message: str, hint: str) -> Diagnostic:
+            return Diagnostic(
+                rule_id="LM008",
+                severity=spec.severity,
+                path=str(cls.module.path),
+                line=getattr(node, "lineno", method.lineno),
+                message=message,
+                hint=hint,
+                chain=(where,),
+            )
+
+        hint = (
+            "observers are read-only spectators; keep mutable state "
+            "on the observer instance (self), never on ctx or the "
+            "graph"
+        )
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = _store_root_name(target)
+                    if root is not None and root in tracked:
+                        yield emit(
+                            node,
+                            f"observer callback {where!r} assigns "
+                            f"into {root!r} (live engine state)",
+                            hint,
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                if (
+                    func.attr in _CTX_LIFECYCLE
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in ctx_names
+                ):
+                    yield emit(
+                        node,
+                        f"observer callback {where!r} calls "
+                        f"ctx.{func.attr}() — steering the run, not "
+                        "watching it",
+                        hint,
+                    )
+                elif (
+                    isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in ctx_names
+                ):
+                    yield emit(
+                        node,
+                        f"observer callback {where!r} draws from "
+                        "ctx.random — consuming the vertex's private "
+                        "random stream changes the observed run",
+                        hint,
+                    )
+                elif func.attr in _MUTATORS:
+                    root = _expr_root_name(func.value)
+                    if root is not None and root in tracked:
+                        yield emit(
+                            node,
+                            f"observer callback {where!r} mutates "
+                            f"{root!r} via .{func.attr}() (live "
+                            "engine state)",
+                            hint,
+                        )
+
+
+def _graph_param_names(fn: FunctionNode) -> Set[str]:
+    """Parameters holding a Graph: named ``graph`` or annotated so."""
+    names: Set[str] = set()
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.arg == "graph":
+            names.add(arg.arg)
+            continue
+        ann = arg.annotation
+        text = ""
+        if isinstance(ann, ast.Name):
+            text = ann.id
+        elif isinstance(ann, ast.Attribute):
+            text = ann.attr
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value
+        if "Graph" in text:
+            names.add(arg.arg)
+    return names
+
+
+def _expr_root_name(node: ast.expr) -> Optional[str]:
+    """Root Name of an attribute/subscript chain (``ctx.state['x']``
+    -> 'ctx'), or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _store_root_name(target: ast.expr) -> Optional[str]:
+    """Root Name of an assignment *target* that writes through an
+    attribute or subscript (plain ``name = ...`` rebinds a local and is
+    not a mutation)."""
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        return _expr_root_name(target)
+    return None
 
 
 def _module_origin(

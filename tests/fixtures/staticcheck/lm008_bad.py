@@ -1,0 +1,59 @@
+"""Seeded LM008 violations: observer callbacks mutating the live ctx
+or graph state they are only supposed to watch."""
+
+from repro.obs import RunObserver
+
+
+class SteeringObserver(RunObserver):
+    """Calls lifecycle methods and writes through ctx — steering the
+    run instead of observing it."""
+
+    def on_node_step(self, round_index, vertex, ctx):
+        # seeded: lifecycle call from an observer
+        ctx.halt(vertex)
+        # seeded: attribute store through ctx
+        ctx.output = round_index
+
+    def on_publish(self, round_index, vertex, value):
+        self.seen = value
+
+
+class StateScribbler(RunObserver):
+    """Mutates ctx.state containers and drains the RNG stream."""
+
+    def on_node_step(self, round_index, vertex, ctx):
+        # seeded: subscript store through ctx.state
+        ctx.state["observed"] = round_index
+        # seeded: container mutation rooted at ctx
+        ctx.state["log"].append(vertex)
+        # seeded: consuming the vertex's private random stream
+        return ctx.random.random()
+
+
+class GraphEditor:
+    """Duck-typed observer (no RunObserver base) scribbling on the
+    graph handed over in run metadata."""
+
+    def on_run_start(self, meta):
+        self.meta = meta
+
+    def on_round_start(self, round_index, active):
+        self.active = active
+
+    def on_halt(self, round_index, vertex, output, graph=None):
+        # seeded: attribute store through a graph parameter
+        graph.labels[vertex] = output
+
+
+class PoliteWatcher(RunObserver):
+    """Clean control: reads everything, touches only self."""
+
+    def __init__(self):
+        self.halts = []
+        self.pending = {}
+
+    def on_node_step(self, round_index, vertex, ctx):
+        self.pending[vertex] = ctx.pending_publish
+
+    def on_halt(self, round_index, vertex, output):
+        self.halts.append((round_index, vertex, output))

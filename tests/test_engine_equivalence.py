@@ -59,12 +59,52 @@ def assert_results_identical(fast, reference):
     assert fast.trace == reference.trace
 
 
+class _EventRecorder:
+    """Minimal observer capturing every event as a comparable tuple —
+    extends the equivalence contract to the telemetry stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, meta):
+        self.events.append(("run_start", meta.algorithm, meta.n))
+
+    def on_round_start(self, round_index, active):
+        self.events.append(("round_start", round_index, active))
+
+    def on_node_step(self, round_index, vertex, ctx):
+        self.events.append(("step", round_index, vertex))
+
+    def on_publish(self, round_index, vertex, value):
+        self.events.append(("publish", round_index, vertex, value))
+
+    def on_halt(self, round_index, vertex, output):
+        self.events.append(("halt", round_index, vertex, output))
+
+    def on_failure(self, round_index, vertex, reason):
+        self.events.append(("failure", round_index, vertex, reason))
+
+    def on_round_end(self, round_index, awake, halted, messages):
+        self.events.append(
+            ("round_end", round_index, awake, halted, messages)
+        )
+
+    def on_run_end(self, result):
+        self.events.append(("run_end", result.rounds))
+
+
 def run_both(graph, algorithm_factory, model, **kwargs):
-    fast = run_local(graph, algorithm_factory(), model, trace=True, **kwargs)
+    fast_rec, ref_rec = _EventRecorder(), _EventRecorder()
+    fast = run_local(
+        graph, algorithm_factory(), model, trace=True,
+        observers=[fast_rec], **kwargs
+    )
     reference = run_local_reference(
-        graph, algorithm_factory(), model, trace=True, **kwargs
+        graph, algorithm_factory(), model, trace=True,
+        observers=[ref_rec], **kwargs
     )
     assert_results_identical(fast, reference)
+    assert fast_rec.events == ref_rec.events
     return fast
 
 
@@ -174,6 +214,40 @@ class TestSyntheticEquivalence:
             graph, StaggeredSleeper, Model.DET, node_inputs=inputs
         )
         assert result.rounds == max(i["klass"] for i in inputs) + 1
+
+    def test_bulk_skipped_span_trace_pinned(self):
+        """Explicit expected trace for a run with a bulk-skipped span:
+        the fast engine must synthesize per-round entries (and observer
+        round events) identical to the reference engine's full scan."""
+        from repro.core.engine import RoundTrace
+
+        graph = cycle_graph(8)
+        inputs = [{"klass": 0 if v % 2 == 0 else 5} for v in range(8)]
+        rec = _EventRecorder()
+        result = run_local(
+            graph, StaggeredSleeper(), Model.DET,
+            node_inputs=inputs, trace=True, observers=[rec],
+        )
+        expected = [RoundTrace(active=8, awake=4, halted=4)]
+        expected += [
+            RoundTrace(active=4, awake=0, halted=0) for _ in range(4)
+        ]
+        expected.append(RoundTrace(active=4, awake=4, halted=4))
+        assert result.trace == expected
+
+        # The synthesized observer events for the skipped span mirror
+        # the trace: parked vertices counted active, nothing stepping.
+        m = 2 * graph.num_edges
+        for r in range(1, 5):
+            assert ("round_start", r, 4) in rec.events
+            assert ("round_end", r, 0, 0, m) in rec.events
+        assert not any(
+            e[0] == "step" and 1 <= e[1] <= 4 for e in rec.events
+        )
+        # And the reference engine agrees event-for-event.
+        run_both(
+            graph, StaggeredSleeper, Model.DET, node_inputs=inputs
+        )
 
     def test_repeated_sleep_cycles(self):
         graph = ring_of_cycles(4, 5)

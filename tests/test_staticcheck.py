@@ -50,6 +50,7 @@ class TestRuleTruePositives:
             ("lm005_bad.py", "LM005", 3),
             ("lm006_bad.py", "LM006", 2),
             ("lm007_bad.py", "LM007", 2),
+            ("lm008_bad.py", "LM008", 6),
         ],
     )
     def test_rule_catches_seeded_violation(self, fixture, rule, count):
