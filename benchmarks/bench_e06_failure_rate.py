@@ -1,0 +1,44 @@
+"""E6F — Theorem 10's 1/n failure guarantee meets injected faults.
+
+Claim under test: the paper's randomized Δ-coloring succeeds with
+probability 1 - 1/n *in the fault-free LOCAL model*; the guarantee is
+not robust to an adversarial network.  We sweep seeded fault-injection
+rates (message drops) against the Theorem 10 driver on a Δ=9 complete
+regular tree and record the empirical success probability: 1.0 at the
+fault-free control (trials ≪ n), collapsing as the drop rate grows.
+The sweep runs on the resilient harness — pass ``--workers`` to pool
+it; results are bit-identical either way.
+
+See ``docs/robustness.md`` for the fault taxonomy and the determinism
+contract that makes each faulted cell exactly replayable.
+"""
+
+from repro.analysis import ExperimentRecord
+from repro.faults.experiment import failure_rate_experiment
+
+
+def run_experiment(workers=None):
+    record = ExperimentRecord(
+        "E6F",
+        "Theorem 10 failure rate vs injected drop-fault rate "
+        "(Δ=9 complete regular tree, n >= 10^4, 6 trials/rate)",
+    )
+    return failure_rate_experiment(
+        n=10_000,
+        delta=9,
+        rates=(0.0, 0.002, 0.01, 0.05),
+        trials=6,
+        kind="drop",
+        workers=workers,
+        record=record,
+    )
+
+
+def test_e06_failure_rate(benchmark, record_experiment, sweep_workers):
+    record = benchmark.pedantic(
+        run_experiment,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(record)

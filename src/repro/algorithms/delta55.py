@@ -317,8 +317,12 @@ def chang_kopelowitz_pettie_coloring(
         ),
     )
     if finish.failures:
+        first = min(finish.failures)
         raise AlgorithmFailure(
-            f"Phase 3 failed at {len(finish.failures)} vertices"
+            f"Phase 3 failed at {len(finish.failures)} vertices "
+            f"(first: vertex {first}: {finish.failures[first]})",
+            node=first,
+            round=finish.rounds,
         )
     report = AlgorithmReport(finish.outputs, log.total_rounds, log)
     report.log.stats = stats  # type: ignore[attr-defined]

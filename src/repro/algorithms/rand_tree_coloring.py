@@ -43,6 +43,7 @@ from .tree_coloring import barenboim_elkin_coloring
 from ..core.algorithm import Inbox, SyncAlgorithm
 from ..core.context import Model, NodeContext
 from ..core.engine import run_local
+from ..core.errors import AlgorithmFailure
 from ..graphs.graph import Graph
 
 #: Phase-1 output label of a vertex that was marked bad.
@@ -258,6 +259,16 @@ def pettie_su_tree_coloring(
             max_rounds=max_rounds,
         ),
     )
+    if phase1.failures:
+        # Unreachable in the fault-free model (the algorithm never
+        # calls ctx.fail); crash-stop fault injection lands here.
+        first = min(phase1.failures)
+        raise AlgorithmFailure(
+            f"phase 1 failed at {len(phase1.failures)} vertices "
+            f"(first: vertex {first}: {phase1.failures[first]})",
+            node=first,
+            round=phase1.rounds,
+        )
     labeling: List[int] = list(phase1.outputs)
 
     # One round for everyone to learn which neighbors ended bad (their

@@ -131,15 +131,26 @@ def random_sinkless_orientation(
         ),
     )
     if run.failures:
-        raise AlgorithmFailure("rank collision during initialization")
+        first = min(run.failures)
+        raise AlgorithmFailure(
+            "rank collision during initialization "
+            f"(first: vertex {first}: {run.failures[first]})",
+            node=first,
+            round=run.rounds,
+        )
     orientations = [out for out, _ in run.outputs]
     last_sink = max(last for _, last in run.outputs)
-    if any(
-        graph.degree(v) > 0 and not any(orientations[v])
+    remaining = [
+        v
         for v in graph.vertices()
-    ):
+        if graph.degree(v) > 0 and not any(orientations[v])
+    ]
+    if remaining:
         raise AlgorithmFailure(
-            f"sinks remain after {budget} fixing rounds"
+            f"sinks remain after {budget} fixing rounds "
+            f"(first: vertex {remaining[0]})",
+            node=remaining[0],
+            round=run.rounds,
         )
     report = AlgorithmReport(orientations, log.total_rounds, log)
     return report, last_sink + 1

@@ -2,6 +2,7 @@
 
 from .charts import ascii_chart, growth_summary, sparkline
 from .experiments import ExperimentRecord, Point, Series, run_sweep
+from .resilience import CellOutcome, SweepJournal, retry_seed
 from .fitting import (
     CANDIDATE_SHAPES,
     Fit,
@@ -15,10 +16,12 @@ from .tables import render_kv, render_table
 
 __all__ = [
     "CANDIDATE_SHAPES",
+    "CellOutcome",
     "ExperimentRecord",
     "Fit",
     "Point",
     "Series",
+    "SweepJournal",
     "ascii_chart",
     "best_shape",
     "ceil_log2",
@@ -31,6 +34,7 @@ __all__ = [
     "log_star",
     "render_kv",
     "render_table",
+    "retry_seed",
     "run_sweep",
     "separation_factor",
     "sparkline",

@@ -15,6 +15,17 @@ the per-cell telemetry — like the values themselves — is bit-identical
 to a serial run.  A summary that cannot be pickled raises
 :class:`~repro.core.errors.TelemetryError` inside the worker with a
 clear message instead of a bare pool crash.
+
+Resilience: sweeps survive flaky cells and flaky infrastructure (see
+:mod:`repro.analysis.resilience` and ``docs/robustness.md``).
+``retries=k`` re-runs a cell that raises
+:class:`~repro.core.errors.AlgorithmFailure` — or whose worker hangs or
+dies — up to ``k`` extra times under :func:`retry_seed`-derived seeds;
+``timeout=s`` kills pooled workers that exceed a per-cell wall-clock
+deadline; ``journal=path`` checkpoints completed cells to JSONL so an
+interrupted sweep resumes where it left off, byte-identically.  Every
+cell's fate — including cells the historical harness dropped silently
+under ``skip_failures`` — is recorded in ``Series.cell_outcomes``.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import AlgorithmFailure, TelemetryError
+from .resilience import CellOutcome, SweepJournal, retry_seed
 
 
 @dataclass
@@ -57,6 +69,10 @@ class Series:
     #: populated when ``run_sweep`` ran with an ``observer_factory``.
     #: Each entry is ``{"x": ..., "seed": ..., "summary": {...}}``.
     cell_telemetry: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-cell audit records in grid order, populated by ``run_sweep``
+    #: — including skipped cells, which earlier harness versions
+    #: dropped without a trace.
+    cell_outcomes: List[CellOutcome] = field(default_factory=list)
 
     def add(self, x: float, values: Iterable[float]) -> None:
         values = list(values)
@@ -66,14 +82,24 @@ class Series:
 
     def telemetry(self) -> Optional[Dict[str, Any]]:
         """All cell summaries merged deterministically (None if the
-        sweep ran without an observer factory)."""
-        if not self.cell_telemetry:
+        sweep ran without an observer factory).  Skipped cells carry no
+        summary and are excluded from the merge."""
+        summaries = [
+            cell["summary"]
+            for cell in self.cell_telemetry
+            if cell["summary"] is not None
+        ]
+        if not summaries:
             return None
         from ..obs.metrics import merge_summaries
 
-        return merge_summaries(
-            [cell["summary"] for cell in self.cell_telemetry]
-        )
+        return merge_summaries(summaries)
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        """Cells that produced no measurement (declared failure under
+        ``skip_failures``, worker timeout, or worker crash)."""
+        return [o for o in self.cell_outcomes if not o.ok]
 
     @property
     def xs(self) -> List[float]:
@@ -89,22 +115,24 @@ class Series:
             for p in self.points
         ]
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form — the byte-identity contract for
+        journal resume (``json.dumps`` of this is byte-identical for a
+        resumed vs uninterrupted sweep)."""
+        return {
+            "name": self.name,
+            "points": [
+                {"x": p.x, "values": p.values} for p in self.points
+            ],
+            "cell_telemetry": self.cell_telemetry,
+            "cell_outcomes": [o.as_dict() for o in self.cell_outcomes],
+        }
 
-#: Sentinel used by pool workers to report a declared failure without
-#: pickling the exception traceback across the process boundary.
-_FAILED = "__algorithm_failure__"
-
-#: The measurement callable a forked pool worker should run.  Set in
-#: the parent immediately before the pool is created; fork-children
-#: inherit it, which lets ``run_sweep`` parallelize arbitrary closures
-#: (bench measures are rarely picklable).
-_WORKER_MEASURE: Optional[Callable[[float, int], float]] = None
-
-#: Per-cell observer factory, inherited by fork-children like
-#: ``_WORKER_MEASURE``.  ``None`` disables telemetry collection.
-_WORKER_OBSERVER_FACTORY: Optional[Callable[[], Any]] = None
 
 #: True while cells run on a process pool — summaries must pickle.
+#: Set in the parent before forking so children inherit the flag and
+#: pickle-check their summaries at the source (a clear error there
+#: beats an opaque pipe crash on the way back).
 _POOLED = False
 
 
@@ -141,33 +169,27 @@ def _cell_summary(observer: Any) -> Dict[str, Any]:
     return summary
 
 
-def _measure_cell(
-    cell: Tuple[float, int, bool],
-) -> Tuple[str, float, str, Optional[Dict[str, Any]]]:
-    """Run one (x, seed) cell in a pool worker (or inline)."""
-    x, seed, skip_failures = cell
-    assert _WORKER_MEASURE is not None
-    factory = _WORKER_OBSERVER_FACTORY
-    observer = factory() if factory is not None else None
+def _attempt(
+    x: float,
+    effective_seed: int,
+    measure: Callable[[float, int], float],
+    observer_factory: Optional[Callable[[], Any]],
+) -> Tuple[float, Any]:
+    """One measurement attempt; returns ``(value, observer)``.
+
+    ``AlgorithmFailure`` and genuine bugs propagate to the caller —
+    retry policy is the caller's business, not the attempt's.
+    """
+    observer = observer_factory() if observer_factory is not None else None
     if observer is not None:
         _check_observer(observer)
-    try:
-        if observer is None:
-            value = float(_WORKER_MEASURE(x, seed))
-        else:
-            from ..core.engine import observe_runs
+    if observer is None:
+        return float(measure(x, effective_seed)), None
+    from ..core.engine import observe_runs
 
-            with observe_runs(observer):
-                value = float(_WORKER_MEASURE(x, seed))
-    except AlgorithmFailure as exc:
-        if skip_failures:
-            summary = (
-                _cell_summary(observer) if observer is not None else None
-            )
-            return (_FAILED, 0.0, str(exc), summary)
-        raise
-    summary = _cell_summary(observer) if observer is not None else None
-    return ("ok", value, "", summary)
+    with observe_runs(observer):
+        value = float(measure(x, effective_seed))
+    return value, observer
 
 
 def run_sweep(
@@ -178,80 +200,299 @@ def run_sweep(
     skip_failures: bool = False,
     workers: Optional[int] = None,
     observer_factory: Optional[Callable[[], Any]] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    journal: Optional[str] = None,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
 
     With ``skip_failures`` (for randomized algorithms with a declared
     failure mode), runs that raise :class:`AlgorithmFailure` are
-    dropped; a point with *no* surviving run still raises.  Any other
-    exception (``TypeError``, ``ModelViolationError``, ...) is a genuine
-    bug and always propagates.
+    excluded from the aggregates — but no longer silently: every
+    skipped cell is recorded (x, seed, attempts, exception repr) in
+    ``Series.cell_outcomes``.  A point with *no* surviving run still
+    raises.  Any other exception (``TypeError``,
+    ``ModelViolationError``, ...) is a genuine bug and always
+    propagates.
+
+    With ``retries=k``, a cell whose attempt raises
+    :class:`AlgorithmFailure` — or, under a pool, whose worker hangs
+    past ``timeout`` or dies outright — is re-run up to ``k`` more
+    times, each attempt under the deterministic
+    :func:`~repro.analysis.resilience.retry_seed` derived from
+    ``(seed, attempt)`` (attempt 0 is ``seed`` itself, so ``retries=0``
+    reproduces the historical harness bit-for-bit).
 
     With ``workers=N`` (N > 1), the grid × seed cells are fanned out to
-    a process pool.  Determinism contract: ``measure`` must be a pure
-    function of ``(x, seed)`` — every cell seeds its own RNGs — so the
-    returned :class:`Series` is bit-identical to a serial run; cells are
-    reassembled in serial order regardless of completion order.  The
-    pool uses the ``fork`` start method (closures need no pickling);
-    where ``fork`` is unavailable the sweep silently runs serially.
+    a fork-based process-per-cell pool.  Determinism contract:
+    ``measure`` must be a pure function of ``(x, seed)`` — every cell
+    seeds its own RNGs — so the returned :class:`Series` is
+    bit-identical to a serial run; cells are reassembled in serial
+    order regardless of completion order.  Where ``fork`` is
+    unavailable the sweep silently runs serially.  A worker that dies
+    without reporting (OOM-kill, hard interpreter abort) fails its own
+    cell — recorded as a ``crashed`` outcome after retries — instead of
+    taking the sweep down.  ``timeout`` (seconds, pool mode only: a
+    serial sweep has no one to kill a hung cell) bounds each cell's
+    wall clock; a worker past its deadline is killed and the cell
+    requeued or recorded as ``timeout``.
 
     With ``observer_factory``, each cell runs under a fresh observer
     (attached ambiently via :func:`repro.core.observe_runs`, so every
     ``run_local`` call the measurement makes is covered) and the
     returned Series carries ``cell_telemetry`` in grid order —
-    bit-identical whether the cells ran serially or pooled.
+    bit-identical whether the cells ran serially or pooled.  On a
+    retried cell, the telemetry is the final attempt's.
+
+    With ``journal=path``, completed cells are checkpointed to a JSONL
+    file as they finish; re-running the same sweep with the same
+    journal replays completed cells from disk and measures only the
+    rest, producing a :class:`Series` byte-identical to an
+    uninterrupted run (journaled summaries must be JSON-safe).  A
+    journal written by a different sweep configuration is refused.
     """
-    cells = [(x, seed, skip_failures) for x in xs for seed in seeds]
-    outcomes = _run_cells(cells, measure, workers, observer_factory)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    cells = [(x, seed) for x in xs for seed in seeds]
+    sweep_journal = None
+    if journal is not None:
+        sweep_journal = SweepJournal(
+            journal,
+            {
+                "name": name,
+                "xs": list(xs),
+                "seeds": list(seeds),
+                "retries": retries,
+                "timeout": timeout,
+                "skip_failures": skip_failures,
+                "telemetry": observer_factory is not None,
+                "cells": len(cells),
+            },
+        )
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    summaries: List[Any] = [None] * len(cells)
+    done: Dict[int, Any] = {}
+    try:
+        if sweep_journal is not None:
+            done = dict(sweep_journal.completed)
+            for index, (outcome, summary) in done.items():
+                outcomes[index] = outcome
+                summaries[index] = summary
+        pool_ctx = None
+        if workers is not None and workers > 1 and len(cells) > 1:
+            import multiprocessing
+
+            try:
+                pool_ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork: degrade to serial
+                pool_ctx = None
+        if pool_ctx is None:
+            _run_serial(
+                cells,
+                measure,
+                observer_factory,
+                skip_failures,
+                retries,
+                sweep_journal,
+                done,
+                outcomes,
+                summaries,
+            )
+        else:
+            assert workers is not None
+            _run_pooled(
+                cells,
+                measure,
+                observer_factory,
+                skip_failures,
+                retries,
+                timeout,
+                min(workers, len(cells)),
+                pool_ctx,
+                sweep_journal,
+                done,
+                outcomes,
+                summaries,
+            )
+    finally:
+        if sweep_journal is not None:
+            sweep_journal.close()
     series = Series(name)
+    series.cell_outcomes = [o for o in outcomes if o is not None]
     per_x = len(seeds)
     for i, x in enumerate(xs):
-        chunk = outcomes[i * per_x:(i + 1) * per_x]
-        series.add(
-            x, [value for tag, value, _, _ in chunk if tag == "ok"]
-        )
+        chunk = [o for o in outcomes[i * per_x:(i + 1) * per_x] if o]
+        values = [o.value for o in chunk if o.ok]
+        if not values and chunk:
+            detail = "; ".join(
+                f"seed={o.seed} [{o.status}] {o.error}" for o in chunk
+            )
+            raise ValueError(
+                f"series {name!r}: every cell at x={x} was skipped "
+                f"— {detail}"
+            )
+        series.add(x, values)
     if observer_factory is not None:
         series.cell_telemetry = [
-            {"x": x, "seed": seed, "summary": summary}
-            for (x, seed, _), (_, _, _, summary) in zip(cells, outcomes)
+            {"x": x, "seed": seed, "summary": summaries[index]}
+            for index, (x, seed) in enumerate(cells)
         ]
     return series
 
 
-def _run_cells(
-    cells: List[Tuple[float, int, bool]],
+def _run_serial(
+    cells: List[Tuple[float, int]],
     measure: Callable[[float, int], float],
-    workers: Optional[int],
-    observer_factory: Optional[Callable[[], Any]] = None,
-) -> List[Tuple[str, float, str, Optional[Dict[str, Any]]]]:
-    """Evaluate cells serially or on a fork pool, in cell order."""
-    global _WORKER_MEASURE, _WORKER_OBSERVER_FACTORY, _POOLED
-    pool_ctx = None
-    if workers is not None and workers > 1 and len(cells) > 1:
-        import multiprocessing
+    observer_factory: Optional[Callable[[], Any]],
+    skip_failures: bool,
+    retries: int,
+    sweep_journal: Optional[SweepJournal],
+    done: Dict[int, Any],
+    outcomes: List[Optional[CellOutcome]],
+    summaries: List[Any],
+) -> None:
+    """Evaluate cells inline, in grid order, with bounded retries."""
+    for index, (x, seed) in enumerate(cells):
+        if index in done:
+            continue
+        attempt = 0
+        while True:
+            effective = retry_seed(seed, attempt)
+            try:
+                value, observer = _attempt(
+                    x, effective, measure, observer_factory
+                )
+            except AlgorithmFailure as exc:
+                if attempt < retries:
+                    attempt += 1
+                    continue
+                if not skip_failures:
+                    raise
+                outcomes[index] = CellOutcome(
+                    x, seed, "failed", None, attempt + 1, effective,
+                    repr(exc),
+                )
+                break
+            summaries[index] = (
+                _cell_summary(observer) if observer is not None else None
+            )
+            outcomes[index] = CellOutcome(
+                x, seed, "ok", value, attempt + 1, effective
+            )
+            break
+        if sweep_journal is not None:
+            assert outcomes[index] is not None
+            sweep_journal.record(index, outcomes[index], summaries[index])
 
+
+def _run_pooled(
+    cells: List[Tuple[float, int]],
+    measure: Callable[[float, int], float],
+    observer_factory: Optional[Callable[[], Any]],
+    skip_failures: bool,
+    retries: int,
+    timeout: Optional[float],
+    workers: int,
+    pool_ctx: Any,
+    sweep_journal: Optional[SweepJournal],
+    done: Dict[int, Any],
+    outcomes: List[Optional[CellOutcome]],
+    summaries: List[Any],
+) -> None:
+    """Fan cells out to the resilient process-per-cell fork pool."""
+    from .resilience import run_cells_resilient
+
+    def child_payload(index: int, attempt: int) -> Tuple[Any, ...]:
+        # Runs in a forked child; ships a picklable verdict, never an
+        # uncaught exception (an unreported death is a "crashed" cell).
+        x, seed = cells[index]
         try:
-            pool_ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork: degrade to serial
-            pool_ctx = None
-    previous = _WORKER_MEASURE
-    previous_factory = _WORKER_OBSERVER_FACTORY
+            try:
+                value, observer = _attempt(
+                    x, retry_seed(seed, attempt), measure, observer_factory
+                )
+            except AlgorithmFailure as exc:
+                # Declared failures cross the pipe as strings — fault
+                # plans and run metadata hanging off the exception may
+                # not pickle, and the parent only needs the message.
+                return ("failed", str(exc), repr(exc))
+            summary = (
+                _cell_summary(observer) if observer is not None else None
+            )
+            return ("ok", value, summary)
+        except Exception as exc:  # genuine bug: propagate to the parent
+            try:
+                pickle.dumps(exc)
+                return ("error", exc)
+            except Exception:
+                return ("error_repr", repr(exc))
+
+    def classify(status: str, payload: Any) -> bool:
+        if status != "done":  # hung (timeout) or dead (crashed) worker
+            return True
+        kind = payload[0]
+        if kind == "ok":
+            return False
+        if kind == "failed":
+            return True
+        if kind == "error":
+            raise payload[1]
+        raise RuntimeError(
+            "sweep worker raised an exception that could not cross "
+            f"the process boundary: {payload[1]}"
+        )
+
+    def on_result(
+        index: int, status: str, payload: Any, attempts: int
+    ) -> None:
+        x, seed = cells[index]
+        effective = retry_seed(seed, attempts - 1)
+        summary = None
+        if status == "timeout":
+            outcome = CellOutcome(
+                x, seed, "timeout", None, attempts, effective,
+                f"worker killed after exceeding the {timeout}s "
+                "per-cell deadline",
+            )
+        elif status == "crashed":
+            outcome = CellOutcome(
+                x, seed, "crashed", None, attempts, effective,
+                "worker process died without reporting a result",
+            )
+        elif payload[0] == "ok":
+            outcome = CellOutcome(
+                x, seed, "ok", payload[1], attempts, effective
+            )
+            summary = payload[2]
+        else:  # ("failed", message, repr)
+            if not skip_failures:
+                raise AlgorithmFailure(payload[1])
+            outcome = CellOutcome(
+                x, seed, "failed", None, attempts, effective, payload[2]
+            )
+        outcomes[index] = outcome
+        summaries[index] = summary
+        if sweep_journal is not None:
+            sweep_journal.record(index, outcome, summary)
+
+    global _POOLED
     previous_pooled = _POOLED
-    _WORKER_MEASURE = measure
-    _WORKER_OBSERVER_FACTORY = observer_factory
-    # Set before the pool forks so children inherit the flag and
-    # pickle-check their summaries at the source (clear error there
-    # beats an opaque pool crash on the way back).
-    _POOLED = pool_ctx is not None
+    _POOLED = True
     try:
-        if pool_ctx is None:
-            return [_measure_cell(cell) for cell in cells]
-        assert workers is not None
-        with pool_ctx.Pool(processes=min(workers, len(cells))) as pool:
-            return pool.map(_measure_cell, cells)
+        run_cells_resilient(
+            pool_ctx,
+            len(cells),
+            child_payload,
+            classify,
+            workers=workers,
+            retries=retries,
+            timeout=timeout,
+            skip=done,
+            on_result=on_result,
+        )
     finally:
-        _WORKER_MEASURE = previous
-        _WORKER_OBSERVER_FACTORY = previous_factory
         _POOLED = previous_pooled
 
 
@@ -292,6 +533,17 @@ class ExperimentRecord:
     def all_checks_pass(self) -> bool:
         return all(self.checks.values())
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form (see :meth:`Series.as_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": [s.as_dict() for s in self.series],
+            "checks": self.checks,
+            "notes": self.notes,
+            "telemetry": self.telemetry,
+        }
+
     def render(self) -> str:
         from .tables import render_table
 
@@ -303,6 +555,18 @@ class ExperimentRecord:
                     ["x", "mean", "min", "max"], series.as_rows()
                 )
             )
+            skipped = series.skipped
+            if skipped:
+                lines.append(
+                    f"warning: {len(skipped)} cell(s) excluded from "
+                    f"{series.name!r} aggregates:"
+                )
+                for outcome in skipped:
+                    lines.append(
+                        f"  x={outcome.x} seed={outcome.seed} "
+                        f"[{outcome.status}] after "
+                        f"{outcome.attempts} attempt(s): {outcome.error}"
+                    )
         for name, summary in self.telemetry.items():
             lines.append(f"-- telemetry: {name}")
             rows = []

@@ -23,6 +23,7 @@ from .algorithms import (
 )
 from .algorithms.delta55 import chang_kopelowitz_pettie_coloring
 from .analysis import render_table
+from .core.errors import ReproError
 from .graphs.generators import (
     complete_regular_tree_with_size,
     random_regular_graph,
@@ -325,6 +326,64 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0 if profile.ok() else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .faults.experiment import failure_rate_experiment
+
+    try:
+        rates = [float(x) for x in args.rates.split(",") if x]
+    except ValueError:
+        print(
+            f"repro faults: --rates must be comma-separated floats, "
+            f"got {args.rates!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        record = failure_rate_experiment(
+            n=args.n,
+            delta=args.delta,
+            rates=rates,
+            trials=args.trials,
+            kind=args.kind,
+            round_budget=args.budget if args.budget > 0 else None,
+            workers=args.workers,
+            retries=args.retries,
+            journal=args.journal,
+        )
+    except ValueError as exc:
+        print(f"repro faults: {exc}", file=sys.stderr)
+        return 2
+    text = record.render()
+    print(text)
+    _warn_skipped_cells(record)
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"report written to {args.output}")
+    return 0 if record.all_checks_pass else 1
+
+
+def _warn_skipped_cells(record) -> None:
+    """Surface cells a sweep excluded from its aggregates on stderr —
+    silent sample shrinkage invalidates probability estimates."""
+    for series in record.series:
+        skipped = series.skipped
+        if skipped:
+            print(
+                f"repro: warning: {len(skipped)} cell(s) skipped in "
+                f"series {series.name!r}: "
+                + "; ".join(
+                    f"x={o.x} seed={o.seed} [{o.status}] {o.error}"
+                    for o in skipped
+                ),
+                file=sys.stderr,
+            )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.reporting import main as report_main
 
@@ -540,10 +599,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "faults",
+        help=(
+            "E6F: empirical Theorem 10 failure rate under injected "
+            "fault rates (exit 1 when the record's checks fail)"
+        ),
+    )
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--delta", type=int, default=9)
+    p.add_argument(
+        "--rates",
+        default="0,0.001,0.01,0.05",
+        help="comma-separated fault rates; must start with the "
+        "fault-free control 0 (default: 0,0.001,0.01,0.05)",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=10,
+        help="runs per rate (default: 10)",
+    )
+    p.add_argument(
+        "--kind",
+        choices=("drop", "crash", "corrupt"),
+        default="drop",
+        help="fault family to inject (default: drop)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=4096,
+        help="round budget injected into every run; 0 disables "
+        "(default: 4096)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the sweep (default: serial)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="bounded per-cell retries with derived seeds (default: 0)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="JSONL checkpoint journal; re-running with the same "
+        "journal resumes an interrupted sweep",
+    )
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the rendered record here",
+    )
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
         "lint",
         help=(
             "static LOCAL-model conformance analysis (rules "
-            "LM001-LM007); exit 1 on error-severity findings"
+            "LM001-LM009); exit 1 on error-severity findings"
         ),
     )
     p.add_argument(
@@ -574,7 +692,19 @@ def main(argv=None) -> int:
     if not getattr(args, "command", None):
         parser.print_help()
         return 2
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Structured rendering: the error context (node, round, run
+        # metadata) the taxonomy carries beats a raw traceback for
+        # "which vertex broke in which round of which run".
+        print(
+            f"repro {args.command}: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        for line in exc.context_lines():
+            print(f"  {line}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -63,6 +63,7 @@ class NodeContext:
         "halted",
         "output",
         "failure",
+        "failure_round",
     )
 
     def __init__(
@@ -100,6 +101,7 @@ class NodeContext:
         self.halted = False
         self.output: Any = None
         self.failure: Optional[str] = None
+        self.failure_round: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Model-gated capabilities
@@ -208,9 +210,12 @@ class NodeContext:
         """Declare failure (RandLOCAL algorithms may fail; Section I).
 
         The vertex halts with no output; the run result records the
-        reason.  Deterministic algorithms should never call this.
+        reason and the round it was declared in (``failure_round``), so
+        errors built from it carry full node/round attribution.
+        Deterministic algorithms should never call this.
         """
         self.failure = reason
+        self.failure_round = self.now
         self.halted = True
 
     def _commit(self) -> None:

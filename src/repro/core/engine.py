@@ -40,6 +40,16 @@ and the two engines emit **identical event streams** for the same run —
 per-node events are delivered in ascending vertex order and
 bulk-accounted sleeping rounds are reported through synthesized
 round-start/round-end events.  See ``docs/observability.md``.
+
+Both engines also accept a *fault plan* (``fault_plan=...`` or
+ambiently via :func:`inject_faults`): a seeded, deterministic adversary
+(see :mod:`repro.faults`) that crash-stops chosen vertices, perturbs
+message delivery per edge-port, and enforces a round budget.  Like
+observers, the middleware is guarded by ``is not None`` tests so the
+no-fault path stays on the perf baseline, and fault decisions are
+hash-derived from ``(plan seed, round, vertex, port)`` — never from
+sequential RNG draws — so the two engines inject the *same* faults and
+stay bit-identical under any plan.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -179,6 +189,14 @@ class _ObserverHub:
         for obs in self.observers:
             obs.on_failure(round_index, vertex, reason)
 
+    def fault(
+        self, round_index: int, vertex: Optional[int], fault: Any
+    ) -> None:
+        """An injected fault (``vertex`` is None for run-level faults
+        like budget exhaustion)."""
+        for obs in self.observers:
+            obs.on_fault(round_index, vertex, fault)
+
     def round_end(
         self,
         round_index: int,
@@ -196,6 +214,41 @@ class _ObserverHub:
 
 #: Ambiently attached observers (see :func:`observe_runs`).
 _GLOBAL_OBSERVERS: Tuple[Any, ...] = ()
+
+#: Ambiently attached fault plan (see :func:`inject_faults`).
+_ACTIVE_FAULT_PLAN: Optional[Any] = None
+
+
+@contextmanager
+def inject_faults(plan: Any) -> Iterator[None]:
+    """Attach a :class:`repro.faults.FaultPlan` to every engine run in
+    scope.
+
+    The fault counterpart of :func:`observe_runs`: multi-phase drivers
+    call ``run_local`` internally and take no ``fault_plan`` argument,
+    so an adversary for a whole driver execution is attached
+    ambiently::
+
+        with inject_faults(FaultPlan(seed=7, drop_rate=0.01)):
+            pettie_su_tree_coloring(tree, seed=1)
+
+    An explicit ``run_local(..., fault_plan=...)`` argument takes
+    precedence over the ambient plan.  The previous plan is restored on
+    exit even when the run raises; scopes nest (innermost wins).
+    """
+    global _ACTIVE_FAULT_PLAN
+    previous = _ACTIVE_FAULT_PLAN
+    _ACTIVE_FAULT_PLAN = plan
+    try:
+        yield
+    finally:
+        _ACTIVE_FAULT_PLAN = previous
+
+
+def active_fault_plan() -> Optional[Any]:
+    """The ambient fault plan installed by :func:`inject_faults` (or
+    ``None`` outside any scope)."""
+    return _ACTIVE_FAULT_PLAN
 
 
 @contextmanager
@@ -389,6 +442,7 @@ def run_local(
     allow_duplicate_ids: bool = False,
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
+    fault_plan: Optional[Any] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` under ``model``.
 
@@ -413,6 +467,13 @@ def run_local(
         :func:`observe_runs` observers).  Attaching observers never
         changes the :class:`RunResult`; with none attached the
         dispatch costs one pointer test per vertex-step.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` adversary (overrides any
+        ambient :func:`inject_faults` plan).  Fault decisions are a
+        deterministic function of the plan seed and the (round, vertex,
+        port) coordinates, so a plan perturbs both engines identically;
+        with no plan attached the middleware costs one pointer test per
+        vertex-step.
 
     Returns
     -------
@@ -445,6 +506,7 @@ def run_local(
             allow_duplicate_ids=allow_duplicate_ids,
             trace=trace,
             observers=observers,
+            fault_plan=fault_plan,
         )
     contexts = build_contexts(
         graph,
@@ -459,19 +521,20 @@ def run_local(
     n = graph.num_vertices
     attached = _attached_observers(observers)
     hub = _ObserverHub(attached) if attached else None
+    meta = RunMeta(
+        algorithm=algorithm.name,
+        model=model,
+        n=n,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        max_rounds=max_rounds,
+        seed=seed,
+        graph=graph,
+    )
     if hub is not None:
-        hub.run_start(
-            RunMeta(
-                algorithm=algorithm.name,
-                model=model,
-                n=n,
-                num_edges=graph.num_edges,
-                max_degree=graph.max_degree,
-                max_rounds=max_rounds,
-                seed=seed,
-                graph=graph,
-            )
-        )
+        hub.run_start(meta)
+    plan = fault_plan if fault_plan is not None else _ACTIVE_FAULT_PLAN
+    faults = plan.activate(meta) if plan is not None else None
     clock = _Clock()
     _run_setup(contexts, algorithm, clock, hub)
 
@@ -501,11 +564,24 @@ def run_local(
             runnable.append(v)
 
     step = algorithm.step
+    budget = faults.budget if faults is not None else None
+    deliver = (
+        faults.deliver
+        if faults is not None and faults.touches_messages
+        else None
+    )
     while runnable or parked:
+        if budget is not None and rounds >= budget:
+            budget_error = faults.budget_error(rounds)
+            if hub is not None:
+                hub.fault(rounds, None, budget_error)
+            raise budget_error
         if rounds >= max_rounds:
             raise SimulationError(
                 f"{algorithm.name!r} exceeded {max_rounds} rounds on "
-                f"n={n} (likely non-terminating)"
+                f"n={n} (likely non-terminating)",
+                round=rounds,
+                run_meta=meta,
             )
         if parked:
             due = buckets.pop(rounds, None)
@@ -521,8 +597,13 @@ def run_local(
                 # and round-start/round-end events carrying the same
                 # active/awake/halted counts the reference engine
                 # reports for it (all parked vertices active, nobody
-                # awake, nobody halting).
-                skip = min(min(buckets), max_rounds) - rounds
+                # awake, nobody halting).  An injected round budget
+                # clamps the skip so the budget check above fires at
+                # exactly the same round as in the reference engine.
+                skip_to = min(min(buckets), max_rounds)
+                if budget is not None and budget < skip_to:
+                    skip_to = budget
+                skip = skip_to - rounds
                 if trace:
                     traces.extend(
                         RoundTrace(active=parked, awake=0, halted=0)
@@ -551,9 +632,27 @@ def run_local(
         for v in runnable:
             ctx = contexts[v]
             ctx._wake_round = None
+            if faults is not None and faults.crashed(rounds, v):
+                # Crash-stop: the vertex never steps this round (or
+                # again).  It counts as awake (it was scheduled) and
+                # halted; its last published value stays visible, like
+                # a halted processor's.  No delivery happens, so the
+                # stale-duplicate bookkeeping stays engine-identical.
+                reason = faults.crash_reason(rounds)
+                ctx.fail(reason)
+                halted_this_round += 1
+                if hub is not None:
+                    hub.fault(rounds, v, faults.crash_event(rounds, v))
+                    hub.failure(rounds, v, reason)
+                continue
             lo = offsets[v]
             hi = offsets[v + 1]
             inbox = [visible[u] for u in targets[lo:hi]]
+            if deliver is not None:
+                events = deliver(rounds, v, inbox, hub is not None)
+                if events and hub is not None:
+                    for injected in events:
+                        hub.fault(rounds, v, injected)
             step(ctx, inbox)
             if ctx._pub_dirty:
                 dirty.append(v)
@@ -627,6 +726,7 @@ def run_local_reference(
     allow_duplicate_ids: bool = False,
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
+    fault_plan: Optional[Any] = None,
 ) -> RunResult:
     """The kept-simple engine: full snapshot and full scan every round.
 
@@ -638,7 +738,9 @@ def run_local_reference(
 
     Observers attached here see the exact same event stream as under
     the fast engine — the telemetry determinism contract the
-    equivalence suite pins down.
+    equivalence suite pins down.  Fault plans likewise inject the exact
+    same faults: decisions are hash-derived per (round, vertex, port),
+    never drawn sequentially, so vertex scan order cannot skew them.
     """
     contexts = build_contexts(
         graph,
@@ -653,19 +755,20 @@ def run_local_reference(
     n = graph.num_vertices
     attached = _attached_observers(observers)
     hub = _ObserverHub(attached) if attached else None
+    meta = RunMeta(
+        algorithm=algorithm.name,
+        model=model,
+        n=n,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        max_rounds=max_rounds,
+        seed=seed,
+        graph=graph,
+    )
     if hub is not None:
-        hub.run_start(
-            RunMeta(
-                algorithm=algorithm.name,
-                model=model,
-                n=n,
-                num_edges=graph.num_edges,
-                max_degree=graph.max_degree,
-                max_rounds=max_rounds,
-                seed=seed,
-                graph=graph,
-            )
-        )
+        hub.run_start(meta)
+    plan = fault_plan if fault_plan is not None else _ACTIVE_FAULT_PLAN
+    faults = plan.activate(meta) if plan is not None else None
     clock = _Clock()
     _run_setup(contexts, algorithm, clock, hub)
 
@@ -674,11 +777,24 @@ def run_local_reference(
     messages_per_round = 2 * graph.num_edges
     traces: List[RoundTrace] = []
     active = [v for v in range(n) if not contexts[v].halted]
+    budget = faults.budget if faults is not None else None
+    deliver = (
+        faults.deliver
+        if faults is not None and faults.touches_messages
+        else None
+    )
     while active:
+        if budget is not None and rounds >= budget:
+            budget_error = faults.budget_error(rounds)
+            if hub is not None:
+                hub.fault(rounds, None, budget_error)
+            raise budget_error
         if rounds >= max_rounds:
             raise SimulationError(
                 f"{algorithm.name!r} exceeded {max_rounds} rounds on "
-                f"n={n} (likely non-terminating)"
+                f"n={n} (likely non-terminating)",
+                round=rounds,
+                run_meta=meta,
             )
         clock.now = rounds
         if hub is not None:
@@ -694,7 +810,23 @@ def run_local_reference(
                 continue
             ctx._wake_round = None
             awake += 1
+            if faults is not None and faults.crashed(rounds, v):
+                # Mirror of the fast engine's crash-stop block: counts
+                # as awake + halted, never steps, delivery skipped.
+                reason = faults.crash_reason(rounds)
+                ctx.fail(reason)
+                dirty = True
+                halted_this_round += 1
+                if hub is not None:
+                    hub.fault(rounds, v, faults.crash_event(rounds, v))
+                    hub.failure(rounds, v, reason)
+                continue
             inbox = [snapshot[u] for u in graph.neighbors(v)]
+            if deliver is not None:
+                events = deliver(rounds, v, inbox, hub is not None)
+                if events and hub is not None:
+                    for injected in events:
+                        hub.fault(rounds, v, injected)
             algorithm.step(ctx, inbox)
             if ctx.halted:
                 dirty = True

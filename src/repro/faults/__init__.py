@@ -1,0 +1,35 @@
+"""Fault-injection adversaries for the LOCAL engines.
+
+See ``docs/robustness.md``.  The taxonomy of injected faults lives in
+:mod:`repro.core.errors` (:class:`FaultEvent` and friends) so the core
+engine can raise/record them without importing this package; plans and
+runtimes live here; the failure-rate experiment (E6F) is in
+:mod:`repro.faults.experiment`.
+"""
+
+from ..core.engine import active_fault_plan, inject_faults
+from ..core.errors import (
+    BudgetExceededError,
+    CrashStopFault,
+    FaultEvent,
+    MessageDropFault,
+    MessageDuplicateFault,
+    PayloadCorruptionFault,
+)
+from .plan import FaultPlan
+from .runtime import FaultRuntime, mix64, unit_uniform
+
+__all__ = [
+    "BudgetExceededError",
+    "CrashStopFault",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRuntime",
+    "MessageDropFault",
+    "MessageDuplicateFault",
+    "PayloadCorruptionFault",
+    "active_fault_plan",
+    "inject_faults",
+    "mix64",
+    "unit_uniform",
+]

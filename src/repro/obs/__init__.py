@@ -39,6 +39,7 @@ from .shattering import (
     render_profile_report,
 )
 from .trace import (
+    SUPPORTED_TRACE_VERSIONS,
     TRACE_SCHEMA,
     TRACE_VERSION,
     JsonlTraceObserver,
@@ -47,6 +48,7 @@ from .trace import (
 
 __all__ = [
     "JsonlTraceObserver",
+    "SUPPORTED_TRACE_VERSIONS",
     "MetricsObserver",
     "MetricsRegistry",
     "RoundShatterStats",

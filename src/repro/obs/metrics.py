@@ -249,6 +249,15 @@ class MetricsObserver(RunObserver):
     ) -> None:
         self.registry.counter("failed_total").inc()
 
+    def on_fault(
+        self, round_index: int, vertex: Optional[int], fault: Any
+    ) -> None:
+        # Injected-fault accounting (see repro.faults): a global count
+        # plus one counter per fault kind, so merged sweep telemetry
+        # reports exactly what the adversary did.
+        self.registry.counter("faults_total").inc()
+        self.registry.counter(f"faults_{fault.kind}_total").inc()
+
     def on_round_end(
         self,
         round_index: int,

@@ -22,6 +22,14 @@ equivalence suite pins it):
 4. ``on_run_end(result)`` — once, unless the run raised (e.g. the
    ``max_rounds`` guard), in which case the stream simply stops.
 
+Under fault injection (see :mod:`repro.faults`) the per-vertex slot in
+step 3 gains ``on_fault`` events, still engine-identical: a vertex's
+delivery faults (drop/duplicate/corrupt, ports ascending) precede its
+``on_node_step``; a crash-stop vertex emits ``on_fault`` then
+``on_failure`` and **no** ``on_node_step`` (it never stepped).  Budget
+exhaustion emits one run-level ``on_fault`` (vertex ``None``) right
+before the run raises :class:`~repro.core.errors.BudgetExceededError`.
+
 Observers are **read-only spectators**.  The ``ctx`` handed to
 ``on_node_step`` is live engine state: reading (``ctx.halted``,
 ``ctx.output``, ``ctx.pending_publish``, ...) is fine, calling
@@ -30,10 +38,11 @@ lifecycle methods or assigning attributes is not (rule LM008).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from ..core.context import NodeContext
 from ..core.engine import RunMeta, RunResult
+from ..core.errors import FaultEvent
 
 
 class RunObserver:
@@ -70,6 +79,19 @@ class RunObserver:
         self, round_index: int, vertex: int, reason: str
     ) -> None:
         """Vertex ``vertex`` declared failure with ``reason``."""
+
+    def on_fault(
+        self,
+        round_index: int,
+        vertex: Optional[int],
+        fault: FaultEvent,
+    ) -> None:
+        """An injected fault fired (see :mod:`repro.faults`).
+
+        ``vertex`` is the affected vertex, or ``None`` for run-level
+        faults (round-budget exhaustion).  ``fault`` is the structured
+        :class:`~repro.core.errors.FaultEvent` record — read its
+        ``kind`` / ``port`` / ``detail``; do not raise it."""
 
     def on_round_end(
         self,

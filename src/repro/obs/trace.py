@@ -21,11 +21,19 @@ Schema (``schema``/``version`` stamped on the ``run_start`` line):
 - ``publish`` (with estimated ``bytes``; the value itself only under
   ``payload_values=True``), ``halt`` (always carries the output value
   — profilers key on it), ``failure``.
+- ``fault`` (v2): an injected fault from :mod:`repro.faults` — carries
+  the fault ``kind`` (``crash``/``drop``/``duplicate``/``corrupt``/
+  ``budget``) plus ``port``/``detail`` when set; ``v`` is ``null`` for
+  run-level faults (budget exhaustion).
 - ``run_end``: rounds, messages, failure count.
 
 Per-vertex ``step`` events are off by default (``node_steps=True`` to
 enable) — they dominate trace size without serving the built-in
 profilers.
+
+Version history: v1 had no ``fault`` events; v2 added them (and
+nothing else), so every v1 trace is also a valid v2 trace.  The reader
+accepts both and rejects versions newer than it understands.
 """
 
 from __future__ import annotations
@@ -34,11 +42,15 @@ import json
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
 from ..core.engine import RunMeta, RunResult
+from ..core.errors import FaultEvent
 from .metrics import estimate_payload_bytes
 from .observer import RunObserver
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Schema versions :func:`read_trace` / :func:`iter_trace` understand.
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 def _json_safe(value: Any) -> Any:
@@ -212,6 +224,21 @@ class JsonlTraceObserver(RunObserver):
             }
         )
 
+    def on_fault(
+        self,
+        round_index: int,
+        vertex: Optional[int],
+        fault: FaultEvent,
+    ) -> None:
+        line: Dict[str, Any] = {
+            "event": "fault",
+            "run": self._run,
+            "round": round_index,
+            "v": vertex,
+        }
+        line.update(fault.as_record())
+        self._emit(line)
+
     def on_round_end(
         self,
         round_index: int,
@@ -261,16 +288,45 @@ def read_trace(
 
 
 def iter_trace(path: str) -> Iterator[Dict[str, Any]]:
-    """Stream a JSONL trace without loading it whole."""
+    """Stream a JSONL trace without loading it whole.
+
+    Accepts every schema version in :data:`SUPPORTED_TRACE_VERSIONS`
+    (v1 traces from before fault events read fine); a ``run_start``
+    declaring an unknown or future version raises ``ValueError``
+    instead of silently misreading events this reader predates.
+    """
     with open(path, "r", encoding="utf-8") as stream:
         for line in stream:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            event: Dict[str, Any] = json.loads(line)
+            if event.get("event") == "run_start":
+                _check_readable(event, path)
+            yield event
+
+
+def _check_readable(run_start: Dict[str, Any], path: str) -> None:
+    # Hand-built or pre-versioning traces omit the schema/version keys
+    # entirely and stay readable; a *declared* foreign schema or an
+    # unknown version is rejected rather than misparsed.
+    schema = run_start.get("schema")
+    if schema is not None and schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"trace {path!r} declares schema {schema!r}; "
+            f"expected {TRACE_SCHEMA!r}"
+        )
+    version = run_start.get("version")
+    if version is not None and version not in SUPPORTED_TRACE_VERSIONS:
+        raise ValueError(
+            f"trace {path!r} declares schema version {version!r}; this "
+            f"reader understands versions {SUPPORTED_TRACE_VERSIONS}"
+        )
 
 
 __all__ = [
     "JsonlTraceObserver",
+    "SUPPORTED_TRACE_VERSIONS",
     "TRACE_SCHEMA",
     "TRACE_VERSION",
     "iter_trace",

@@ -22,6 +22,9 @@ LM007     warning   per-round topology-helper calls in node code the
                     engine already precomputes (adjacency, reverse ports)
 LM008     warning   observer callbacks mutating ctx/graph state
                     (observers must be read-only spectators)
+LM009     warning   node code swallowing injected faults (bare
+                    ``except:`` or handlers naming Exception /
+                    FaultEvent-family bases)
 ========  ========  ====================================================
 """
 
@@ -113,6 +116,16 @@ RULES: Dict[str, RuleSpec] = {
             "the run it claims to measure, voiding the telemetry "
             "determinism contract (docs/observability.md).",
         ),
+        RuleSpec(
+            "LM009",
+            Severity.WARNING,
+            "injected faults swallowed in node code",
+            "fault events (repro.faults) must surface to the engine "
+            "and the harness, where failure-probability accounting "
+            "happens (the RandLOCAL 1/n contract, Section I); a broad "
+            "except in step() silently converts an injected fault "
+            "into wrong algorithm behavior (docs/robustness.md).",
+        ),
     )
 }
 
@@ -125,8 +138,22 @@ _OBSERVER_CALLBACKS = {
     "on_publish",
     "on_halt",
     "on_failure",
+    "on_fault",
     "on_round_end",
     "on_run_end",
+}
+
+#: Exception names whose handlers (in node code) also catch the
+#: injected-fault taxonomy — the LM009 pattern.  FaultEvent subclasses
+#: are ReproError subclasses, so catching any base on this list
+#: swallows faults.
+_BROAD_FAULT_CATCHES = {
+    "BaseException",
+    "Exception",
+    "ReproError",
+    "SimulationError",
+    "FaultEvent",
+    "BudgetExceededError",
 }
 
 #: NodeContext lifecycle methods; calling one from an observer callback
@@ -296,6 +323,7 @@ class RuleEngine:
                 diagnostics.extend(self._check_lm004(site))
                 diagnostics.extend(self._check_lm006(site))
                 diagnostics.extend(self._check_lm007(site))
+                diagnostics.extend(self._check_lm009(site))
         # LM008 ranges over observer classes, not algorithm bindings.
         diagnostics.extend(self._check_lm008())
         # One finding per (rule, path, line): a helper shared by several
@@ -610,6 +638,45 @@ class RuleEngine:
 
 
     # ------------------------------------------------------------------
+    # LM009 — injected faults swallowed in node code
+    # ------------------------------------------------------------------
+    def _check_lm009(self, site: _Site) -> Iterator[Diagnostic]:
+        algo = site.binding.name
+        hint = (
+            "catch the narrowest exception the step actually expects; "
+            "injected faults (FaultEvent, BudgetExceededError) must "
+            "reach the engine for failure accounting"
+        )
+        for node in ast.walk(site.node):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self._emit(
+                    "LM009",
+                    site,
+                    node,
+                    f"bare 'except:' in code reachable from algorithm "
+                    f"{algo!r} swallows injected faults",
+                    hint,
+                )
+                continue
+            broad = sorted(
+                name
+                for name in _handler_exception_names(node.type)
+                if name in _BROAD_FAULT_CATCHES
+            )
+            if broad:
+                yield self._emit(
+                    "LM009",
+                    site,
+                    node,
+                    f"'except {', '.join(broad)}' in code reachable "
+                    f"from algorithm {algo!r} also catches injected "
+                    "faults (FaultEvent/BudgetExceededError)",
+                    hint,
+                )
+
+    # ------------------------------------------------------------------
     # LM008 — observer callbacks must not mutate engine state
     # ------------------------------------------------------------------
     def _check_lm008(self) -> Iterator[Diagnostic]:
@@ -714,6 +781,22 @@ class RuleEngine:
                             "engine state)",
                             hint,
                         )
+
+
+def _handler_exception_names(node: ast.expr) -> List[str]:
+    """Exception class names an ``except`` clause matches on:
+    ``except Exception`` -> ['Exception']; ``except (ValueError,
+    errors.FaultEvent)`` -> ['ValueError', 'FaultEvent']."""
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_handler_exception_names(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
 
 
 def _graph_param_names(fn: FunctionNode) -> Set[str]:

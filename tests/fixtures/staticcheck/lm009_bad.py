@@ -1,0 +1,71 @@
+"""Seeded LM009 violations: node code swallowing injected faults.
+
+Never imported — analyzed as source by tests/test_staticcheck.py.
+"""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+from repro.core.errors import BudgetExceededError, FaultEvent
+
+
+class FaultSwallower(SyncAlgorithm):
+    """Catches everything in step(), eating injected faults."""
+
+    name = "fault-swallower"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        try:
+            total = sum(x for x in inbox if x is not None)
+        except Exception:  # seeded: broad catch hides faults
+            total = 0
+        ctx.publish(self._digest(total))
+
+    def _digest(self, total):
+        try:
+            return total % 7
+        except:  # noqa: E722  seeded: bare except in a reachable helper
+            return 0
+
+
+class TaxonomyCatcher(SyncAlgorithm):
+    """Names the fault taxonomy itself in handlers."""
+
+    name = "taxonomy-catcher"
+
+    def setup(self, ctx):
+        ctx.publish(1)
+
+    def step(self, ctx, inbox):
+        try:
+            ctx.publish(max(x for x in inbox if x is not None))
+        except (ValueError, FaultEvent):  # seeded: catches FaultEvent
+            ctx.publish(0)
+        try:
+            ctx.halt(1)
+        except BudgetExceededError:  # seeded: catches budget faults
+            pass
+
+
+class CarefulStepper(SyncAlgorithm):
+    """Clean control: narrow handler on a non-fault exception."""
+
+    name = "careful-stepper"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        try:
+            ctx.publish(int(inbox[0]))
+        except (TypeError, IndexError):
+            ctx.halt(0)
+
+
+def driver(graph):
+    run_local(graph, FaultSwallower(), Model.DET)
+    run_local(graph, TaxonomyCatcher(), Model.DET)
+    return run_local(graph, CarefulStepper(), Model.DET)

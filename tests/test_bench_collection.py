@@ -55,6 +55,10 @@ def test_every_bench_module_records_its_experiment():
 
 
 def test_experiment_ids_match_filenames():
+    # Variant studies of one experiment number append an uppercase
+    # letter to the id (bench_e06_derandomize.py -> "E6",
+    # bench_e06_failure_rate.py -> "E6F"); the numeric part must still
+    # match the filename either way.
     for path in sorted(BENCHMARKS.glob("bench_*.py")):
         stem = path.stem  # bench_e03_separation / bench_a01_ / bench_p00_
         match = re.match(r"bench_([aep])(\d+)_", stem)
@@ -62,5 +66,19 @@ def test_experiment_ids_match_filenames():
         expected_id = f"{match.group(1).upper()}{int(match.group(2))}"
         text = path.read_text()
         assert re.search(
-            rf'ExperimentRecord\(\s*"{expected_id}"', text
+            rf'ExperimentRecord\(\s*"{expected_id}[A-Z]?"', text
         ), f"{path.name} does not declare experiment id {expected_id}"
+
+
+def test_experiment_ids_are_unique():
+    ids = {}
+    for path in sorted(BENCHMARKS.glob("bench_*.py")):
+        found = re.search(r'ExperimentRecord\(\s*"([AEP]\d+[A-Z]?)"',
+                          path.read_text())
+        assert found, f"{path.name} declares no experiment id"
+        experiment_id = found.group(1)
+        assert experiment_id not in ids, (
+            f"{path.name} reuses id {experiment_id} "
+            f"already declared by {ids[experiment_id]}"
+        )
+        ids[experiment_id] = path.name

@@ -61,3 +61,65 @@ class TestCLI:
         )
         out = capsys.readouterr().out
         assert "det" in out and "rand" in out
+
+
+class TestFaultsCli:
+    def test_faults_command_runs_the_experiment(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--n", "80",
+                    "--delta", "9",
+                    "--rates", "0,0.05",
+                    "--trials", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "E6F" in out
+        assert "PASS" in out
+
+    def test_faults_rejects_malformed_rates(self, capsys):
+        assert main(["faults", "--rates", "0,banana"]) == 2
+        err = capsys.readouterr().err
+        assert "comma-separated floats" in err
+
+    def test_faults_rejects_rates_without_control(self, capsys):
+        assert main(["faults", "--rates", "0.01,0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "control" in err
+
+    def test_repro_errors_render_structured_context(self, capsys, monkeypatch):
+        import repro.faults.experiment as fault_experiment
+        from repro.core.errors import AlgorithmFailure
+
+        def boom(**kwargs):
+            raise AlgorithmFailure("vertex misbehaved", node=17, round=4)
+
+        monkeypatch.setattr(
+            fault_experiment, "failure_rate_experiment", boom
+        )
+        assert main(["faults", "--n", "80"]) == 1
+        err = capsys.readouterr().err
+        assert "repro faults: AlgorithmFailure: vertex misbehaved" in err
+        assert "node: 17" in err
+        assert "round: 4" in err
+
+    def test_skipped_cells_warn_on_stderr(self, capsys):
+        from repro.analysis import CellOutcome, ExperimentRecord, Series
+        from repro.cli import _warn_skipped_cells
+
+        series = Series("demo")
+        series.add(1.0, [0.5])
+        series.cell_outcomes = [
+            CellOutcome(1.0, 0, "ok", 0.5, 1, 0),
+            CellOutcome(1.0, 1, "crashed", None, 1, 1, "worker died"),
+        ]
+        record = ExperimentRecord("T1", "warnings")
+        record.add_series(series)
+        _warn_skipped_cells(record)
+        err = capsys.readouterr().err
+        assert "1 cell(s) skipped" in err
+        assert "[crashed] worker died" in err

@@ -1,0 +1,362 @@
+"""Fault-injection tests: seeded adversaries must perturb both engines
+identically, surface as structured events, and power the E6F
+failure-rate experiment.
+
+The determinism contract under test (see ``docs/robustness.md``): every
+probabilistic fault decision is a pure hash of ``(plan seed, round,
+vertex, port, stream)``, never a sequential RNG draw — so the fast and
+reference engines, which visit vertices in different orders, inject the
+exact same faults and stay bit-identical down to their trace files.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Model, SimulationError, run_local
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.engine import run_local_reference
+from repro.core.errors import AlgorithmFailure
+from repro.faults import (
+    BudgetExceededError,
+    FaultEvent,
+    FaultPlan,
+    active_fault_plan,
+    inject_faults,
+    mix64,
+    unit_uniform,
+)
+from repro.graphs.generators import cycle_graph
+from repro.obs import JsonlTraceObserver, MetricsObserver
+
+
+class InboxRecorder(SyncAlgorithm):
+    """Publishes its round counter each round; halts after
+    ``ctx.globals["rounds"]`` steps with everything it received.
+
+    Deliberately tolerant of ``None``/garbage payloads, so delivery
+    faults show up in the *output* instead of crashing node code —
+    exactly what these tests need to observe.
+    """
+
+    name = "inbox-recorder"
+
+    def setup(self, ctx):
+        ctx.state["seen"] = []
+        ctx.state["round"] = 0
+        ctx.publish(("r", 0))
+
+    def step(self, ctx, inbox):
+        ctx.state["seen"].append(tuple(inbox[port] for port in ctx.ports))
+        r = ctx.state["round"] = ctx.state["round"] + 1
+        if r == ctx.globals["rounds"]:
+            ctx.halt(tuple(ctx.state["seen"]))
+        else:
+            ctx.publish(("r", r))
+
+
+def run_recorder(graph, rounds, plan=None, engine=run_local, observers=None):
+    return engine(
+        graph,
+        InboxRecorder(),
+        Model.DET,
+        global_params={"rounds": rounds},
+        fault_plan=plan,
+        observers=observers,
+    )
+
+
+def corrupt_hook(payload):
+    return ("corrupted",)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        for name in ("crash_rate", "drop_rate", "duplicate_rate"):
+            with pytest.raises(ValueError, match=name):
+                FaultPlan(**{name: 1.5})
+            with pytest.raises(ValueError, match=name):
+                FaultPlan(**{name: -0.1})
+
+    def test_corrupt_rate_needs_hook(self):
+        with pytest.raises(ValueError, match="corrupt"):
+            FaultPlan(corrupt_rate=0.5)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="round_budget"):
+            FaultPlan(round_budget=-1)
+
+    def test_negative_crash_round_rejected(self):
+        with pytest.raises(ValueError, match="crashes"):
+            FaultPlan(crashes={3: -2})
+
+    def test_is_noop(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(drop_rate=0.1).is_noop
+        assert not FaultPlan(crashes={0: 1}).is_noop
+        assert not FaultPlan(round_budget=10).is_noop
+
+
+class TestHashDeterminism:
+    def test_mix64_is_a_pure_function(self):
+        assert mix64(7, 1, 2, 3) == mix64(7, 1, 2, 3)
+        assert mix64(7, 1, 2, 3) != mix64(8, 1, 2, 3)
+        assert mix64(7, 1, 2, 3) != mix64(7, 3, 2, 1)
+
+    def test_unit_uniform_range_and_spread(self):
+        draws = [unit_uniform(0, r, v) for r in range(20) for v in range(20)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        # 400 hash draws should look roughly uniform, not constant.
+        assert 0.3 < sum(draws) / len(draws) < 0.7
+
+
+class TestDeliveryFaults:
+    def test_drop_rate_one_blanks_every_inbox(self):
+        result = run_recorder(
+            cycle_graph(6), rounds=2, plan=FaultPlan(drop_rate=1.0)
+        )
+        for output in result.outputs:
+            assert output == (((None, None),) * 2)
+
+    def test_duplicate_rate_one_redelivers_stale_payloads(self):
+        result = run_recorder(
+            cycle_graph(6), rounds=3, plan=FaultPlan(duplicate_rate=1.0)
+        )
+        for output in result.outputs:
+            # Round 0 has no previous delivery (the first delivery is
+            # its own duplicate); every later round sees the previous
+            # round's payload again — stale by exactly one round.
+            assert output == (
+                (("r", 0), ("r", 0)),
+                (("r", 0), ("r", 0)),
+                (("r", 1), ("r", 1)),
+            )
+
+    def test_corrupt_hook_rewrites_payloads(self):
+        plan = FaultPlan(corrupt_rate=1.0, corrupt=corrupt_hook)
+        result = run_recorder(cycle_graph(6), rounds=1, plan=plan)
+        for output in result.outputs:
+            assert output == ((("corrupted",), ("corrupted",)),)
+
+    def test_partial_drop_is_seed_deterministic(self):
+        plan = FaultPlan(seed=11, drop_rate=0.5)
+        first = run_recorder(cycle_graph(12), rounds=3, plan=plan)
+        again = run_recorder(cycle_graph(12), rounds=3, plan=plan)
+        assert first.outputs == again.outputs
+        other = run_recorder(
+            cycle_graph(12), rounds=3, plan=FaultPlan(seed=12, drop_rate=0.5)
+        )
+        assert first.outputs != other.outputs
+
+    def test_no_plan_means_no_faults(self):
+        clean = run_recorder(cycle_graph(6), rounds=2)
+        assert all(
+            None not in inbox for out in clean.outputs for inbox in out
+        )
+
+
+class TestCrashStop:
+    def test_explicit_crash_schedule(self):
+        result = run_recorder(
+            cycle_graph(6), rounds=4, plan=FaultPlan(crashes={0: 1})
+        )
+        assert result.failures == {0: "crash-stop fault injected at round 1"}
+        assert result.outputs[0] is None
+        # The other vertices finish; vertex 0's last publish before the
+        # crash — ("r", 1), committed after its round-0 step — stays
+        # visible to its neighbors forever.
+        assert result.outputs[1] is not None
+        assert result.outputs[1][-1][0] == ("r", 1)
+
+    def test_crash_at_round_zero_never_steps(self):
+        result = run_recorder(
+            cycle_graph(6), rounds=2, plan=FaultPlan(crashes={2: 0})
+        )
+        assert 2 in result.failures
+        assert result.outputs[2] is None
+
+    def test_bernoulli_crash_selection_is_seeded(self):
+        plan = FaultPlan(seed=5, crash_rate=0.4, crash_round=1)
+        first = run_recorder(cycle_graph(20), rounds=2, plan=plan)
+        again = run_recorder(cycle_graph(20), rounds=2, plan=plan)
+        assert first.failures == again.failures
+        assert 0 < len(first.failures) < 20
+
+
+class TestRoundBudget:
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(BudgetExceededError) as info:
+            run_recorder(
+                cycle_graph(6), rounds=5, plan=FaultPlan(round_budget=2)
+            )
+        exc = info.value
+        assert isinstance(exc, SimulationError)
+        assert isinstance(exc, FaultEvent)
+        assert exc.kind == "budget"
+        assert exc.round == 2
+        assert exc.run_meta is not None
+        assert exc.run_meta.algorithm == "inbox-recorder"
+
+    def test_sufficient_budget_is_invisible(self):
+        clean = run_recorder(cycle_graph(6), rounds=3)
+        budgeted = run_recorder(
+            cycle_graph(6), rounds=3, plan=FaultPlan(round_budget=3)
+        )
+        assert budgeted.outputs == clean.outputs
+        assert budgeted.rounds == clean.rounds
+
+
+class TestAmbientInjection:
+    def test_inject_faults_scopes_the_plan(self):
+        plan = FaultPlan(drop_rate=1.0)
+        assert active_fault_plan() is None
+        with inject_faults(plan):
+            assert active_fault_plan() is plan
+            result = run_recorder(cycle_graph(6), rounds=1)
+        assert active_fault_plan() is None
+        assert result.outputs[0] == (((None, None),))
+        clean = run_recorder(cycle_graph(6), rounds=1)
+        assert None not in clean.outputs[0][0]
+
+    def test_explicit_plan_overrides_ambient(self):
+        with inject_faults(FaultPlan(drop_rate=1.0)):
+            result = run_recorder(
+                cycle_graph(6), rounds=1, plan=FaultPlan()
+            )
+        assert result.outputs[0] == ((("r", 0), ("r", 0)),)
+
+
+MIXED_PLAN = FaultPlan(
+    seed=23,
+    crashes={1: 2},
+    crash_rate=0.1,
+    crash_round=1,
+    drop_rate=0.3,
+    duplicate_rate=0.2,
+    corrupt_rate=0.15,
+    corrupt=corrupt_hook,
+)
+
+
+class TestEngineEquivalence:
+    def test_both_engines_inject_identical_faults(self):
+        fast = run_recorder(
+            cycle_graph(16), rounds=4, plan=MIXED_PLAN, engine=run_local
+        )
+        ref = run_recorder(
+            cycle_graph(16),
+            rounds=4,
+            plan=MIXED_PLAN,
+            engine=run_local_reference,
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.failures == ref.failures
+        assert fast.rounds == ref.rounds
+        assert fast.messages == ref.messages
+
+    def test_traces_are_byte_identical_across_engines(self, tmp_path):
+        paths = []
+        for label, engine in (
+            ("fast", run_local),
+            ("reference", run_local_reference),
+        ):
+            path = str(tmp_path / f"{label}.jsonl")
+            with JsonlTraceObserver(path, payload_values=True) as obs:
+                run_recorder(
+                    cycle_graph(16),
+                    rounds=4,
+                    plan=MIXED_PLAN,
+                    engine=engine,
+                    observers=[obs],
+                )
+            paths.append(path)
+        fast_bytes = open(paths[0], "rb").read()
+        ref_bytes = open(paths[1], "rb").read()
+        assert fast_bytes == ref_bytes
+        # and the trace actually carries v2 fault events
+        kinds = {
+            json.loads(line).get("kind")
+            for line in fast_bytes.decode().splitlines()
+            if json.loads(line)["event"] == "fault"
+        }
+        assert "crash" in kinds
+        assert "drop" in kinds
+
+    def test_fault_free_paths_stay_bit_identical(self):
+        fast = run_recorder(cycle_graph(16), rounds=4, engine=run_local)
+        ref = run_recorder(
+            cycle_graph(16), rounds=4, engine=run_local_reference
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.rounds == ref.rounds
+
+
+class TestObserverAccounting:
+    def test_metrics_count_injected_faults(self):
+        obs = MetricsObserver()
+        run_recorder(
+            cycle_graph(8),
+            rounds=3,
+            plan=FaultPlan(seed=3, drop_rate=0.5),
+            observers=[obs],
+        )
+        metrics = obs.summary()["metrics"]
+        assert metrics["faults_total"]["value"] > 0
+        assert (
+            metrics["faults_drop_total"]["value"]
+            == metrics["faults_total"]["value"]
+        )
+
+    def test_no_faults_no_counters(self):
+        obs = MetricsObserver()
+        run_recorder(cycle_graph(8), rounds=3, observers=[obs])
+        assert "faults_total" not in obs.summary()["metrics"]
+
+
+class TestFailureRateExperiment:
+    def test_build_plan_rejects_unknown_kind(self):
+        from repro.faults.experiment import build_plan
+
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            build_plan("gamma-ray", 0.1, 0, None)
+
+    def test_rates_must_start_with_control(self):
+        from repro.faults.experiment import failure_rate_experiment
+
+        with pytest.raises(ValueError, match="control"):
+            failure_rate_experiment(rates=(0.01, 0.05), trials=1)
+
+    def test_e6f_at_n_ten_thousand(self):
+        """The experiment the `repro faults` subcommand ships: at
+        n >= 10^4 the fault-free control matches the paper's 1 - 1/n
+        success claim while injected drops defeat the run."""
+        from repro.faults.experiment import failure_rate_experiment
+
+        record = failure_rate_experiment(
+            n=10_000, delta=9, rates=(0.0, 0.02), trials=2, kind="drop"
+        )
+        assert record.experiment_id == "E6F"
+        assert record.all_checks_pass
+        success = {p.x: p.mean for p in record.series[0].points}
+        assert success[0.0] == 1.0
+        assert success[0.02] < 1.0
+        faults = {p.x: p.mean for p in record.series[1].points}
+        assert faults[0.0] == 0.0
+        assert faults[0.02] > 0.0
+
+
+class TestDriverUnderFaults:
+    def test_crash_fault_surfaces_as_structured_failure(self):
+        """A crash-stop adversary drives the Theorem 10 driver into its
+        (fault-free-unreachable) phase-1 failure branch, which must
+        attach node/round context."""
+        from repro.algorithms import pettie_su_tree_coloring
+        from repro.graphs.generators import complete_regular_tree_with_size
+
+        tree = complete_regular_tree_with_size(9, 80)
+        with inject_faults(FaultPlan(crashes={0: 0})):
+            with pytest.raises(AlgorithmFailure) as info:
+                pettie_su_tree_coloring(tree, seed=1)
+        assert info.value.node is not None
+        assert info.value.round is not None
+        assert "crash-stop" in str(info.value)

@@ -51,6 +51,7 @@ class TestRuleTruePositives:
             ("lm006_bad.py", "LM006", 2),
             ("lm007_bad.py", "LM007", 2),
             ("lm008_bad.py", "LM008", 6),
+            ("lm009_bad.py", "LM009", 4),
         ],
     )
     def test_rule_catches_seeded_violation(self, fixture, rule, count):
