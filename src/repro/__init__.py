@@ -15,7 +15,9 @@ The package is a complete LOCAL-model laboratory:
   det→rand reduction, Theorems 6/8 speedup, graph shattering;
 - :mod:`repro.lowerbounds` — bound calculators, the verified 0-round
   base case, round-elimination arithmetic, indistinguishability;
-- :mod:`repro.analysis` — sweeps, growth fitting, tables.
+- :mod:`repro.analysis` — sweeps, growth fitting, tables;
+- :mod:`repro.verify` — metamorphic relations, per-ball LCL
+  certificates, and the seeded property-based verification sweep.
 
 Quickstart::
 
@@ -29,7 +31,16 @@ Quickstart::
     print(report.rounds, "rounds")
 """
 
-from . import algorithms, analysis, core, graphs, lcl, lowerbounds, transforms
+from . import (
+    algorithms,
+    analysis,
+    core,
+    graphs,
+    lcl,
+    lowerbounds,
+    transforms,
+    verify,
+)
 from .core import Model, RunResult, run_local
 
 __version__ = "1.0.0"
@@ -45,5 +56,6 @@ __all__ = [
     "lowerbounds",
     "run_local",
     "transforms",
+    "verify",
     "__version__",
 ]

@@ -390,6 +390,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main([args.results_dir])
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .verify import run_verification, write_counterexamples
+    from .verify.relations import standard_relations
+
+    if args.list_relations:
+        for relation in standard_relations():
+            print(f"{relation.name:<20}  {relation.description}")
+        return 0
+    try:
+        report = run_verification(
+            drivers=args.driver or None,
+            relation_names=args.relation or None,
+            trials=args.trials,
+            master_seed=args.seed,
+            quick=args.quick,
+            shrink=not args.no_shrink,
+        )
+    except KeyError as exc:
+        print(
+            f"repro verify: unknown driver or relation: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        written = write_counterexamples(report, args.report)
+        print(
+            f"counterexample report: {args.report} "
+            f"({written} entries)"
+        )
+    if not report.ok:
+        for example in report.counterexamples():
+            print(
+                f"repro verify: [{example.relation}] {example.driver}: "
+                f"{example.message} (instance {example.instance}, "
+                f"shrunk from n={example.shrunk_from_n})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -656,6 +702,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rendered record here",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "verify",
+        help=(
+            "property-based verification sweep: certify every shipped "
+            "driver's labelings ball-by-ball and check the metamorphic "
+            "relation catalogue (exit 1 on any counterexample)"
+        ),
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tier-1 profile: one trial per cell at each driver's "
+        "quick size",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="seeded trials per (driver, relation) cell "
+        "(default: 3, or 1 with --quick)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0xC0FFEE,
+        help="master seed; the whole sweep is a pure function of it",
+    )
+    p.add_argument(
+        "--driver",
+        action="append",
+        metavar="NAME",
+        help="restrict to this driver (repeatable; default: all "
+        "registered drivers)",
+    )
+    p.add_argument(
+        "--relation",
+        action="append",
+        metavar="NAME",
+        help="restrict to this relation (repeatable; see "
+        "--list-relations)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write shrunk counterexamples as JSONL here (file is "
+        "created even when empty)",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report the originally-failing instance without "
+        "halve-and-retest minimization",
+    )
+    p.add_argument(
+        "--list-relations",
+        action="store_true",
+        help="print the relation catalogue and exit",
+    )
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
         "lint",

@@ -10,7 +10,12 @@ from .coloring import (
 from .edge_coloring_lcl import EdgeColoringLCL
 from .matching import UNMATCHED, MaximalMatching, matching_edges
 from .mis import IN, OUT, MaximalIndependentSet, independent_set_from_labeling
-from .problem import Labeling, LCLProblem, Violation
+from .problem import (
+    BallRestrictedLabeling,
+    Labeling,
+    LCLProblem,
+    Violation,
+)
 from .ruling_set import RulingSet
 from .sinkless import (
     SinklessColoring,
@@ -20,6 +25,7 @@ from .sinkless import (
 )
 
 __all__ = [
+    "BallRestrictedLabeling",
     "EdgeColoringLCL",
     "IN",
     "KColoring",

@@ -25,6 +25,45 @@ from ..graphs.graph import Graph
 Labeling = Sequence[Any]
 
 
+class BallRestrictedLabeling:
+    """A labeling masked down to one radius-``r`` ball.
+
+    Reading a label outside the ball raises :class:`VerificationError`
+    instead of returning a value — the executable form of the LCL
+    axiom that :meth:`LCLProblem.check_vertex` may consult only
+    ``N^r(v)``.  :meth:`LCLProblem.check_ball` wraps every certificate
+    check in one of these, so a checker that silently peeks farther
+    than its declared radius fails loudly rather than passing as
+    "local".
+    """
+
+    __slots__ = ("_labeling", "_allowed", "_center", "_radius")
+
+    def __init__(
+        self,
+        labeling: Labeling,
+        allowed: Sequence[int],
+        center: int,
+        radius: int,
+    ) -> None:
+        self._labeling = labeling
+        self._allowed = frozenset(allowed)
+        self._center = center
+        self._radius = radius
+
+    def __getitem__(self, vertex: int) -> Any:
+        if vertex not in self._allowed:
+            raise VerificationError(
+                f"non-local read: label of vertex {vertex} is outside "
+                f"the radius-{self._radius} ball of vertex "
+                f"{self._center}"
+            )
+        return self._labeling[vertex]
+
+    def __len__(self) -> int:
+        return len(self._labeling)
+
+
 @dataclass(frozen=True)
 class Violation:
     """One locally-detected violation."""
@@ -58,6 +97,34 @@ class LCLProblem(abc.ABC):
         Implementations must only consult vertices within distance
         :attr:`radius` of ``v`` (that is what makes the problem an LCL).
         """
+
+    def ball(self, graph: Graph, v: int) -> List[int]:
+        """The vertices of ``N^r(v)`` — the exact view
+        :meth:`check_vertex` is entitled to read (sorted)."""
+        return graph.ball(v, self.radius)
+
+    def check_ball(
+        self,
+        graph: Graph,
+        v: int,
+        labeling: Labeling,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        """Check one radius-``r`` ball *independently*, with locality
+        enforced.
+
+        The labeling handed to :meth:`check_vertex` is restricted to
+        ``N^r(v)``; a checker implementation reading outside its ball
+        raises :class:`VerificationError` instead of silently passing.
+        This is the entry point the certificate checker
+        (:mod:`repro.verify.certify`) uses — every ball is checked in
+        isolation, exactly like the O(1)-round distributed verifier
+        the LCL definition promises.
+        """
+        restricted = BallRestrictedLabeling(
+            labeling, self.ball(graph, v), v, self.radius
+        )
+        return self.check_vertex(graph, v, restricted, inputs)
 
     def violations(
         self,

@@ -1,0 +1,169 @@
+"""Locality certificates: per-ball LCL checking + round-count audit.
+
+A labeling is a solution iff *every* radius-r ball passes the problem's
+verifier — that is the Naor–Stockmeyer definition, and it is exactly
+what this module checks: each ball independently, through
+:meth:`~repro.lcl.problem.LCLProblem.check_ball`, which masks the
+labeling down to ``N^r(v)`` so a checker peeking beyond its declared
+radius fails loudly instead of passing as "local".
+
+The result is a :class:`Certificate` with a versioned, deterministic
+JSON form (sorted keys, fixed separators, no timestamps — the
+:mod:`repro.obs.trace` discipline), naming the violating balls on
+failure.  When the producing driver declares a round-complexity bound
+(see :class:`~repro.algorithms.drivers.DriverSpec`), the certificate
+also audits the observed round count against it, so a complexity
+regression — not just a wrong answer — fails verification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..graphs.graph import Graph
+from ..lcl.problem import Labeling, LCLProblem
+
+CERTIFICATE_SCHEMA = "repro.verify.certificate"
+CERTIFICATE_VERSION = 1
+
+#: Violations listed per certificate before truncation (the count is
+#: always exact; the listing is capped to keep certificates small).
+MAX_LISTED_VIOLATIONS = 16
+
+
+@dataclass(frozen=True)
+class BallViolation:
+    """One ball that failed its local check."""
+
+    vertex: int
+    ball: List[int]
+    message: str
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The outcome of certifying one run against one LCL problem."""
+
+    problem: str
+    radius: int
+    n: int
+    m: int
+    max_degree: int
+    checked_balls: int
+    violation_count: int
+    violations: List[BallViolation] = field(default_factory=list)
+    driver: Optional[str] = None
+    rounds: Optional[int] = None
+    bound: Optional[float] = None
+    bound_label: Optional[str] = None
+    rounds_within_bound: Optional[bool] = None
+
+    @property
+    def valid(self) -> bool:
+        """Whether every ball passed."""
+        return self.violation_count == 0
+
+    @property
+    def ok(self) -> bool:
+        """Valid labeling *and* (when audited) rounds within bound."""
+        return self.valid and self.rounds_within_bound is not False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CERTIFICATE_SCHEMA,
+            "version": CERTIFICATE_VERSION,
+            "problem": self.problem,
+            "radius": self.radius,
+            "driver": self.driver,
+            "n": self.n,
+            "m": self.m,
+            "max_degree": self.max_degree,
+            "checked_balls": self.checked_balls,
+            "valid": self.valid,
+            "violation_count": self.violation_count,
+            "violations": [
+                {
+                    "vertex": v.vertex,
+                    "ball": list(v.ball),
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+            "rounds": self.rounds,
+            "bound": self.bound,
+            "bound_label": self.bound_label,
+            "rounds_within_bound": self.rounds_within_bound,
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: byte-identical across repeats."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def certify(
+    problem: LCLProblem,
+    graph: Graph,
+    labeling: Labeling,
+    *,
+    inputs: Optional[Dict[str, Any]] = None,
+    driver: Optional[str] = None,
+    rounds: Optional[int] = None,
+    bound: Optional[float] = None,
+    bound_label: Optional[str] = None,
+    max_listed: int = MAX_LISTED_VIOLATIONS,
+) -> Certificate:
+    """Check every radius-r ball independently and audit the rounds.
+
+    Unlike :meth:`LCLProblem.violations` (a convenience that hands the
+    checker the whole labeling), this is the distributed verifier run
+    literally: each ball is checked in isolation against a masked
+    labeling, so the certificate doubles as an audit that the *checker
+    itself* is r-local.
+    """
+    violations: List[BallViolation] = []
+    count = 0
+    for v in graph.vertices():
+        message = problem.check_ball(graph, v, labeling, inputs)
+        if message is not None:
+            count += 1
+            if len(violations) < max_listed:
+                violations.append(
+                    BallViolation(
+                        vertex=v,
+                        ball=problem.ball(graph, v),
+                        message=message,
+                    )
+                )
+    audited: Optional[bool] = None
+    if rounds is not None and bound is not None:
+        audited = rounds <= bound
+    return Certificate(
+        problem=problem.name,
+        radius=problem.radius,
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        max_degree=graph.max_degree,
+        checked_balls=graph.num_vertices,
+        violation_count=count,
+        violations=violations,
+        driver=driver,
+        rounds=rounds,
+        bound=bound,
+        bound_label=bound_label,
+        rounds_within_bound=audited,
+    )
+
+
+__all__ = [
+    "BallViolation",
+    "CERTIFICATE_SCHEMA",
+    "CERTIFICATE_VERSION",
+    "Certificate",
+    "MAX_LISTED_VIOLATIONS",
+    "certify",
+]

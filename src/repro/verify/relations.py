@@ -1,0 +1,654 @@
+"""Metamorphic relations over LOCAL algorithms.
+
+A *metamorphic relation* pairs an input transformation with the output
+relation a correct LOCAL algorithm must preserve under it.  The model's
+axioms (Section II; the indistinguishability arguments behind Theorems
+3 and 10) supply the catalogue:
+
+====================  ================================================
+relation              a correct algorithm must …
+====================  ================================================
+id-relabeling         stay *LCL-valid* under any ID assignment (the
+                      output may change; its correctness may not)
+port-permutation      stay LCL-valid under any port renumbering
+vertex-order          be equivariant under relabeling the simulation
+                      handles: outputs follow the IDs / random
+                      streams, never the engine's vertex indices
+engine-equivalence    produce bit-identical results on the fast and
+                      reference engines
+observer-neutrality   be unchanged by attaching a ``MetricsObserver``
+                      (spectators never steer)
+fault-determinism     under a fixed ``FaultPlan``, be a deterministic
+                      function of the plan — same perturbed outcome on
+                      every run and on both engines
+order-invariance      (opt-in) depend only on the relative order of
+                      IDs, not their values
+====================  ================================================
+
+Relations operate on a :class:`Subject` — a normalized handle over
+either a registered end-to-end driver (:func:`subject_from_spec`) or a
+bare :class:`~repro.core.algorithm.SyncAlgorithm`
+(:func:`subject_from_algorithm`) — so the same catalogue applies to
+shipped pipelines and to test fixtures alike.
+
+Every check compares *captured outcomes*: a run that raises is folded
+to an ``("error", "ExcType: message")`` value, so "both runs fail with
+the same budget error" satisfies a determinism relation while "one run
+succeeds, the other crashes" violates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.drivers import DriverSpec
+from ..core.algorithm import SyncAlgorithm
+from ..core.context import Model
+from ..core.engine import (
+    inject_faults,
+    observe_runs,
+    run_local,
+    use_reference_engine,
+)
+from ..faults.plan import FaultPlan
+from ..faults.runtime import mix64
+from ..graphs.graph import Graph
+from ..lcl.problem import LCLProblem
+from ..obs import MetricsObserver
+from ..transforms.order_invariance import order_preserving_remap
+from .gen import (
+    Instance,
+    apply_inverse,
+    derive_rng,
+    permute_ports,
+    permute_vertices,
+    random_permutation,
+    reshuffled,
+)
+
+# ----------------------------------------------------------------------
+# Subjects and outcome capture
+# ----------------------------------------------------------------------
+#: Normalized run entry point: ``(graph, ids, seed, rng_factory)`` ->
+#: ``(labeling, rounds)``.  ``rng_factory`` is ``None`` except for bare
+#: RandLOCAL subjects that opt into per-vertex stream override.
+Runner = Callable[
+    [Graph, Optional[Sequence[int]], Optional[int], Optional[Any]],
+    Tuple[List[Any], int],
+]
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One algorithm under verification, with the knobs it honours."""
+
+    name: str
+    model: Model
+    runner: Runner
+    problem: Optional[Callable[[Graph], LCLProblem]] = None
+    accepts_ids: bool = False
+    accepts_seed: bool = False
+    #: Bare subjects run through ``run_local`` directly may have their
+    #: per-vertex random streams re-keyed (needed for RAND vertex-order
+    #: equivariance); registry drivers seed internally and cannot.
+    supports_rng_factory: bool = False
+    #: Declared by the author: output depends only on the relative
+    #: order of IDs.  Audited by :class:`OrderInvariance`.
+    order_invariant: bool = False
+
+    def run(
+        self,
+        graph: Graph,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        rng_factory: Optional[Any] = None,
+    ) -> Tuple[List[Any], int]:
+        return self.runner(graph, ids, seed, rng_factory)
+
+
+def subject_from_spec(spec: DriverSpec) -> Subject:
+    """Wrap a registered end-to-end driver as a verification subject."""
+
+    def runner(
+        graph: Graph,
+        ids: Optional[Sequence[int]],
+        seed: Optional[int],
+        rng_factory: Optional[Any],
+    ) -> Tuple[List[Any], int]:
+        if rng_factory is not None:
+            raise TypeError(
+                f"driver {spec.name!r} does not expose rng_factory"
+            )
+        report = spec.invoke(graph, ids, seed)
+        return list(report.labeling), report.rounds
+
+    return Subject(
+        name=spec.name,
+        model=spec.model,
+        runner=runner,
+        problem=spec.problem,
+        accepts_ids=spec.accepts_ids,
+        accepts_seed=spec.accepts_seed,
+    )
+
+
+def subject_from_algorithm(
+    make_algorithm: Callable[[], SyncAlgorithm],
+    *,
+    name: str,
+    model: Model,
+    problem: Optional[Callable[[Graph], LCLProblem]] = None,
+    order_invariant: bool = False,
+    max_rounds: int = 10_000,
+) -> Subject:
+    """Wrap a bare node program as a verification subject.
+
+    ``make_algorithm`` is a zero-argument factory so that a fixture
+    with (deliberately buggy) instance state is rebuilt fresh per run.
+    """
+
+    def runner(
+        graph: Graph,
+        ids: Optional[Sequence[int]],
+        seed: Optional[int],
+        rng_factory: Optional[Any],
+    ) -> Tuple[List[Any], int]:
+        result = run_local(
+            graph,
+            make_algorithm(),
+            model,
+            ids=ids,
+            seed=seed,
+            rng_factory=rng_factory,
+            max_rounds=max_rounds,
+        )
+        return list(result.outputs), result.rounds
+
+    return Subject(
+        name=name,
+        model=model,
+        runner=runner,
+        problem=problem,
+        accepts_ids=model is Model.DET,
+        accepts_seed=model is Model.RAND,
+        supports_rng_factory=model is Model.RAND,
+        order_invariant=order_invariant,
+    )
+
+
+#: ``("ok", (canonical_labeling, rounds))`` or ``("error", "Type: msg")``.
+Outcome = Tuple[str, Any]
+
+
+def _canonical(value: Any) -> Any:
+    """Fold lists/tuples to tuples so label equality is structural."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(x) for x in value)
+    return value
+
+
+def capture(
+    runner: Callable[[], Tuple[List[Any], int]],
+) -> Outcome:
+    """Run and fold the result (or the raised error) into a comparable
+    outcome value."""
+    try:
+        labeling, rounds = runner()
+    except Exception as exc:  # noqa: BLE001 — outcome folding is the point
+        return ("error", f"{type(exc).__name__}: {exc}")
+    return ("ok", (_canonical(labeling), rounds))
+
+
+def _subject_kwargs(
+    subject: Subject, instance: Instance
+) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if subject.accepts_ids:
+        kwargs["ids"] = list(instance.ids)
+    if subject.accepts_seed:
+        kwargs["seed"] = instance.run_seed
+    return kwargs
+
+
+def run_outcome(
+    subject: Subject, instance: Instance, **overrides: Any
+) -> Outcome:
+    """The captured outcome of ``subject`` on ``instance`` with the
+    instance-derived IDs/seed (overridable per relation)."""
+    kwargs = _subject_kwargs(subject, instance)
+    kwargs.update(overrides)
+    graph = kwargs.pop("graph", instance.graph)
+    return capture(lambda: subject.run(graph, **kwargs))
+
+
+def _validity(
+    subject: Subject, graph: Graph, outcome: Outcome
+) -> Optional[bool]:
+    """Whether an ok outcome's labeling satisfies the subject's LCL
+    (``None`` for errors or problem-less subjects)."""
+    if outcome[0] != "ok" or subject.problem is None:
+        return None
+    labeling, _rounds = outcome[1]
+    problem = subject.problem(graph)
+    return not problem.violations(graph, list(labeling))
+
+
+# ----------------------------------------------------------------------
+# The relation protocol
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelationViolation:
+    """One counterexample: a subject/instance pair breaking a relation."""
+
+    relation: str
+    subject: str
+    message: str
+    instance: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.relation}] {self.subject}: {self.message} "
+            f"(instance {self.instance})"
+        )
+
+
+class Relation:
+    """Base class: one metamorphic relation.
+
+    Subclasses define :attr:`name`, :meth:`applies_to` (which subjects
+    the transformation is meaningful for) and :meth:`check` (returning
+    ``None`` on success or a :class:`RelationViolation`).
+    """
+
+    name: str = "relation"
+    description: str = ""
+
+    def applies_to(self, subject: Subject) -> bool:
+        raise NotImplementedError
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        raise NotImplementedError
+
+    def _violation(
+        self, subject: Subject, instance: Instance, message: str
+    ) -> RelationViolation:
+        return RelationViolation(
+            relation=self.name,
+            subject=subject.name,
+            message=message,
+            instance=instance.describe(),
+        )
+
+
+class IdRelabeling(Relation):
+    """LCL validity must not depend on *which* IDs vertices received.
+
+    Runs the subject under the identity assignment and under a seeded
+    shuffle of it; outcome kinds and LCL validity must agree.  An
+    algorithm that (say) colors by ``ID mod 3`` is valid exactly when
+    the assignment happens to align with the topology — this relation
+    is what catches it.
+    """
+
+    name = "id-relabeling"
+    description = "LCL validity invariant under ID reassignment"
+
+    def applies_to(self, subject: Subject) -> bool:
+        return subject.accepts_ids and subject.problem is not None
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        base = run_outcome(
+            subject, instance, ids=list(range(instance.n))
+        )
+        relabeled = run_outcome(subject, reshuffled(instance, 1))
+        if base[0] != relabeled[0]:
+            return self._violation(
+                subject,
+                instance,
+                f"outcome kind changed under ID relabeling: "
+                f"{base[0]} -> {relabeled[0]} ({relabeled[1]!r})",
+            )
+        valid_base = _validity(subject, instance.graph, base)
+        valid_new = _validity(subject, instance.graph, relabeled)
+        if valid_base != valid_new:
+            return self._violation(
+                subject,
+                instance,
+                f"LCL validity changed under ID relabeling: "
+                f"identity ids valid={valid_base}, shuffled ids "
+                f"valid={valid_new}",
+            )
+        if valid_new is False:
+            return self._violation(
+                subject,
+                instance,
+                "labeling violates the declared LCL under both ID "
+                "assignments",
+            )
+        return None
+
+
+class PortPermutation(Relation):
+    """LCL validity must not depend on how vertices numbered their
+    ports.
+
+    The same abstract graph is rebuilt under a shuffled edge order
+    (hence fresh port numbers everywhere); the subject must stay
+    correct.  Catches programs that treat a port number as a global
+    direction (e.g. "port 0 points left").
+    """
+
+    name = "port-permutation"
+    description = "LCL validity invariant under port renumbering"
+
+    def applies_to(self, subject: Subject) -> bool:
+        return subject.problem is not None and (
+            subject.accepts_ids or subject.accepts_seed
+        )
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        base = run_outcome(subject, instance)
+        renumbered_graph = permute_ports(
+            instance.graph, mix64(instance.seed, 0x5050)
+        )
+        renumbered = run_outcome(
+            subject, instance, graph=renumbered_graph
+        )
+        if base[0] != renumbered[0]:
+            return self._violation(
+                subject,
+                instance,
+                f"outcome kind changed under port renumbering: "
+                f"{base[0]} -> {renumbered[0]} ({renumbered[1]!r})",
+            )
+        valid_base = _validity(subject, instance.graph, base)
+        valid_new = _validity(subject, renumbered_graph, renumbered)
+        if valid_base != valid_new:
+            return self._violation(
+                subject,
+                instance,
+                f"LCL validity changed under port renumbering: "
+                f"original ports valid={valid_base}, renumbered "
+                f"valid={valid_new}",
+            )
+        if valid_new is False:
+            return self._violation(
+                subject,
+                instance,
+                "labeling violates the declared LCL under both port "
+                "numberings",
+            )
+        return None
+
+
+class VertexOrderInvariance(Relation):
+    """Outputs must follow IDs (or random streams), never the engine's
+    vertex indices.
+
+    The graph is rebuilt under a vertex permutation σ with ports
+    preserved, and vertex σ(v) inherits v's ID (and, for bare RAND
+    subjects, v's random stream).  Every local view is then bitwise
+    identical, so a correct run satisfies ``output'[σ(v)] == output[v]``
+    with equal round counts.  Catches hidden cross-node channels and
+    scan-order leaks.
+    """
+
+    name = "vertex-order"
+    description = "equivariance under relabeling of simulation handles"
+
+    def applies_to(self, subject: Subject) -> bool:
+        if subject.accepts_ids:
+            return True
+        return subject.accepts_seed and subject.supports_rng_factory
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        perm = random_permutation(
+            instance.n, instance.seed, instance.requested_n
+        )
+        inverse = apply_inverse(perm)
+        permuted_graph = permute_vertices(instance.graph, perm)
+
+        base_kwargs: Dict[str, Any] = {}
+        perm_kwargs: Dict[str, Any] = {"graph": permuted_graph}
+        if subject.accepts_ids:
+            ids = list(instance.ids)
+            base_kwargs["ids"] = ids
+            perm_kwargs["ids"] = [ids[inverse[w]] for w in range(instance.n)]
+        if subject.accepts_seed:
+            base_kwargs["seed"] = instance.run_seed
+            perm_kwargs["seed"] = instance.run_seed
+        if subject.supports_rng_factory and subject.accepts_seed:
+            run_seed = instance.run_seed
+            base_kwargs["rng_factory"] = lambda v: derive_rng(
+                run_seed, 0x766F, v
+            )
+            perm_kwargs["rng_factory"] = lambda w: derive_rng(
+                run_seed, 0x766F, inverse[w]
+            )
+
+        base = run_outcome(subject, instance, **base_kwargs)
+        permuted = run_outcome(subject, instance, **perm_kwargs)
+        if base[0] != permuted[0]:
+            return self._violation(
+                subject,
+                instance,
+                f"outcome kind changed under vertex relabeling: "
+                f"{base[0]} -> {permuted[0]} ({permuted[1]!r})",
+            )
+        if base[0] != "ok":
+            return None
+        labeling, rounds = base[1]
+        perm_labeling, perm_rounds = permuted[1]
+        if rounds != perm_rounds:
+            return self._violation(
+                subject,
+                instance,
+                f"round count changed under vertex relabeling: "
+                f"{rounds} -> {perm_rounds}",
+            )
+        for v in range(instance.n):
+            if labeling[v] != perm_labeling[perm[v]]:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"output not equivariant: vertex {v} got "
+                    f"{labeling[v]!r} but its image {perm[v]} got "
+                    f"{perm_labeling[perm[v]]!r}",
+                )
+        return None
+
+
+class EngineEquivalence(Relation):
+    """The fast engine and the reference engine must agree bit-for-bit
+    on every run (labels, round counts, and error outcomes alike)."""
+
+    name = "engine-equivalence"
+    description = "fast engine == reference engine"
+
+    def applies_to(self, subject: Subject) -> bool:
+        return True
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        fast = run_outcome(subject, instance)
+        with use_reference_engine():
+            reference = run_outcome(subject, instance)
+        if fast != reference:
+            return self._violation(
+                subject,
+                instance,
+                f"fast and reference engines diverge: "
+                f"fast={_summarize(fast)}, reference="
+                f"{_summarize(reference)}",
+            )
+        return None
+
+
+class ObserverNeutrality(Relation):
+    """Attaching a ``MetricsObserver`` must never change the result —
+    telemetry is a spectator, not a participant."""
+
+    name = "observer-neutrality"
+    description = "MetricsObserver attachment changes nothing"
+
+    def applies_to(self, subject: Subject) -> bool:
+        return True
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        bare = run_outcome(subject, instance)
+        with observe_runs(MetricsObserver()):
+            observed = run_outcome(subject, instance)
+        if bare != observed:
+            return self._violation(
+                subject,
+                instance,
+                f"attaching MetricsObserver changed the outcome: "
+                f"bare={_summarize(bare)}, observed="
+                f"{_summarize(observed)}",
+            )
+        return None
+
+
+def _tag_corrupt(payload: Any) -> Any:
+    """Deterministic corruption: wrap the payload so receivers see a
+    well-formed but wrong value (repr-stable, hence outcome-comparable)."""
+    return ("corrupted", payload)
+
+
+class FaultPlanDeterminism(Relation):
+    """Under a fixed nonzero :class:`FaultPlan`, the perturbed execution
+    must be a pure function of the plan: repeating the run — on either
+    engine — reproduces the identical outcome (including the identical
+    failure, when the adversary wins)."""
+
+    name = "fault-determinism"
+    description = "same FaultPlan => same perturbed outcome, both engines"
+
+    #: The adversary used for every check: light message-layer noise
+    #: plus a budget so runs the faults derail still end deterministically.
+    drop_rate: float = 0.02
+    corrupt_rate: float = 0.01
+    round_budget: int = 512
+
+    def applies_to(self, subject: Subject) -> bool:
+        return True
+
+    def plan_for(self, instance: Instance) -> FaultPlan:
+        return FaultPlan(
+            seed=mix64(instance.seed, 0xFA01),
+            drop_rate=self.drop_rate,
+            corrupt_rate=self.corrupt_rate,
+            corrupt=_tag_corrupt,
+            round_budget=self.round_budget,
+        )
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        plan = self.plan_for(instance)
+        with inject_faults(plan):
+            first = run_outcome(subject, instance)
+        with inject_faults(plan):
+            second = run_outcome(subject, instance)
+        if first != second:
+            return self._violation(
+                subject,
+                instance,
+                f"repeating the same FaultPlan produced a different "
+                f"outcome: {_summarize(first)} vs {_summarize(second)}",
+            )
+        with use_reference_engine(), inject_faults(plan):
+            reference = run_outcome(subject, instance)
+        if first != reference:
+            return self._violation(
+                subject,
+                instance,
+                f"fast and reference engines diverge under the same "
+                f"FaultPlan: fast={_summarize(first)}, reference="
+                f"{_summarize(reference)}",
+            )
+        return None
+
+
+class OrderInvariance(Relation):
+    """Subjects declared ``order_invariant`` must produce identical
+    outputs under any order-preserving remap of their IDs (the
+    Naor–Stockmeyer order-invariance hypothesis)."""
+
+    name = "order-invariance"
+    description = "output depends only on the relative order of IDs"
+
+    def applies_to(self, subject: Subject) -> bool:
+        return subject.order_invariant and subject.accepts_ids
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        ids = list(instance.ids)
+        remapped = order_preserving_remap(
+            ids, derive_rng(instance.seed, 0x6F6964)
+        )
+        base = run_outcome(subject, instance, ids=ids)
+        stretched = run_outcome(subject, instance, ids=remapped)
+        if base != stretched:
+            return self._violation(
+                subject,
+                instance,
+                f"output changed under an order-preserving ID remap: "
+                f"{_summarize(base)} vs {_summarize(stretched)}",
+            )
+        return None
+
+
+def _summarize(outcome: Outcome) -> str:
+    kind, payload = outcome
+    if kind == "error":
+        return f"error({payload})"
+    labeling, rounds = payload
+    return f"ok(rounds={rounds}, labeling={list(labeling)!r})"
+
+
+def standard_relations() -> List[Relation]:
+    """The shipped catalogue, in documentation order."""
+    return [
+        IdRelabeling(),
+        PortPermutation(),
+        VertexOrderInvariance(),
+        EngineEquivalence(),
+        ObserverNeutrality(),
+        FaultPlanDeterminism(),
+        OrderInvariance(),
+    ]
+
+
+__all__ = [
+    "EngineEquivalence",
+    "FaultPlanDeterminism",
+    "IdRelabeling",
+    "ObserverNeutrality",
+    "OrderInvariance",
+    "Outcome",
+    "PortPermutation",
+    "Relation",
+    "RelationViolation",
+    "Subject",
+    "VertexOrderInvariance",
+    "capture",
+    "run_outcome",
+    "standard_relations",
+    "subject_from_algorithm",
+    "subject_from_spec",
+]

@@ -70,6 +70,30 @@ def test_experiment_ids_match_filenames():
         ), f"{path.name} does not declare experiment id {expected_id}"
 
 
+def test_driver_registry_metadata_is_complete():
+    """Every registered driver must declare the metadata the
+    verification sweep needs — LCL problem, complexity bound, graph
+    family.  Fails loudly the moment a driver lands without them, so
+    ``repro verify`` never silently skips a shipped algorithm."""
+    from repro.algorithms.drivers import (
+        driver_registry,
+        validate_registry,
+    )
+
+    validate_registry()
+    missing = [
+        name
+        for name, spec in driver_registry().items()
+        if spec.problem is None
+        or spec.bound is None
+        or not spec.bound_label
+        or spec.make_graph is None
+    ]
+    assert not missing, (
+        f"drivers registered without LCL/bound metadata: {missing}"
+    )
+
+
 def test_experiment_ids_are_unique():
     ids = {}
     for path in sorted(BENCHMARKS.glob("bench_*.py")):

@@ -33,6 +33,7 @@ from repro.algorithms import (
     random_sinkless_orientation,
     randomized_matching,
 )
+from repro.algorithms.drivers import driver_registry
 from repro.core import (
     Model,
     SyncAlgorithm,
@@ -378,6 +379,58 @@ def test_mpx_decomposition_matches_reference_engine():
     assert fast.assignment == reference.assignment
     assert fast.distances == reference.distances
     assert fast.rounds == reference.rounds
+
+
+# ----------------------------------------------------------------------
+# Equivalence under an active adversary (repro.verify relation)
+# ----------------------------------------------------------------------
+class TestFaultedEquivalence:
+    """The equivalence contract must also hold under a nonzero
+    ``FaultPlan``: the fault-determinism relation runs each subject
+    twice on the fast engine and once on the reference engine under the
+    identical plan (drops + corruption + round budget) and demands
+    bit-identical outcomes — including identical failures when the
+    adversary wins.  ``test_faults.py`` pins hand-picked plans; this
+    sweeps every shipped driver through the shared relation."""
+
+    @pytest.mark.parametrize("name", sorted(driver_registry()))
+    def test_shipped_driver_fault_plan_determinism(self, name):
+        from repro.algorithms.drivers import get_driver
+        from repro.verify import (
+            FaultPlanDeterminism,
+            make_instance,
+            subject_from_spec,
+        )
+
+        spec = get_driver(name)
+        relation = FaultPlanDeterminism()
+        subject = subject_from_spec(spec)
+        for seed in (0, 1):
+            instance = make_instance(
+                spec.make_graph, spec.quick_n, seed
+            )
+            assert not relation.plan_for(instance).is_noop
+            assert relation.check(subject, instance) is None
+
+    def test_bare_randomized_subject_under_faults(self):
+        from repro.verify import (
+            FaultPlanDeterminism,
+            make_instance,
+            subject_from_algorithm,
+        )
+
+        subject = subject_from_algorithm(
+            RandomTalker,
+            name="random-talker",
+            model=Model.RAND,
+            max_rounds=600,
+        )
+        relation = FaultPlanDeterminism()
+        for seed in (0, 1, 2):
+            instance = make_instance(
+                lambda n, rng: cycle_graph(max(3, n)), 30, seed
+            )
+            assert relation.check(subject, instance) is None
 
 
 def test_use_reference_engine_restores_fast_engine():

@@ -1,8 +1,12 @@
-"""Tests for the order-invariance machinery (Naor–Stockmeyer angle)."""
+"""Order-invariance (Naor–Stockmeyer angle).
 
-import random
-
-import pytest
+The transform unit tests keep exercising
+:func:`repro.transforms.order_preserving_remap` and the two control
+algorithms directly; the invariance *checks* themselves now run through
+the :class:`repro.verify.OrderInvariance` relation — the one
+implementation the verification sweep, the CLI, and these tests share
+(the bespoke per-test checker loops are gone).
+"""
 
 from repro.algorithms import LinialColoring
 from repro.core import Model, run_local
@@ -14,8 +18,13 @@ from repro.graphs.generators import (
 from repro.transforms import (
     LocalMaximaFragment,
     RankWithinBall,
-    check_order_invariance,
     order_preserving_remap,
+)
+from repro.verify import (
+    OrderInvariance,
+    find_counterexample,
+    make_instance,
+    subject_from_algorithm,
 )
 
 
@@ -38,35 +47,88 @@ class TestRemap:
         assert len(set(remapped)) == len(set(ids))
 
 
-class TestInvarianceChecker:
-    def test_local_maxima_is_invariant(self, rng):
-        g = random_regular_graph(50, 3, rng)
-        assert check_order_invariance(
-            lambda: LocalMaximaFragment(), g, id_space_key=None
+def _subject(make_algorithm, name, order_invariant=True):
+    return subject_from_algorithm(
+        make_algorithm,
+        name=name,
+        model=Model.DET,
+        order_invariant=order_invariant,
+        max_rounds=50,
+    )
+
+
+def _regular(degree):
+    def make(n, rng):
+        n = max(n, degree + 2)
+        if (n * degree) % 2:
+            n += 1
+        return random_regular_graph(n, degree, rng)
+
+    return make
+
+
+class TestOrderInvarianceRelation:
+    relation = OrderInvariance()
+
+    def test_local_maxima_is_invariant(self):
+        subject = _subject(LocalMaximaFragment, "local-maxima")
+        assert self.relation.applies_to(subject)
+        assert (
+            find_counterexample(
+                subject,
+                self.relation,
+                _regular(3),
+                5,
+                sizes=[50],
+                seeds=[0, 1, 2],
+            )
+            is None
         )
 
     def test_rank_within_ball_is_invariant(self):
-        g = cycle_graph(40)
-        assert check_order_invariance(
-            lambda: RankWithinBall(), g, id_space_key=None
+        subject = _subject(RankWithinBall, "rank-within-ball")
+        assert (
+            find_counterexample(
+                subject,
+                self.relation,
+                lambda n, rng: cycle_graph(max(3, n)),
+                3,
+                sizes=[40],
+                seeds=[0, 1, 2],
+            )
+            is None
         )
 
-    def test_linial_is_not_invariant(self, rng):
+    def test_linial_is_not_invariant(self):
         """Linial's algorithm reads actual ID bits (polynomial
-        encodings) — the checker must produce a dependence
-        certificate."""
-        g = random_regular_graph(60, 4, rng)
-        assert not check_order_invariance(lambda: LinialColoring(), g)
-
-    def test_custom_ids_accepted(self, rng):
-        g = path_graph(20)
-        ids = [100 + 3 * v for v in range(20)]
-        assert check_order_invariance(
-            lambda: LocalMaximaFragment(),
-            g,
-            ids=ids,
-            id_space_key=None,
+        encodings) — declaring it order-invariant must produce a
+        shrunk counterexample."""
+        subject = _subject(LinialColoring, "linial", order_invariant=True)
+        found = find_counterexample(
+            subject,
+            self.relation,
+            _regular(4),
+            6,
+            sizes=[60],
+            seeds=[0],
         )
+        assert found is not None
+        violation, original_n = found
+        assert violation.relation == "order-invariance"
+        assert violation.instance["n"] <= original_n
+
+    def test_relation_skips_undeclared_subjects(self):
+        # Linial, honestly declared: the relation does not apply, so
+        # the sweep never charges it with a false violation.
+        subject = _subject(LinialColoring, "linial", order_invariant=False)
+        assert not self.relation.applies_to(subject)
+
+    def test_relation_check_on_a_path_instance(self):
+        subject = _subject(LocalMaximaFragment, "local-maxima")
+        instance = make_instance(
+            lambda n, rng: path_graph(max(4, n)), 20, 5
+        )
+        assert self.relation.check(subject, instance) is None
 
 
 class TestControlAlgorithms:

@@ -1,126 +1,94 @@
-"""Property-based tests: on randomly drawn instances, every algorithm's
-output must pass its LCL verifier, and core invariants must hold."""
+"""Property-based validity: on seeded random instances, every shipped
+algorithm's output must pass its LCL verifier.
+
+Ported onto :mod:`repro.verify`: validity is now checked through the
+per-ball certificate sweep over the driver registry (one source of
+truth for which LCL and complexity bound each driver declares), and
+determinism through the subsystem's outcome capture — the previous
+bespoke per-driver hypothesis loops are gone.
+"""
 
 import random
 
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+import pytest
 
-from repro.algorithms import (
-    LinialColoring,
-    barenboim_elkin_coloring,
-    deterministic_matching,
-    deterministic_mis,
-    luby_mis,
-    pettie_su_tree_coloring,
-    randomized_matching,
-)
-from repro.core import Model, run_local
-from repro.graphs.generators import (
-    random_regular_graph,
-    random_tree_bounded_degree,
-)
-from repro.lcl import (
-    KColoring,
-    MaximalIndependentSet,
-    MaximalMatching,
-    ProperColoring,
+from repro.algorithms import LinialColoring, pettie_su_tree_coloring
+from repro.algorithms.drivers import driver_registry
+from repro.core import Model
+from repro.graphs.generators import random_tree_bounded_degree
+from repro.lcl import KColoring, ProperColoring
+from repro.verify import (
+    certify,
+    make_instance,
+    run_outcome,
+    run_verification,
+    subject_from_algorithm,
 )
 
-MIS = MaximalIndependentSet()
-MATCHING = MaximalMatching()
-
-COMMON = dict(
-    max_examples=15,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-tree_params = st.tuples(
-    st.integers(10, 300), st.integers(3, 8), st.integers(0, 2 ** 30)
-)
-regular_params = st.tuples(
-    st.sampled_from([(20, 3), (30, 4), (40, 5), (60, 4)]),
-    st.integers(0, 2 ** 30),
-)
+DRIVER_NAMES = sorted(driver_registry())
 
 
-@settings(**COMMON)
-@given(tree_params)
-def test_linial_always_proper_on_trees(params):
-    n, cap, seed = params
-    g = random_tree_bounded_degree(n, cap, random.Random(seed))
-    result = run_local(g, LinialColoring(), Model.DET)
-    assert ProperColoring().is_solution(g, result.outputs)
+@pytest.mark.parametrize("name", DRIVER_NAMES)
+def test_driver_labelings_certify_on_random_instances(name):
+    """Certificate cells only: every trial's labeling passes the
+    declared LCL ball-by-ball and stays within the declared bound."""
+    report = run_verification(
+        drivers=[name], relation_names=[], trials=3, master_seed=2024
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+    (cell,) = report.cells
+    assert cell.relation == "certificate" and cell.trials >= 3
 
 
-@settings(**COMMON)
-@given(regular_params)
-def test_luby_mis_always_valid(params):
-    (n, d), seed = params
-    g = random_regular_graph(n, d, random.Random(seed))
-    report = luby_mis(g, seed=seed)
-    assert MIS.is_solution(g, report.labeling)
+def _tree_family(cap):
+    def make(n, rng):
+        return random_tree_bounded_degree(max(n, 3), cap, rng)
+
+    return make
 
 
-@settings(**COMMON)
-@given(regular_params)
-def test_det_mis_always_valid(params):
-    (n, d), seed = params
-    g = random_regular_graph(n, d, random.Random(seed))
-    report = deterministic_mis(g)
-    assert MIS.is_solution(g, report.labeling)
+def test_linial_always_proper_on_trees():
+    subject = subject_from_algorithm(
+        LinialColoring, name="linial", model=Model.DET
+    )
+    for seed in range(6):
+        instance = make_instance(_tree_family(6), 40 + 17 * seed, seed)
+        outcome = run_outcome(subject, instance)
+        assert outcome[0] == "ok"
+        labeling, _rounds = outcome[1]
+        cert = certify(
+            ProperColoring(), instance.graph, list(labeling)
+        )
+        assert cert.valid, cert.to_json()
 
 
-@settings(**COMMON)
-@given(regular_params)
-def test_randomized_matching_always_valid(params):
-    (n, d), seed = params
-    g = random_regular_graph(n, d, random.Random(seed))
-    report = randomized_matching(g, seed=seed)
-    assert MATCHING.is_solution(g, report.labeling)
+def test_theorem10_always_valid_delta_12():
+    """Theorem 10 on uncontrolled random trees (the registry family is
+    the complete Δ-regular tree; this keeps the irregular case)."""
+    for seed in range(3):
+        g = random_tree_bounded_degree(
+            150 + 60 * seed, 12, random.Random(seed)
+        )
+        if g.max_degree < 9:
+            continue  # Theorem 10 needs Δ >= 9
+        report = pettie_su_tree_coloring(g, seed=seed)
+        cert = certify(
+            KColoring(g.max_degree),
+            g,
+            report.labeling,
+            driver="pettie-su-tree-coloring",
+            rounds=report.rounds,
+        )
+        assert cert.valid, cert.to_json()
 
 
-@settings(**COMMON)
-@given(regular_params)
-def test_det_matching_always_valid(params):
-    (n, d), seed = params
-    g = random_regular_graph(n, d, random.Random(seed))
-    report = deterministic_matching(g)
-    assert MATCHING.is_solution(g, report.labeling)
-
-
-@settings(**COMMON)
-@given(tree_params)
-def test_barenboim_elkin_always_valid(params):
-    n, cap, seed = params
-    g = random_tree_bounded_degree(n, cap, random.Random(seed))
-    q = max(3, min(cap, g.max_degree))
-    report = barenboim_elkin_coloring(g, q)
-    assert KColoring(q).is_solution(g, report.labeling)
-
-
-@settings(max_examples=8, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-@given(st.tuples(st.integers(100, 400), st.integers(0, 2 ** 30)))
-def test_theorem10_always_valid_delta_12(params):
-    n, seed = params
-    g = random_tree_bounded_degree(n, 12, random.Random(seed))
-    if g.max_degree < 9:
-        return  # Theorem 10 needs Δ >= 9; tiny trees may fall short
-    report = pettie_su_tree_coloring(g, seed=seed)
-    assert KColoring(g.max_degree).is_solution(g, report.labeling)
-
-
-@settings(**COMMON)
-@given(
-    st.tuples(st.integers(5, 60), st.integers(2, 5), st.integers(0, 2 ** 30))
-)
-def test_engine_round_determinism(params):
-    """Same DetLOCAL configuration -> identical transcript, always."""
-    n, cap, seed = params
-    g = random_tree_bounded_degree(max(n, 3), cap, random.Random(seed))
-    a = run_local(g, LinialColoring(), Model.DET)
-    b = run_local(g, LinialColoring(), Model.DET)
-    assert a.outputs == b.outputs
-    assert a.rounds == b.rounds
+def test_engine_round_determinism():
+    """Same DetLOCAL configuration -> identical outcome, always."""
+    subject = subject_from_algorithm(
+        LinialColoring, name="linial", model=Model.DET
+    )
+    for seed in range(4):
+        instance = make_instance(_tree_family(4), 30, seed)
+        assert run_outcome(subject, instance) == run_outcome(
+            subject, instance
+        )
