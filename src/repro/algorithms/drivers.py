@@ -141,6 +141,20 @@ class DriverSpec:
         wiggle) fails the audit.
     bound_label:
         Human-readable form of the declared bound, for reports/docs.
+    radius:
+        ``radius(n, delta) -> float`` — declared *information radius*:
+        the largest ball any published output may depend on.  In the
+        LOCAL model a t-round algorithm is exactly a function of the
+        radius-t ball (PAPER.md §2), so this defaults to ``bound`` when
+        omitted; override it only for drivers whose outputs provably
+        depend on a smaller ball than their round count (e.g. pipelines
+        whose later stages reuse earlier outputs without new probes).
+        Read through :meth:`declared_radius`.
+    radius_label:
+        Human-readable form of the declared radius.  The static
+        dataflow pass (rule LM010) quotes it when a node program's
+        inferred radius contradicts the declaration; empty means
+        "same as bound_label".
     make_graph:
         ``make_graph(n, rng) -> Graph`` — seeded generator for the
         driver's natural instance family.  May round ``n`` to the
@@ -171,6 +185,19 @@ class DriverSpec:
     accepts_ids: bool = False
     accepts_seed: bool = False
     description: str = ""
+    radius: Optional[Callable[[int, int], float]] = None
+    radius_label: str = ""
+
+    def declared_radius(self, n: int, delta: int) -> float:
+        """The declared information radius at instance size ``(n, Δ)``:
+        the explicit ``radius`` formula when one is declared, else the
+        round bound (a t-round LOCAL algorithm sees a radius-t ball)."""
+        if self.radius is not None:
+            return self.radius(n, delta)
+        return self.bound(n, delta)
+
+    def declared_radius_label(self) -> str:
+        return self.radius_label or self.bound_label
 
     def run(
         self,
@@ -292,6 +319,22 @@ def _build_registry() -> Dict[str, DriverSpec]:
 
         return deterministic_sinkless_orientation(graph, ids=ids)
 
+    def linial(graph: Graph, ids: Any, seed: Any) -> AlgorithmReport:
+        from .vertex_coloring import linial_fixed_point_coloring
+
+        return linial_fixed_point_coloring(graph, ids=ids)
+
+    def linial_palette(graph: Graph) -> int:
+        # Must mirror linial_fixed_point_coloring's defaults: the
+        # certified palette is the schedule's last entry for the
+        # instance's default ID space and maximum degree.
+        from .linial import linial_schedule
+
+        id_space = 1 << max(
+            1, (max(graph.num_vertices, 2) - 1).bit_length()
+        )
+        return linial_schedule(id_space, max(1, graph.max_degree))[-1]
+
     def coloring_bound(n: int, delta: int) -> float:
         # Linial schedule O(log* n) + KW reduction O(Δ log Δ), with a
         # wide constant; every deterministic coloring pipeline here
@@ -329,6 +372,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: KColoring(g.max_degree),
             bound=shattering_bound,
             bound_label="O(log_Δ log n + log* n) + shattered finish",
+            radius_label="O(log_Δ log n + log* n) ball",
             make_graph=_tree_family(7),
             min_n=8,
             accepts_seed=True,
@@ -341,6 +385,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: KColoring(g.max_degree),
             bound=shattering_bound,
             bound_label="O(log_Δ log n + log* n) + shattered finish",
+            radius_label="O(log_Δ log n + log* n) ball",
             make_graph=_tree_family(9),
             min_n=10,
             accepts_seed=True,
@@ -353,6 +398,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: KColoring(6),
             bound=lambda n, delta: 24 * _log2(n) + 24 * log_star(n) + 96,
             bound_label="O(log n) peeling + O(log* n) coloring stages",
+            radius_label="O(log n) ball",
             make_graph=_prufer_tree,
             min_n=4,
             accepts_ids=True,
@@ -365,6 +411,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: KColoring(g.max_degree + 1),
             bound=coloring_bound,
             bound_label="g(Δ) + O(log* n)",
+            radius_label="g(Δ) + O(log* n) ball",
             make_graph=_regular_family(4),
             min_n=6,
             accepts_ids=True,
@@ -377,6 +424,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: MaximalIndependentSet(),
             bound=whp_log_bound,
             bound_label="O(log n) w.h.p.",
+            radius_label="O(log n) ball w.h.p.",
             make_graph=_regular_family(4),
             min_n=6,
             accepts_seed=True,
@@ -389,6 +437,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: MaximalIndependentSet(),
             bound=class_sweep_bound,
             bound_label="Linial O(Δ²)-coloring + class sweep",
+            radius_label="Linial + class-sweep ball",
             make_graph=_regular_family(4),
             min_n=6,
             accepts_ids=True,
@@ -401,6 +450,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: MaximalMatching(),
             bound=whp_log_bound,
             bound_label="O(log n) w.h.p.",
+            radius_label="O(log n) ball w.h.p.",
             make_graph=_regular_family(3),
             min_n=4,
             accepts_seed=True,
@@ -413,6 +463,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: MaximalMatching(),
             bound=class_sweep_bound,
             bound_label="Linial + reduction + turn-taking",
+            radius_label="Linial + reduction ball",
             make_graph=_regular_family(3),
             min_n=4,
             accepts_ids=True,
@@ -425,6 +476,7 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: SinklessOrientation(),
             bound=whp_log_bound,
             bound_label="O(log n) sink-fixing rounds w.h.p.",
+            radius_label="O(log n) ball w.h.p.",
             make_graph=_circulant,
             min_n=5,
             accepts_seed=True,
@@ -437,10 +489,25 @@ def _build_registry() -> Dict[str, DriverSpec]:
             problem=lambda g: SinklessOrientation(),
             bound=diameter_bound,
             bound_label="diameter + O(1) collection rounds",
+            radius_label="diameter ball",
             make_graph=_circulant,
             min_n=5,
             accepts_ids=True,
             description="Canonical-rule orientation on circulant C_n(1,2)",
+        ),
+        DriverSpec(
+            name="linial-coloring",
+            model=Model.DET,
+            invoke=linial,
+            problem=lambda g: KColoring(linial_palette(g)),
+            bound=lambda n, delta: 16 * log_star(n) + 48,
+            bound_label="O(log* n) iterated cover-free recoloring",
+            radius_label="O(log* n) ball",
+            make_graph=_regular_family(4),
+            min_n=6,
+            accepts_ids=True,
+            description="Theorem 2 fixed-point coloring on 4-regular "
+            "graphs (no reduction stage)",
         ),
     ]
     return {spec.name: spec for spec in specs}
@@ -508,3 +575,12 @@ def validate_registry(
                 f"driver {name!r}: DetLOCAL drivers must not consume "
                 "a seed"
             )
+        # A t-round LOCAL algorithm sees at most the radius-t ball, so
+        # a declared radius above the declared round bound is a
+        # contradiction in the spec itself.
+        for n, delta in ((8, 3), (64, 4), (1024, 8)):
+            if spec.declared_radius(n, delta) > spec.bound(n, delta):
+                raise VerificationError(
+                    f"driver {name!r}: declared radius exceeds the "
+                    f"declared round bound at n={n}, Δ={delta}"
+                )

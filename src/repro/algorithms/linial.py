@@ -190,7 +190,12 @@ class LinialColoring(SyncAlgorithm):
         ctx.state["degree_param"] = degree
         ctx.publish(ctx.id)
         if len(ctx.state["schedule"]) == 1:
-            ctx.halt(ctx.id)
+            # A schedule of length 1 means id_space is already at (or
+            # below) the Theorem-2 fixed point, so the distinct IDs
+            # *are* a proper coloring with the declared palette; the
+            # guard is invisible to the radius lattice, which sees only
+            # an unconditional radius-0 halt on ctx.id.
+            ctx.halt(ctx.id)  # repro: ignore[LM010]
 
     def step(self, ctx: NodeContext, inbox: Inbox) -> None:
         schedule = ctx.state["schedule"]
@@ -236,7 +241,10 @@ class OrientedLinialColoring(SyncAlgorithm):
         ctx.state["degree_param"] = d
         ctx.publish(ctx.id)
         if len(ctx.state["schedule"]) == 1:
-            ctx.halt(ctx.id)
+            # Same waiver as LinialColoring.setup: length-1 schedule ⇒
+            # the ID space is already within the fixed-point palette, so
+            # halting on the (distinct) IDs is a valid coloring.
+            ctx.halt(ctx.id)  # repro: ignore[LM010]
 
     def step(self, ctx: NodeContext, inbox: Inbox) -> None:
         schedule = ctx.state["schedule"]

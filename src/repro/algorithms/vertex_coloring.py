@@ -20,6 +20,38 @@ from ..core.engine import run_local
 from ..graphs.graph import Graph
 
 
+def linial_fixed_point_coloring(
+    graph: Graph,
+    ids: Optional[Sequence[int]] = None,
+    id_space: Optional[int] = None,
+    max_rounds: int = 100_000,
+) -> AlgorithmReport:
+    """DetLOCAL O(Δ²)-coloring in O(log* n) rounds (Theorem 2 alone).
+
+    The Linial stage of the (Δ+1) pipeline exposed as its own driver:
+    iterated cover-free recoloring from unique IDs down to the
+    fixed-point palette, with no reduction stage.  The certified
+    palette is ``linial_schedule(id_space, Δ)[-1]`` — the registry's
+    ``linial-coloring`` spec computes the same value from the instance.
+    """
+    n = graph.num_vertices
+    if id_space is None:
+        id_space = 1 << max(1, (max(n, 2) - 1).bit_length())
+    log = PhaseLog()
+    run = log.add(
+        "linial",
+        run_local(
+            graph,
+            LinialColoring(),
+            Model.DET,
+            ids=ids,
+            global_params={"id_space": id_space},
+            max_rounds=max_rounds,
+        ),
+    )
+    return AlgorithmReport(run.outputs, log.total_rounds, log)
+
+
 def delta_plus_one_coloring(
     graph: Graph,
     ids: Optional[Sequence[int]] = None,

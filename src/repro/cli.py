@@ -12,7 +12,8 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List
+from pathlib import Path
+from typing import List, Optional
 
 from .algorithms import (
     barenboim_elkin_coloring,
@@ -436,9 +437,45 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    from pathlib import Path
+def _changed_python_files(ref: str) -> Optional[set]:
+    """Absolute paths of ``.py`` files changed since ``ref`` (committed,
+    staged, or unstaged) plus untracked ones; None when git fails."""
+    import subprocess
 
+    changed: set = set()
+    commands = (
+        ["git", "diff", "--name-only", ref, "--", "*.py"],
+        [
+            "git",
+            "ls-files",
+            "--others",
+            "--exclude-standard",
+            "--",
+            "*.py",
+        ],
+    )
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            print(
+                f"repro lint: --changed-from failed: {detail.strip()}",
+                file=sys.stderr,
+            )
+            return None
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add(Path(line.strip()).resolve())
+    return changed
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck import analyze_paths, default_target
 
     paths = args.paths or [str(default_target())]
@@ -448,11 +485,68 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for p in missing:
             print(f"repro lint: path does not exist: {p}", file=sys.stderr)
         return 2
-    result = analyze_paths(paths)
+    if args.cache:
+        from .staticcheck.cache import cached_analyze
+
+        result, _hit = cached_analyze(paths, Path(args.cache))
+    else:
+        result = analyze_paths(paths)
+    base_dir = Path.cwd()
+    if args.update_baseline:
+        if not args.baseline:
+            print(
+                "repro lint: --update-baseline needs --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        from .staticcheck.baseline import write_baseline
+
+        count = write_baseline(Path(args.baseline), result, base_dir)
+        print(f"baseline written: {args.baseline} ({count} entries)")
+        return 0
+    if args.baseline:
+        from .staticcheck.baseline import apply_baseline, load_baseline
+
+        try:
+            entries = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"repro lint: unreadable baseline {args.baseline}: "
+                f"{exc}",
+                file=sys.stderr,
+            )
+            return 2
+        apply_baseline(result, entries, Path(args.baseline), base_dir)
+    if args.changed_from:
+        changed = _changed_python_files(args.changed_from)
+        if changed is None:
+            return 2
+        # The whole corpus is still analyzed (call-graph context), but
+        # only findings in changed files gate this run.  Stale-baseline
+        # findings always surface — they point at the baseline file.
+        result.diagnostics = [
+            d
+            for d in result.diagnostics
+            if d.rule_id == "BASELINE"
+            or Path(d.path).resolve() in changed
+        ]
     if args.format == "json":
         print(result.to_json())
+    elif args.format == "sarif":
+        from .staticcheck.sarif import render_sarif
+
+        print(render_sarif(result, base_dir))
     else:
         print(result.render_text())
+    if args.sarif_output:
+        from .staticcheck.sarif import render_sarif
+
+        Path(args.sarif_output).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        with open(args.sarif_output, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(result, base_dir))
+            fh.write("\n")
     if not result.ok:
         return 1
     if args.strict and not result.clean:
@@ -766,8 +860,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help=(
-            "static LOCAL-model conformance analysis (rules "
-            "LM001-LM009); exit 1 on error-severity findings"
+            "static LOCAL-model conformance analysis: pattern rules "
+            "LM001-LM009 plus the dataflow radius/determinism proofs "
+            "LM010/LM011; exit 1 on error-severity findings"
         ),
     )
     p.add_argument(
@@ -778,14 +873,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF "
+        "2.1.0 log for code-scanning upload",
+    )
+    p.add_argument(
+        "--sarif-output",
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 log here (independent of "
+        "--format)",
     )
     p.add_argument(
         "--strict",
         action="store_true",
         help="also exit 1 on warning-severity findings",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings inventory: matched findings are "
+        "demoted to the suppressed count; stale entries surface as "
+        "BASELINE warnings",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from this run's findings and "
+        "exit 0",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental result cache: a warm run over an unchanged "
+        "corpus replays the stored findings without re-analyzing",
+    )
+    p.add_argument(
+        "--changed-from",
+        metavar="REF",
+        help="gate only findings in .py files changed since the git "
+        "ref (the full corpus is still analyzed for call-graph "
+        "context)",
     )
     p.set_defaults(func=cmd_lint)
 

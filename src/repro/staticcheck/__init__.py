@@ -6,7 +6,16 @@ conformance over *all* paths.  It walks the algorithm packages, binds
 every :class:`~repro.core.algorithm.SyncAlgorithm` subclass to the
 model(s) it is executed under (via ``run_local`` call sites), computes
 the call-graph closure of each algorithm's entry points, and checks the
-LM rule set (LM001-LM006) over that node-level code.
+pattern LM rule set (LM001-LM009) over that node-level code.  On top of
+the pattern rules, the :mod:`.dataflow` subpackage lowers the same code
+to an IR and proves two semantic contracts by abstract interpretation:
+the information radius of every published value against the declared
+:class:`~repro.algorithms.drivers.DriverSpec` radius (rule LM010), and
+seed/iteration-order freedom of DetLOCAL outputs (rule LM011).
+Supporting modules: :mod:`.sarif` (SARIF 2.1.0 logs for code-scanning),
+:mod:`.baseline` (accepted-findings inventories with stale-entry
+expiry), and :mod:`.cache` (corpus-fingerprint incremental result
+cache).
 
 Typical use::
 
@@ -38,6 +47,9 @@ from .diagnostics import (
 )
 from .modules import ModuleInfo, load_module, parse_suppressions
 from .rules import RULES, RuleEngine
+
+# Heavier optional layers (.dataflow, .sarif, .baseline, .cache) are
+# imported lazily by their consumers; they re-export their own APIs.
 
 __all__ = [
     "AnalysisResult",

@@ -82,12 +82,69 @@ def load_corpus(paths: Iterable[PathLike]) -> List[ModuleInfo]:
     return modules
 
 
+#: Rule ids that may legitimately appear in ``# repro: ignore[...]``
+#: comments: the LM table plus the parse-failure pseudo-rule.
+_KNOWN_SUPPRESSIBLE = frozenset(RULES) | {"PARSE"}
+
+
+def _unknown_suppression_warnings(
+    modules: Sequence[ModuleInfo],
+) -> List[Diagnostic]:
+    """A suppression naming a rule id the analyzer does not know is a
+    typo waiting to un-suppress itself — warn instead of silently
+    accepting it (rule id ``SUPPRESS``, same pseudo-rule convention as
+    ``PARSE``)."""
+    warnings: List[Diagnostic] = []
+    for module in modules:
+        for line in sorted(module.suppressions):
+            unknown = sorted(
+                code
+                for code in module.suppressions[line]
+                if code != "*" and code not in _KNOWN_SUPPRESSIBLE
+            )
+            for code in unknown:
+                warnings.append(
+                    Diagnostic(
+                        rule_id="SUPPRESS",
+                        severity=Severity.WARNING,
+                        path=str(module.path),
+                        line=line,
+                        message=(
+                            f"suppression names unknown rule id "
+                            f"{code!r}; it suppresses nothing"
+                        ),
+                        hint=(
+                            "known rule ids: "
+                            + ", ".join(sorted(_KNOWN_SUPPRESSIBLE))
+                        ),
+                    )
+                )
+    return warnings
+
+
 def analyze_modules(modules: Sequence[ModuleInfo]) -> AnalysisResult:
     graph = CallGraph(modules)
     engine = RuleEngine(graph)
     by_path = {str(m.path): m for m in modules}
     result = AnalysisResult(files_analyzed=len(modules))
-    for diag in engine.run():
+    raw = engine.run()
+    # One defect, one rule: the dataflow effect pass skips findings
+    # whose root cause the pattern rules already reported.
+    flagged = {
+        (d.path, d.line)
+        for d in raw
+        if d.rule_id in ("LM001", "LM005")
+    }
+    from .dataflow import run_dataflow
+
+    raw = raw + run_dataflow(graph, engine.bindings, flagged)
+    unique: dict = {}
+    for diag in raw:
+        unique.setdefault((diag.rule_id, diag.path, diag.line), diag)
+    ordered = sorted(
+        unique.values(), key=lambda d: (d.path, d.line, d.rule_id)
+    ) + _unknown_suppression_warnings(modules)
+    for diag in ordered:
         module = by_path.get(diag.path)
         if module is not None and module.is_suppressed(
             diag.line, diag.rule_id

@@ -1,0 +1,166 @@
+"""Finding baselines: gradual adoption for new rules.
+
+A baseline is a committed JSON inventory of *accepted* findings.  When
+``repro lint --baseline FILE`` runs:
+
+- a surviving diagnostic that matches a baseline entry is demoted to
+  the suppressed list (reported in the summary, not gating) — the debt
+  is acknowledged, the gate stays green;
+- a baseline entry that no longer matches any diagnostic is **stale**
+  and surfaces as a warning-severity ``BASELINE`` finding pointing at
+  the baseline file: fixed debt must be deleted from the baseline, so
+  the inventory only ever shrinks.  Under ``--strict`` a stale entry
+  fails the gate — baselines cannot rot silently.
+
+Matching uses the same content fingerprint as the SARIF output (rule id
++ repo-relative path + source text of the flagged line), so entries
+survive pure code motion but expire when the offending line changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .analyzer import AnalysisResult
+from .diagnostics import Diagnostic, Severity
+from .sarif import _relative_uri, fingerprint
+
+#: Bumped when the baseline document layout changes.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule_id: str
+    #: repo-relative POSIX path (portable across checkouts).
+    path: str
+    fingerprint: str
+    #: informational only — matching ignores it (code moves).
+    line: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule_id, self.path, self.fingerprint)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; raises ``ValueError`` on malformed input
+    (a misread baseline silently accepting everything would be a hole
+    in the gate, so this is *not* best-effort)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != BASELINE_VERSION
+        or not isinstance(data.get("entries"), list)
+    ):
+        raise ValueError(
+            f"not a version-{BASELINE_VERSION} lint baseline: {path}"
+        )
+    entries = []
+    for raw in data["entries"]:
+        entries.append(
+            BaselineEntry(
+                rule_id=str(raw["rule_id"]),
+                path=str(raw["path"]),
+                fingerprint=str(raw["fingerprint"]),
+                line=int(raw.get("line", 0)),
+                message=str(raw.get("message", "")),
+            )
+        )
+    return entries
+
+
+def write_baseline(
+    path: Path,
+    result: AnalysisResult,
+    base_dir: Optional[Path] = None,
+) -> int:
+    """Write the current findings as the new accepted inventory.
+    Returns the number of entries written."""
+    entries = [
+        BaselineEntry(
+            rule_id=diag.rule_id,
+            path=_relative_uri(diag.path, base_dir),
+            fingerprint=fingerprint(diag, base_dir),
+            line=diag.line,
+            message=diag.message,
+        )
+        for diag in result.diagnostics
+    ]
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [e.to_dict() for e in sorted(
+            entries, key=lambda e: (e.path, e.line, e.rule_id)
+        )],
+    }
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    result: AnalysisResult,
+    entries: List[BaselineEntry],
+    baseline_path: Path,
+    base_dir: Optional[Path] = None,
+) -> AnalysisResult:
+    """Demote baselined findings and surface stale entries, in place."""
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        entry.key(): entry for entry in entries
+    }
+    matched: set = set()
+    surviving: List[Diagnostic] = []
+    for diag in result.diagnostics:
+        key = (
+            diag.rule_id,
+            _relative_uri(diag.path, base_dir),
+            fingerprint(diag, base_dir),
+        )
+        if key in by_key:
+            matched.add(key)
+            result.suppressed.append(diag)
+        else:
+            surviving.append(diag)
+    stale = [
+        entry for key, entry in sorted(by_key.items())
+        if key not in matched
+    ]
+    for entry in stale:
+        surviving.append(
+            Diagnostic(
+                rule_id="BASELINE",
+                severity=Severity.WARNING,
+                path=str(baseline_path),
+                line=entry.line,
+                message=(
+                    f"stale baseline entry: {entry.rule_id} at "
+                    f"{entry.path}:{entry.line} no longer occurs "
+                    f"({entry.message or 'finding fixed'})"
+                ),
+                hint=(
+                    "delete the entry (or regenerate with "
+                    "--update-baseline); baselines only ever shrink"
+                ),
+            )
+        )
+    result.diagnostics = sorted(
+        surviving, key=lambda d: (d.path, d.line, d.rule_id)
+    )
+    return result

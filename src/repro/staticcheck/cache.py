@@ -1,0 +1,181 @@
+"""Incremental result cache for the conformance analyzer.
+
+The dataflow passes are whole-corpus (call-graph edges, model bindings
+and DriverSpec contracts resolve across modules), so the sound cache
+granularity is the *corpus*: a warm run whose inputs are byte-identical
+to the cached run replays the stored result without parsing a single
+file.  Inputs are fingerprinted in two tiers:
+
+1. **per file**: an ``(mtime_ns, size)`` stat check decides whether the
+   stored content hash is still valid — unchanged files are never
+   re-read, so the warm path does one ``stat`` per file;
+2. **corpus**: the sorted ``(path, sha256)`` pairs, hashed together
+   with an analyzer salt.  The salt covers the analyzer's *own* source
+   (every ``.py`` file in :mod:`repro.staticcheck`) and the JSON schema
+   version, so editing a rule or a dataflow pass invalidates every
+   cache — a stale-analyzer replay can never mask a new finding.
+
+The cache file is a single JSON document; a missing, unreadable, or
+version-skewed cache degrades to a cold run (never an error — a gate
+that crashes on a bad cache is a gate that gets disabled).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .analyzer import (
+    AnalysisResult,
+    JSON_VERSION,
+    analyze_paths,
+)
+from .diagnostics import Diagnostic
+from .modules import discover_files
+
+#: Bumped when the cache document layout changes.
+CACHE_VERSION = 1
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def analyzer_salt() -> str:
+    """Content hash of the analyzer itself (this package's sources)
+    plus the output-schema version: any analyzer edit is a cache miss."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"json={JSON_VERSION};cache={CACHE_VERSION};".encode())
+    for source in sorted(package_dir.rglob("*.py")):
+        digest.update(source.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(_sha256_file(source).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _stat_key(path: Path) -> Optional[Tuple[int, int]]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _file_fingerprints(
+    files: Iterable[Path], stored: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """path -> {mtime_ns, size, sha} for every corpus file, reusing a
+    stored sha when the stat key matches (the warm fast path)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for file in files:
+        key = _stat_key(file)
+        if key is None:
+            continue
+        mtime_ns, size = key
+        entry = stored.get(str(file))
+        if (
+            entry is not None
+            and entry.get("mtime_ns") == mtime_ns
+            and entry.get("size") == size
+        ):
+            sha = str(entry["sha"])
+        else:
+            sha = _sha256_file(file)
+        out[str(file)] = {
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "sha": sha,
+        }
+    return out
+
+
+def corpus_key(
+    fingerprints: Dict[str, Dict[str, object]], salt: str
+) -> str:
+    digest = hashlib.sha256()
+    digest.update(salt.encode())
+    for path in sorted(fingerprints):
+        digest.update(path.encode())
+        digest.update(b"\x00")
+        digest.update(str(fingerprints[path]["sha"]).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _load_cache(cache_path: Path) -> Optional[Dict[str, object]]:
+    try:
+        with open(cache_path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    if data.get("cache_version") != CACHE_VERSION:
+        return None
+    return data
+
+
+def _result_from_cache(data: Dict[str, object]) -> AnalysisResult:
+    stored = data["result"]
+    assert isinstance(stored, dict)
+    return AnalysisResult(
+        diagnostics=[
+            Diagnostic.from_dict(d) for d in stored["diagnostics"]
+        ],
+        suppressed=[
+            Diagnostic.from_dict(d) for d in stored["suppressed"]
+        ],
+        files_analyzed=int(stored["files_analyzed"]),
+    )
+
+
+def cached_analyze(
+    paths: Iterable[object],
+    cache_path: Path,
+) -> Tuple[AnalysisResult, bool]:
+    """Analyze ``paths`` through the cache at ``cache_path``.
+
+    Returns ``(result, hit)`` — ``hit`` is True when the stored result
+    was replayed without running the analyzer.  The cache file is
+    rewritten on every miss (best-effort; write failures are ignored).
+    """
+    files: List[Path] = discover_files(Path(str(p)) for p in paths)
+    salt = analyzer_salt()
+    cached = _load_cache(Path(cache_path))
+    stored_files: Dict[str, Dict[str, object]] = {}
+    if cached is not None and isinstance(cached.get("files"), dict):
+        stored_files = cached["files"]  # type: ignore[assignment]
+    fingerprints = _file_fingerprints(files, stored_files)
+    key = corpus_key(fingerprints, salt)
+    if cached is not None and cached.get("corpus_key") == key:
+        try:
+            return _result_from_cache(cached), True
+        except (KeyError, TypeError, ValueError, AssertionError):
+            pass  # corrupt result payload: fall through to a cold run
+    result = analyze_paths(paths)
+    document = {
+        "cache_version": CACHE_VERSION,
+        "corpus_key": key,
+        "files": fingerprints,
+        "result": {
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+            "suppressed": [d.to_dict() for d in result.suppressed],
+            "files_analyzed": result.files_analyzed,
+        },
+    }
+    try:
+        Path(cache_path).parent.mkdir(parents=True, exist_ok=True)
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+    except OSError:
+        pass
+    return result, False

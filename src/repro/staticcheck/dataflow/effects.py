@@ -1,0 +1,128 @@
+"""The determinism effect check: rule LM011.
+
+A DetLOCAL algorithm is a *deterministic* function of the radius-t
+ball (PAPER.md §2): two runs on the same graph with the same IDs and
+inputs must produce bit-identical outputs.  The abstract interpreter
+(:mod:`.lattice`) tracks two effects that break that contract without
+ever calling a name LM001's pattern matcher knows:
+
+- ``SEED`` — the value was drawn from a *laundered* RNG object: a
+  ``random.Random``-style instance held in a module-level variable or
+  an instance attribute, so no ``random.*`` call appears in node code;
+- ``ORDER`` — the value's content depends on the arbitrary iteration
+  order of an unordered set (materializing a set with ``list``/
+  ``tuple``/``iter`` or binding its elements in a loop), which CPython
+  does not fix across hash-seed changes.
+
+LM011 fires when either effect reaches an observable sink
+(``publish``/``halt``/``sleep_until``/``fail``) or a recorded branch
+in a class bound or contract-declared as DET.  Findings whose root
+cause sits on a line the pattern rules (LM001/LM005) already reported
+are skipped, so each defect is reported by exactly one rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..bindings import DET
+from ..diagnostics import Diagnostic, RuleSpec
+from .lattice import (
+    ORDER,
+    SEED,
+    AbsVal,
+    ClassAnalysis,
+    _first_origin,
+)
+
+#: effect -> (what happened, how to fix it)
+_EFFECT_TEXT = {
+    SEED: (
+        "a value drawn from a laundered RNG object",
+        "DetLOCAL node code gets no random bits; delete the RNG or "
+        "register the driver under Model.RAND",
+    ),
+    ORDER: (
+        "a value that depends on unordered-set iteration order",
+        "materialize sets with sorted(...) before the order can reach "
+        "an output",
+    ),
+}
+
+
+def _describe(value: AbsVal, effect: str) -> str:
+    origin = _first_origin(value, effect)
+    if origin is None:
+        return ""
+    return f" ({origin.note} at line {origin.line})"
+
+
+def _root_line(
+    value: AbsVal, effect: str
+) -> Optional[Tuple[str, int]]:
+    origin = _first_origin(value, effect)
+    if origin is None:
+        return None
+    return (origin.path, origin.line)
+
+
+def check_effects(
+    analysis: ClassAnalysis,
+    flagged_lines: Optional[Set[Tuple[str, int]]] = None,
+    rules: Optional[Dict[str, RuleSpec]] = None,
+) -> Iterator[Diagnostic]:
+    """Rule LM011: seed/order effects reaching DetLOCAL outputs."""
+    if rules is None:
+        from ..rules import RULES as rules_table
+
+        rules = rules_table
+    if DET not in analysis.models:
+        return
+    spec = rules["LM011"]
+    flagged = flagged_lines or set()
+    algo = analysis.name
+    for sink in analysis.sinks:
+        for effect in (SEED, ORDER):
+            if effect not in sink.value.effects:
+                continue
+            root = _root_line(sink.value, effect)
+            if root is not None and root in flagged:
+                continue
+            what, hint = _EFFECT_TEXT[effect]
+            yield Diagnostic(
+                rule_id="LM011",
+                severity=spec.severity,
+                path=sink.path,
+                line=sink.line,
+                message=(
+                    f"DetLOCAL algorithm {algo!r} calls "
+                    f"ctx.{sink.kind}() on {what}"
+                    f"{_describe(sink.value, effect)}; the output is "
+                    "no longer a deterministic function of the "
+                    "radius-t ball"
+                ),
+                hint=hint,
+                chain=sink.chain,
+            )
+    for branch in analysis.branches:
+        for effect in (SEED, ORDER):
+            if effect not in branch.value.effects:
+                continue
+            root = _root_line(branch.value, effect)
+            if root is not None and root in flagged:
+                continue
+            what, hint = _EFFECT_TEXT[effect]
+            yield Diagnostic(
+                rule_id="LM011",
+                severity=spec.severity,
+                path=branch.path,
+                line=branch.line,
+                message=(
+                    f"DetLOCAL algorithm {algo!r} branches on {what}"
+                    f"{_describe(branch.value, effect)}; control flow "
+                    "is no longer a deterministic function of the "
+                    "radius-t ball"
+                ),
+                hint=hint,
+                chain=branch.chain,
+            )

@@ -1,0 +1,277 @@
+"""Static recovery of declared LOCAL-model contracts.
+
+The runtime side declares what each driver *claims* in two places:
+
+- ``DriverSpec(...)`` registry entries in
+  :mod:`repro.algorithms.drivers` — name, DET/RAND model, the LCL
+  problem certified against, and the declared round bound / information
+  radius labels;
+- ``subject_from_algorithm(Cls, name=..., model=..., problem=...)``
+  call sites in the verify harness and its tests.
+
+This module parses both *without importing them* and maps every
+contract to the algorithm classes whose node code implements it, by
+following the spec's ``invoke`` closure through the call graph to the
+``run_local`` sites it reaches.  The dataflow passes then check each
+class's inferred information radius and determinism effects against its
+declared contract (rules LM010/LM011).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bindings import (
+    _algorithm_arg,
+    _local_constructor_assignments,
+    _model_of,
+    _resolve_algorithm_expr,
+)
+from ..callgraph import CallGraph
+from ..modules import ModuleInfo
+
+#: LCL problems that *require* symmetry breaking: no 0-round (radius-0)
+#: algorithm solves them on any graph with an edge, by Linial's lower
+#: bound (PAPER.md §2) — so a driver declaring one of these whose node
+#: program halts on a radius-0 function of the ID contradicts its own
+#: contract.
+SYMMETRY_BREAKING_LCLS = frozenset(
+    {
+        "KColoring",
+        "ProperColoring",
+        "MaximalIndependentSet",
+        "MaximalMatching",
+        "SinklessOrientation",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One declared driver/subject contract, statically recovered."""
+
+    #: registry key / subject name.
+    driver: str
+    #: "driver-spec" or "subject".
+    kind: str
+    #: "DET" / "RAND" when statically resolvable.
+    model: Optional[str]
+    #: LCL class name the labeling is certified against, if declared.
+    problem: Optional[str]
+    bound_label: str
+    radius_label: str
+    #: declaration site, for diagnostics.
+    module: str
+    line: int
+    #: algorithm classes implementing this contract.
+    classes: Tuple[str, ...]
+
+
+def _func_leaf(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _const_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _problem_name(node: Optional[ast.expr]) -> Optional[str]:
+    """LCL class name out of ``problem=lambda g: KColoring(3)`` (or a
+    bare class reference)."""
+    if node is None:
+        return None
+    expr: ast.expr = node
+    if isinstance(expr, ast.Lambda):
+        expr = expr.body
+    if isinstance(expr, ast.Call):
+        return _func_leaf(expr.func)
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        return _func_leaf(expr)
+    return None
+
+
+def _run_local_classes(
+    scope: ast.AST, graph: CallGraph, module: ModuleInfo
+) -> Set[str]:
+    """Algorithm classes passed to ``run_local`` inside ``scope``."""
+    classes: Set[str] = set()
+    local_ctors = _local_constructor_assignments(scope, graph, module)
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        if _func_leaf(node.func) != "run_local":
+            continue
+        algo_expr = _algorithm_arg(node)
+        if algo_expr is None:
+            continue
+        cls = _resolve_algorithm_expr(
+            algo_expr, graph, module, local_ctors
+        )
+        if cls is not None:
+            classes.add(cls)
+    return classes
+
+
+def _called_corpus_keys(
+    scope: ast.AST, graph: CallGraph, module: ModuleInfo
+) -> Set[str]:
+    """Corpus call-graph keys of functions called inside ``scope``
+    (directly by name or as ``module.function``)."""
+    keys: Set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = graph._resolve_name_call(func.id, module)
+            if target is not None:
+                keys.add(target)
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            origin = module.import_origin(func.value.id)
+            if not origin:
+                continue
+            for other in graph.modules:
+                if other.name == origin or other.name.endswith(
+                    "." + origin.rpartition(".")[2]
+                ):
+                    if func.attr in other.functions:
+                        keys.add(f"{other.name}:{func.attr}")
+                        break
+    return keys
+
+
+def _classes_from_invoke(
+    fn_node: ast.AST, graph: CallGraph, module: ModuleInfo
+) -> Set[str]:
+    """All algorithm classes an ``invoke`` closure can run: the
+    ``run_local`` sites in the closure itself plus in everything the
+    closure reaches through the corpus call graph (lazy in-function
+    imports included — the module import table covers them)."""
+    classes = _run_local_classes(fn_node, graph, module)
+    seeds = _called_corpus_keys(fn_node, graph, module)
+    for key, _chain in graph.reachable_from(sorted(seeds)).items():
+        _info, node, owner = graph.function(key)
+        classes |= _run_local_classes(node, graph, owner)
+    return classes
+
+
+def _local_function_defs(
+    tree: ast.Module,
+) -> Dict[str, List[ast.AST]]:
+    """Every FunctionDef in the module (including nested closures like
+    registry ``invoke`` functions), by bare name."""
+    defs: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, []).append(node)
+    return defs
+
+
+def _spec_contract(
+    call: ast.Call, graph: CallGraph, module: ModuleInfo,
+    local_defs: Dict[str, List[ast.AST]],
+) -> Optional[Contract]:
+    kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+    name = _const_str(kwargs.get("name"))
+    if name is None:
+        return None
+    model_expr = kwargs.get("model")
+    model = _model_of(model_expr) if model_expr is not None else None
+    bound_label = _const_str(kwargs.get("bound_label")) or ""
+    radius_label = (
+        _const_str(kwargs.get("radius_label")) or bound_label
+    )
+    classes: Set[str] = set()
+    invoke = kwargs.get("invoke")
+    if isinstance(invoke, ast.Name):
+        for fn_node in local_defs.get(invoke.id, []):
+            classes |= _classes_from_invoke(fn_node, graph, module)
+        target = graph._resolve_name_call(invoke.id, module)
+        if target is not None:
+            _info, node, owner = graph.function(target)
+            classes |= _classes_from_invoke(node, graph, owner)
+    return Contract(
+        driver=name,
+        kind="driver-spec",
+        model=model,
+        problem=_problem_name(kwargs.get("problem")),
+        bound_label=bound_label,
+        radius_label=radius_label,
+        module=module.name,
+        line=call.lineno,
+        classes=tuple(sorted(classes)),
+    )
+
+
+def _subject_contract(
+    call: ast.Call, graph: CallGraph, module: ModuleInfo
+) -> Optional[Contract]:
+    if not call.args:
+        return None
+    algo = call.args[0]
+    cls_name: Optional[str] = None
+    if isinstance(algo, (ast.Name, ast.Attribute)):
+        leaf = _func_leaf(algo)
+        if leaf is not None:
+            cinfo = graph.resolve_class(leaf, module)
+            cls_name = cinfo.name if cinfo is not None else leaf
+    if cls_name is None:
+        return None
+    kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+    model_expr = kwargs.get("model")
+    return Contract(
+        driver=_const_str(kwargs.get("name")) or cls_name,
+        kind="subject",
+        model=_model_of(model_expr) if model_expr is not None else None,
+        problem=_problem_name(kwargs.get("problem")),
+        bound_label="",
+        radius_label="",
+        module=module.name,
+        line=call.lineno,
+        classes=(cls_name,),
+    )
+
+
+def extract_contracts(graph: CallGraph) -> List[Contract]:
+    """All statically recoverable contracts in the corpus."""
+    contracts: List[Contract] = []
+    for module in graph.modules:
+        local_defs: Optional[Dict[str, List[ast.AST]]] = None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            leaf = _func_leaf(node.func)
+            if leaf == "DriverSpec":
+                if local_defs is None:
+                    local_defs = _local_function_defs(module.tree)
+                contract = _spec_contract(
+                    node, graph, module, local_defs
+                )
+                if contract is not None:
+                    contracts.append(contract)
+            elif leaf == "subject_from_algorithm":
+                contract = _subject_contract(node, graph, module)
+                if contract is not None:
+                    contracts.append(contract)
+    return contracts
+
+
+def contracts_by_class(
+    contracts: Sequence[Contract],
+) -> Dict[str, List[Contract]]:
+    """class name -> contracts whose implementation includes it."""
+    out: Dict[str, List[Contract]] = {}
+    for contract in contracts:
+        for cls in contract.classes:
+            out.setdefault(cls, []).append(contract)
+    return out

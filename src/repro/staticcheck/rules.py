@@ -25,7 +25,17 @@ LM008     warning   observer callbacks mutating ctx/graph state
 LM009     warning   node code swallowing injected faults (bare
                     ``except:`` or handlers naming Exception /
                     FaultEvent-family bases)
+LM010     error     inferred information radius exceeds the declared
+                    one (dataflow pass, :mod:`.dataflow.lattice`)
+LM011     error     DetLOCAL output depends on a laundered seed or on
+                    unordered-set iteration order (dataflow pass,
+                    :mod:`.dataflow.effects`)
 ========  ========  ====================================================
+
+LM010/LM011 are produced by the dataflow passes in
+:mod:`repro.staticcheck.dataflow`, not by :class:`RuleEngine`; their
+specs live in :data:`RULES` so severity, suppression, and reporting are
+uniform across all rules.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import ast
 from dataclasses import dataclass
 from typing import (
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -126,6 +137,28 @@ RULES: Dict[str, RuleSpec] = {
             "except in step() silently converts an injected fault "
             "into wrong algorithm behavior (docs/robustness.md).",
         ),
+        RuleSpec(
+            "LM010",
+            Severity.ERROR,
+            "inferred information radius exceeds the declared bound",
+            "a t-round LOCAL algorithm is exactly a function of the "
+            "radius-t ball (PAPER.md §2); a value routed through a "
+            "channel the model does not have (shared instance "
+            "attributes written from node code), or a 0-round "
+            "ID-dependent output for a symmetry-breaking LCL "
+            "(Linial's lower bound), contradicts the DriverSpec-"
+            "declared radius.",
+        ),
+        RuleSpec(
+            "LM011",
+            Severity.ERROR,
+            "DetLOCAL output depends on seed or iteration order",
+            "a DET-registered driver must compute a deterministic "
+            "function of the radius-t ball; a draw from a laundered "
+            "RNG object or unordered-set iteration order reaching an "
+            "output makes two runs diverge, voiding the deterministic "
+            "round-count claims (Theorems 3-5).",
+        ),
     )
 }
 
@@ -192,7 +225,11 @@ _NONDET_MODULES = {
     "datetime": {"now", "utcnow", "today"},
 }
 
-_RANDOM_MODULES = ("random", "secrets")
+#: Dotted module prefixes whose contents are randomness sources.  The
+#: match is prefix-aware on the *resolved* dotted origin, so aliased
+#: submodule imports (``import numpy.random as nr``) and aliased
+#: from-imports (``from random import random as r``) both resolve here.
+_RANDOM_MODULES = ("random", "secrets", "numpy.random")
 
 _MUTATORS = {
     "append",
@@ -360,8 +397,13 @@ class RuleEngine:
             elif isinstance(node, ast.Name) and node.id in site.ctx_names:
                 continue
             elif isinstance(node, (ast.Name, ast.Attribute)):
-                origin = _module_origin(node, site.module)
-                if origin in _RANDOM_MODULES:
+                dotted = _resolved_dotted(node, site.module)
+                origin = (
+                    _matches_module(dotted, _RANDOM_MODULES)
+                    if dotted is not None
+                    else None
+                )
+                if origin is not None:
                     yield self._emit(
                         "LM001",
                         site,
@@ -527,16 +569,25 @@ class RuleEngine:
             if isinstance(node, ast.Call) and isinstance(
                 node.func, ast.Attribute
             ):
-                base = node.func.value
-                if isinstance(base, ast.Name):
-                    origin = site.module.import_origin(base.id) or base.id
-                    allowed = _NONDET_MODULES.get(origin)
-                    if allowed and node.func.attr in allowed:
+                # Resolve the full dotted receiver chain so aliased
+                # from-imports (``from datetime import datetime as
+                # dt; dt.now()``) and dotted chains (``import datetime
+                # as d; d.datetime.now()``) land on the same origin as
+                # the plain spelling.
+                dotted = _resolved_dotted(node.func, site.module)
+                if dotted is None and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    dotted = f"{node.func.value.id}.{node.func.attr}"
+                if dotted is not None:
+                    receiver, _, leaf = dotted.rpartition(".")
+                    mod = _matches_module(receiver, _NONDET_MODULES)
+                    if mod is not None and leaf in _NONDET_MODULES[mod]:
                         yield self._emit(
                             "LM005",
                             site,
                             node,
-                            f"{origin}.{node.func.attr}() called in "
+                            f"{dotted}() called in "
                             f"DetLOCAL node code of {algo!r} "
                             "(nondeterministic across runs)",
                             "deterministic node code may only depend "
@@ -841,25 +892,36 @@ def _store_root_name(target: ast.expr) -> Optional[str]:
     return None
 
 
-def _module_origin(
+def _resolved_dotted(
     node: ast.AST, module: ModuleInfo
 ) -> Optional[str]:
-    """Root module a Name/Attribute expression resolves to via imports
-    (``random.Random`` -> 'random'; ``randrange`` imported from random
-    -> 'random')."""
-    if isinstance(node, ast.Attribute):
-        root = node
-        while isinstance(root, ast.Attribute):
-            root = root.value
-        if isinstance(root, ast.Name):
-            origin = module.import_origin(root.id)
-            if origin:
-                return origin.split(".")[0]
+    """Full dotted path of a Name/Attribute chain with the root alias
+    resolved through the module's import table: ``nr.random`` under
+    ``import numpy.random as nr`` -> 'numpy.random.random'; ``r`` under
+    ``from random import random as r`` -> 'random.random'.  None when
+    the root is not an imported name."""
+    parts: List[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
         return None
-    if isinstance(node, ast.Name):
-        origin = module.import_origin(node.id)
-        if origin:
-            return origin.split(".")[0]
+    origin = module.import_origin(current.id)
+    if not origin:
+        return None
+    return ".".join([origin] + list(reversed(parts)))
+
+
+def _matches_module(
+    dotted: str, modules: Iterable[str]
+) -> Optional[str]:
+    """The entry of ``modules`` that ``dotted`` resolves into — an
+    exact match or a dotted-prefix match ('numpy.random.random' is
+    inside 'numpy.random' but 'numpy.randomize' is not)."""
+    for mod in modules:
+        if dotted == mod or dotted.startswith(mod + "."):
+            return mod
     return None
 
 
@@ -912,6 +974,10 @@ def _now_tainted_names(
                 targets, value = node.targets, node.value
             elif isinstance(node, ast.AugAssign):
                 targets, value = [node.target], node.value
+            elif isinstance(node, ast.NamedExpr):
+                # Walrus bindings taint like assignments: the bound
+                # name escapes the expression into the enclosing scope.
+                targets, value = [node.target], node.value
             if value is None:
                 continue
             if not _mentions_now(value, ctx_names, tainted):
@@ -939,17 +1005,51 @@ def _plain_target_names(target: ast.expr) -> List[str]:
     return []
 
 
+_COMPREHENSIONS = (
+    ast.ListComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.DictComp,
+)
+
+
 def _mentions_now(
     node: ast.AST, ctx_names: Set[str], tainted: Set[str]
 ) -> bool:
-    for sub in ast.walk(node):
-        if (
-            isinstance(sub, ast.Attribute)
-            and sub.attr == "now"
-            and isinstance(sub.value, ast.Name)
-            and sub.value.id in ctx_names
-        ):
-            return True
-        if isinstance(sub, ast.Name) and sub.id in tainted:
-            return True
-    return False
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "now"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ctx_names
+    ):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, _COMPREHENSIONS):
+        # Comprehension targets are a fresh scope: a target shadowing
+        # a tainted outer name is clean inside the comprehension (the
+        # iterables themselves evaluate in the enclosing scope, so a
+        # tainted iterable still taints the whole expression).
+        for gen in node.generators:
+            if _mentions_now(gen.iter, ctx_names, tainted):
+                return True
+        bound = {
+            name
+            for gen in node.generators
+            for name in _plain_target_names(gen.target)
+        }
+        inner = tainted - bound
+        body: List[ast.expr] = [
+            cond for gen in node.generators for cond in gen.ifs
+        ]
+        if isinstance(node, ast.DictComp):
+            body.extend([node.key, node.value])
+        else:
+            body.append(node.elt)
+        return any(
+            _mentions_now(part, ctx_names, inner) for part in body
+        )
+    return any(
+        _mentions_now(child, ctx_names, tainted)
+        for child in ast.iter_child_nodes(node)
+    )

@@ -1,0 +1,30 @@
+"""Aliased-import randomness: the LM001 blind-spot regressions.
+
+``from random import random as r`` hides the module name behind a
+bare call; ``import numpy.random as nr`` hides it behind a submodule
+alias whose dotted origin does not *start* with 'random'.  Both must
+resolve through the import table to a randomness module.
+
+Never imported — analyzed as source by tests/test_staticcheck.py.
+"""
+
+import numpy.random as nr
+from random import random as r
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class AliasedRandom(SyncAlgorithm):
+    name = "aliased-random"
+
+    def setup(self, ctx):
+        ctx.publish(r())  # seeded: from-import alias
+
+    def step(self, ctx, inbox):
+        ctx.halt(nr.random())  # seeded: submodule alias
+
+
+def driver(graph):
+    run_local(graph, AliasedRandom(), Model.DET)

@@ -1,0 +1,51 @@
+"""Seeded LM010 violations: information radius above the contract.
+
+Never imported — analyzed as source by tests/test_staticcheck_dataflow.py.
+"""
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+from repro.lcl import KColoring
+from repro.verify import subject_from_algorithm
+
+
+class SharedScan(SyncAlgorithm):
+    """Routes information through an instance attribute — a channel
+    the LOCAL model does not have (the algorithm object is shared by
+    every vertex)."""
+
+    name = "shared-scan"
+
+    def __init__(self):
+        self._rank = 0
+
+    def setup(self, ctx):
+        ctx.publish(ctx.id)
+
+    def step(self, ctx, inbox):
+        self._rank += 1
+        ctx.halt(self._rank)  # seeded: unbounded radius via self._rank
+
+
+class ZeroRound(SyncAlgorithm):
+    """Halts on a bare ID under a symmetry-breaking contract."""
+
+    name = "zero-round"
+
+    def setup(self, ctx):
+        ctx.halt(ctx.id % 5)  # seeded: 0-round symmetry breaking
+
+
+def driver(graph):
+    run_local(graph, SharedScan(), Model.DET)
+    run_local(graph, ZeroRound(), Model.DET)
+
+
+def subject():
+    return subject_from_algorithm(
+        ZeroRound,
+        name="zero-round",
+        model=Model.DET,
+        problem=lambda g: KColoring(5),
+    )

@@ -1,0 +1,43 @@
+"""Seeded LM011 violations: laundered nondeterminism in DetLOCAL.
+
+Neither class calls a name the LM001/LM005 pattern matchers know —
+only the effect system sees the seed and order dependencies.
+
+Never imported — analyzed as source by tests/test_staticcheck_dataflow.py.
+"""
+
+import random
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+#: Module-level RNG: node code never mentions ``random.*`` directly.
+_HIDDEN = random.Random(1234)
+
+
+class LaunderedSeed(SyncAlgorithm):
+    name = "laundered-seed"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.halt(_HIDDEN.getrandbits(8))  # seeded: SEED effect
+
+
+class OrderLeak(SyncAlgorithm):
+    name = "order-leak"
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        bag = set(inbox)
+        first = list(bag)[0]  # the ORDER effect originates here...
+        ctx.halt(first)  # seeded: ...and is reported at the sink
+
+
+def driver(graph):
+    run_local(graph, LaunderedSeed(), Model.DET)
+    run_local(graph, OrderLeak(), Model.DET)
