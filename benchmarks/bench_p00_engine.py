@@ -9,7 +9,11 @@ experiment runs on.  Two workloads from :mod:`repro.analysis.perf`:
   reference engine by >= 3x;
 - a scaled-down separation sweep, serial vs ``workers=N`` pool, whose
   parallel Series must be bit-identical to the serial one (enforced by
-  ``sweep_metrics``, which raises on divergence).
+  ``sweep_metrics``, which raises on divergence);
+- a per-backend ColorBidding smoke (``backend_engine_metrics``), which
+  raises when any registered backend diverges from the fast engine and
+  records the vectorized backend's speedup when the ``[perf]`` extra
+  is installed (skipped, never failed, without it).
 
 The parallel wall-clock check is gated on the host's core count: on a
 single-core box a process pool cannot beat serial, and the record
@@ -21,13 +25,18 @@ to this smoke test.
 import os
 
 from repro.analysis import ExperimentRecord, Series
-from repro.analysis.perf import engine_sleepheavy_metrics, sweep_metrics
+from repro.analysis.perf import (
+    backend_engine_metrics,
+    engine_sleepheavy_metrics,
+    sweep_metrics,
+)
 
 ENGINE_N = 10_000
 ENGINE_CLASSES = 400
 SWEEP_WORKERS = 4
 SWEEP_SIZES = (100, 400)
 SWEEP_SEEDS = (0, 1, 2)
+BACKEND_N = 10_000
 
 
 def run_experiment(workers=None) -> ExperimentRecord:
@@ -78,6 +87,35 @@ def run_experiment(workers=None) -> ExperimentRecord:
         f"sweep parallel speedup: {sweep['parallel_speedup']:.2f}x "
         f"with workers={workers} on {cpus} cpu(s)"
     )
+
+    # backend_engine_metrics raises AssertionError when any available
+    # backend's outputs diverge from the fast engine's, so reaching
+    # the check line proves the bit-identity contract for this run.
+    backends = backend_engine_metrics(n=BACKEND_N, repeats=1)
+    backend_series = Series("backend rounds*nodes/sec (ColorBidding)")
+    for index, (name, timing) in enumerate(sorted(backends.items())):
+        backend_series.add(index, [timing["rounds_nodes_per_sec"]])
+        record.note(
+            f"backend {name}: {timing['seconds']:.3f}s "
+            f"({timing['speedup_vs_fast']:.2f}x vs fast) at "
+            f"n={BACKEND_N}"
+        )
+    record.add_series(backend_series)
+    record.check(
+        "every available backend bit-identical to fast", True
+    )
+    if "vectorized" in backends:
+        # Smoke floor only — the headline >= 5x criterion lives at
+        # n = 10^6 in the committed baseline (repro bench --full).
+        record.check(
+            "vectorized backend at least keeps pace at smoke size",
+            backends["vectorized"]["speedup_vs_fast"] >= 0.5,
+        )
+    else:
+        record.note(
+            "vectorized backend unavailable ([perf] extra not "
+            "installed) — smoke skipped"
+        )
     return record
 
 

@@ -143,7 +143,11 @@ class ColorBiddingAlgorithm(SyncAlgorithm):
             bid = {choices[rng.randrange(len(choices))]}
         else:
             p = min(1.0, c_i / len(palette))
-            bid = {color for color in palette if rng.random() < p}
+            # Ascending color order pins the per-vertex draw sequence —
+            # the vectorized kernel replays these exact draws.
+            bid = {
+                color for color in sorted(palette) if rng.random() < p
+            }
         ctx.state["bid"] = bid
         ctx.state["phase"] = "resolve"
         ctx.publish(("bid", bid))

@@ -35,6 +35,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.backend import current_backend_name, get_backend, use_backend
 from ..core.errors import AlgorithmFailure, TelemetryError
 from .resilience import CellOutcome, SweepJournal, retry_seed
 
@@ -174,20 +175,28 @@ def _attempt(
     effective_seed: int,
     measure: Callable[[float, int], float],
     observer_factory: Optional[Callable[[], Any]],
+    backend: str,
 ) -> Tuple[float, Any]:
     """One measurement attempt; returns ``(value, observer)``.
 
     ``AlgorithmFailure`` and genuine bugs propagate to the caller —
     retry policy is the caller's business, not the attempt's.
+
+    ``backend`` is the sweep's resolved engine backend, re-attached
+    ambiently around the measurement so every ``run_local`` call it
+    makes — serial or inside a forked pool worker — uses the same
+    engine (the name travels to children as a plain string, never as
+    inherited mutable scope state).
     """
     observer = observer_factory() if observer_factory is not None else None
     if observer is not None:
         _check_observer(observer)
     if observer is None:
-        return float(measure(x, effective_seed)), None
+        with use_backend(backend):
+            return float(measure(x, effective_seed)), None
     from ..core.engine import observe_runs
 
-    with observe_runs(observer):
+    with use_backend(backend), observe_runs(observer):
         value = float(measure(x, effective_seed))
     return value, observer
 
@@ -203,8 +212,15 @@ def run_sweep(
     retries: int = 0,
     timeout: Optional[float] = None,
     journal: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
+
+    ``backend`` pins the engine backend every cell runs under
+    (default: the ambient selection at call time, resolved once so
+    pooled workers cannot drift from the parent).  The resolved name is
+    part of the journal fingerprint — resuming a journaled sweep under
+    a different backend is refused rather than silently mixing engines.
 
     With ``skip_failures`` (for randomized algorithms with a declared
     failure mode), runs that raise :class:`AlgorithmFailure` are
@@ -255,6 +271,10 @@ def run_sweep(
         raise ValueError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
+    effective_backend = (
+        backend if backend is not None else current_backend_name()
+    )
+    get_backend(effective_backend)  # fail fast on unknown names
     cells = [(x, seed) for x in xs for seed in seeds]
     sweep_journal = None
     if journal is not None:
@@ -269,6 +289,7 @@ def run_sweep(
                 "skip_failures": skip_failures,
                 "telemetry": observer_factory is not None,
                 "cells": len(cells),
+                "backend": effective_backend,
             },
         )
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
@@ -299,6 +320,7 @@ def run_sweep(
                 done,
                 outcomes,
                 summaries,
+                effective_backend,
             )
         else:
             assert workers is not None
@@ -315,6 +337,7 @@ def run_sweep(
                 done,
                 outcomes,
                 summaries,
+                effective_backend,
             )
     finally:
         if sweep_journal is not None:
@@ -352,6 +375,7 @@ def _run_serial(
     done: Dict[int, Any],
     outcomes: List[Optional[CellOutcome]],
     summaries: List[Any],
+    backend: str,
 ) -> None:
     """Evaluate cells inline, in grid order, with bounded retries."""
     for index, (x, seed) in enumerate(cells):
@@ -362,7 +386,7 @@ def _run_serial(
             effective = retry_seed(seed, attempt)
             try:
                 value, observer = _attempt(
-                    x, effective, measure, observer_factory
+                    x, effective, measure, observer_factory, backend
                 )
             except AlgorithmFailure as exc:
                 if attempt < retries:
@@ -400,6 +424,7 @@ def _run_pooled(
     done: Dict[int, Any],
     outcomes: List[Optional[CellOutcome]],
     summaries: List[Any],
+    backend: str,
 ) -> None:
     """Fan cells out to the resilient process-per-cell fork pool."""
     from .resilience import run_cells_resilient
@@ -411,7 +436,11 @@ def _run_pooled(
         try:
             try:
                 value, observer = _attempt(
-                    x, retry_seed(seed, attempt), measure, observer_factory
+                    x,
+                    retry_seed(seed, attempt),
+                    measure,
+                    observer_factory,
+                    backend,
                 )
             except AlgorithmFailure as exc:
                 # Declared failures cross the pipe as strings — fault

@@ -204,6 +204,120 @@ def tracing_overhead_metrics(
     }
 
 
+def _color_bidding_workload(n: int, delta: int, seed: int):
+    """Graph + run_local kwargs of the E5-style ColorBidding workload
+    (Theorem 10 Phase 1) every backend is timed on."""
+    import random
+
+    from ..algorithms.rand_tree_coloring import (
+        ColorBiddingAlgorithm,
+        ColorBiddingConfig,
+        reserved_colors,
+    )
+    from ..graphs.generators import random_tree_bounded_degree
+
+    graph = random_tree_bounded_degree(
+        n, delta, random.Random(1000 * seed + n)
+    )
+    kwargs = {
+        "seed": seed,
+        "global_params": {
+            "config": ColorBiddingConfig(),
+            "main_palette": delta - reserved_colors(delta),
+        },
+    }
+    return graph, ColorBiddingAlgorithm(), kwargs
+
+
+def backend_engine_metrics(
+    n: int = 20_000,
+    delta: int = 9,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict[str, Dict[str, float]]:
+    """Per-backend timing of the ColorBidding workload.
+
+    One sub-dict per *available* backend: wall seconds, rounds·nodes/sec
+    throughput, and speedup over the fast engine.  Asserts the backend
+    contract en passant — every backend must produce the fast engine's
+    exact outputs on this workload.
+    """
+    from ..core.backend import available_backend_names, use_backend
+
+    graph, algorithm, kwargs = _color_bidding_workload(n, delta, seed)
+    results: Dict[str, Any] = {}
+    timings: Dict[str, Dict[str, float]] = {}
+    for name in available_backend_names():
+        def run() -> None:
+            with use_backend(name):
+                results[name] = run_local(
+                    graph, algorithm, Model.RAND, **kwargs
+                )
+
+        seconds = _time_best(run, repeats)
+        timings[name] = {
+            "n": float(n),
+            "seconds": seconds,
+            "rounds_nodes_per_sec": results[name].rounds * n / seconds,
+        }
+    fast = results["fast"]
+    for name, result in results.items():
+        if result.outputs != fast.outputs or result.rounds != fast.rounds:
+            raise AssertionError(
+                f"backend {name!r} diverged from the fast engine on "
+                "the ColorBidding workload — the bit-identity "
+                "contract is broken"
+            )
+        timings[name]["speedup_vs_fast"] = (
+            timings["fast"]["seconds"] / timings[name]["seconds"]
+        )
+    return timings
+
+
+def e5_vectorized_metrics(
+    n: int = 1_000_000,
+    delta: int = 9,
+    seed: int = 0,
+) -> Optional[Dict[str, float]]:
+    """The tentpole measurement: E5 shattering at n = 10⁶, vectorized
+    vs fast, single run each (the fast engine alone takes minutes).
+
+    Returns None when the vectorized backend is unavailable.  Gated
+    behind ``repro bench --full`` — this is the number the committed
+    baseline records, not a per-CI-run workload.
+    """
+    from ..core.backend import available_backend_names
+
+    if "vectorized" not in available_backend_names():
+        return None
+    graph, algorithm, kwargs = _color_bidding_workload(n, delta, seed)
+
+    start = time.perf_counter()
+    vec = run_local(
+        graph, algorithm, Model.RAND, backend="vectorized", **kwargs
+    )
+    vec_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = run_local(graph, algorithm, Model.RAND, **kwargs)
+    fast_seconds = time.perf_counter() - start
+
+    if fast.outputs != vec.outputs:
+        raise AssertionError(
+            "vectorized E5 outputs diverged from the fast engine at "
+            f"n={n} — the bit-identity contract is broken"
+        )
+    return {
+        "n": float(n),
+        "rounds": float(vec.rounds),
+        "fast_seconds": fast_seconds,
+        "vectorized_seconds": vec_seconds,
+        "fast_rounds_nodes_per_sec": fast.rounds * n / fast_seconds,
+        "vectorized_rounds_nodes_per_sec": vec.rounds * n / vec_seconds,
+        "speedup_vs_fast": fast_seconds / vec_seconds,
+    }
+
+
 def _sweep_measure(n: float, seed: int) -> float:
     """One E3-style sweep cell: randomized Δ=9 tree coloring rounds."""
     from ..algorithms import pettie_su_tree_coloring
@@ -260,17 +374,22 @@ def sweep_metrics(
 def run_perf_suite(
     workers: int = 4,
     include_reference: bool = True,
+    full: bool = False,
 ) -> Dict[str, Any]:
     """Run every perf workload and package a baseline-shaped report.
 
     ``metrics`` maps name -> ``{"value": raw, "normalized": raw /
     calibration}`` for throughputs; ratios carry ``"normalized": None``
-    (they are machine-independent already).
+    (they are machine-independent already).  ``full`` adds the
+    n = 10⁶ E5 vectorized-vs-fast measurement (minutes of wall clock;
+    baselines committed to the repo should be recorded with it).
     """
     ops_per_sec = calibrate_ops_per_sec()
     engine = engine_sleepheavy_metrics(include_reference=include_reference)
     tracing = tracing_overhead_metrics()
     sweep = sweep_metrics(workers=workers)
+    backends = backend_engine_metrics()
+    e5_full = e5_vectorized_metrics() if full else None
 
     def throughput(value: float) -> Dict[str, Optional[float]]:
         return {"value": value, "normalized": value / ops_per_sec * 1e6}
@@ -302,6 +421,32 @@ def run_perf_suite(
         metrics["engine_sleepheavy_speedup_vs_reference"] = ratio(
             engine["speedup_vs_reference"]
         )
+    # One comparison row per registered-and-available backend; a
+    # baseline recorded with the [perf] extra keeps its vectorized rows
+    # when compared on a numpy-less host (absent metrics never gate).
+    for name, timing in sorted(backends.items()):
+        metrics[f"backend_{name}_rounds_nodes_per_sec"] = throughput(
+            timing["rounds_nodes_per_sec"]
+        )
+        if name != "fast":
+            metrics[f"backend_{name}_speedup_vs_fast"] = ratio(
+                timing["speedup_vs_fast"]
+            )
+    if e5_full is not None:
+        metrics["e5_1e6_vectorized_rounds_nodes_per_sec"] = throughput(
+            e5_full["vectorized_rounds_nodes_per_sec"]
+        )
+        metrics["e5_1e6_vectorized_speedup_vs_fast"] = ratio(
+            e5_full["speedup_vs_fast"]
+        )
+    raw = {
+        "engine_sleepheavy": engine,
+        "tracing_overhead": tracing,
+        "sweep": sweep,
+        "backends": backends,
+    }
+    if e5_full is not None:
+        raw["e5_1e6_vectorized"] = e5_full
     return {
         "version": BASELINE_VERSION,
         "recorded": {
@@ -311,11 +456,7 @@ def run_perf_suite(
         },
         "calibration_ops_per_sec": ops_per_sec,
         "metrics": metrics,
-        "raw": {
-            "engine_sleepheavy": engine,
-            "tracing_overhead": tracing,
-            "sweep": sweep,
-        },
+        "raw": raw,
     }
 
 

@@ -1,0 +1,496 @@
+"""The ``"vectorized"`` backend: whole rounds as numpy kernels.
+
+Instead of stepping vertices one Python call at a time, this backend
+executes each communication round as a handful of array operations over
+the CSR adjacency from :func:`repro.core.engine.flat_adjacency`:
+inbox *gathers* become fancy indexing on ``targets``, per-vertex
+aggregation becomes segment reductions over the CSR offsets, and the
+dirty-commit pass becomes a masked scatter.  That is what makes the
+paper's asymptotic regime (n = 10^6–10^7, experiment E5) reachable —
+see ``docs/performance.md`` for the design and measured speedups.
+
+**Bit-identity contract.**  A registered :class:`RoundKernel` is a
+vectorized *reimplementation* of one algorithm's ``setup``/``step``;
+the parameterized equivalence relation (``repro.verify``) pins its
+RunResult — outputs, rounds, messages, failures, trace — to the scalar
+engines.  RandLOCAL kernels consume the exact same per-vertex
+``random.Random`` streams in the exact same per-vertex draw order, so
+even sampled executions match draw-for-draw.
+
+**Fallback rules.**  The harness silently delegates to the fast
+per-node engine whenever vectorized execution could not be
+bit-identical or is impossible:
+
+- no kernel is registered for the algorithm's type;
+- observers are attached (per-node events require per-node stepping);
+- the active fault plan touches messages (drop/duplicate/corrupt need
+  materialized per-port inboxes) — crash-stop faults and round budgets
+  stay on the vectorized path;
+- the kernel's ``supports()`` veto — unusual configurations (oversized
+  palettes, missing inputs) where the scalar path is the spec.
+
+The fallback is an implementation detail: callers always observe
+engine-identical behavior, including error behavior.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..core.algorithm import SyncAlgorithm
+from ..core.context import Model
+from ..core.engine import (
+    DEFAULT_MAX_ROUNDS,
+    RoundTrace,
+    RunMeta,
+    RunResult,
+    _attached_observers,
+    _run_local_fast,
+    active_fault_plan,
+    flat_adjacency,
+)
+from ..core.errors import DuplicateIDError, SimulationError
+from ..core.ids import check_unique_ids, sequential_ids
+from ..graphs.graph import Graph
+from .mt19937 import VectorMT
+
+#: Kernel registry: algorithm class -> RoundKernel subclass.
+_KERNELS: Dict[type, Type["RoundKernel"]] = {}
+
+_kernels_imported = False
+
+
+def register_kernel(
+    algorithm_cls: type,
+) -> Callable[[Type["RoundKernel"]], Type["RoundKernel"]]:
+    """Class decorator registering a kernel for one algorithm type."""
+
+    def decorate(kernel_cls: Type["RoundKernel"]) -> Type["RoundKernel"]:
+        _KERNELS[algorithm_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_for(algorithm: SyncAlgorithm) -> Optional[Type["RoundKernel"]]:
+    """The registered kernel class for ``algorithm`` (exact type match)."""
+    _ensure_kernels()
+    return _KERNELS.get(type(algorithm))
+
+
+def _ensure_kernels() -> None:
+    """Import the shipped kernel definitions exactly once."""
+    global _kernels_imported
+    if not _kernels_imported:
+        from ..algorithms import kernels  # noqa: F401  (registration side effect)
+
+        _kernels_imported = True
+
+
+# ---------------------------------------------------------------------------
+# Segment helpers over CSR slices
+# ---------------------------------------------------------------------------
+
+
+def edge_slices(
+    offsets: np.ndarray, verts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR edge slots owned by ``verts``, segment-shaped.
+
+    Returns ``(e, seg_off, ptr)``: ``e`` lists the CSR slot index of
+    every edge of every vertex in ``verts`` (port order preserved),
+    ``seg_off`` are the per-vertex segment offsets into ``e`` (length
+    ``len(verts) + 1``), and ``ptr[j]`` is the position in ``verts`` of
+    the vertex owning ``e[j]``.
+    """
+    starts = offsets[verts]
+    counts = offsets[verts + 1] - starts
+    seg_off = np.zeros(verts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_off[1:])
+    total = int(seg_off[-1])
+    ptr = np.repeat(
+        np.arange(verts.size, dtype=np.int64), counts
+    )
+    within = np.arange(total, dtype=np.int64) - seg_off[ptr]
+    e = starts[ptr] + within
+    return e, seg_off, ptr
+
+
+def segment_or(values: np.ndarray, seg_off: np.ndarray) -> np.ndarray:
+    """Per-segment bitwise OR (identity 0) of ``values`` partitioned by
+    ``seg_off``; safe for empty segments (degree-0 vertices)."""
+    nseg = seg_off.size - 1
+    if values.size == 0:
+        return np.zeros(nseg, dtype=np.int64)
+    padded = np.append(values, values.dtype.type(0))
+    out = np.bitwise_or.reduceat(padded, seg_off[:-1])
+    out[seg_off[:-1] == seg_off[1:]] = 0
+    return out
+
+
+def popcount(masks: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of non-negative int64 masks."""
+    return np.bitwise_count(masks).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# The run handle kernels execute against
+# ---------------------------------------------------------------------------
+
+
+class VectorRun:
+    """Shared state of one vectorized run, handed to the kernel.
+
+    The harness owns scheduling (wake buckets, bulk skip, crashes,
+    budgets, trace); the kernel owns the algorithm state and publishes.
+    Kernels report lifecycle changes through :meth:`halt` and
+    :meth:`sleep` — the exact analogues of ``ctx.halt`` and
+    ``ctx.sleep_until``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: Model,
+        *,
+        ids: Optional[Sequence[int]],
+        seed: Optional[int],
+        node_inputs: Optional[Sequence[Dict[str, Any]]],
+        global_params: Optional[Dict[str, Any]],
+        rng_factory: Optional[Any],
+        allow_duplicate_ids: bool,
+    ) -> None:
+        n = graph.num_vertices
+        # Mirror build_contexts' model validation verbatim, so
+        # configuration errors are backend-identical.
+        if model is Model.DET:
+            if ids is None:
+                ids = sequential_ids(n)
+            if len(ids) != n:
+                raise DuplicateIDError(f"need {n} IDs, got {len(ids)}")
+            if not allow_duplicate_ids:
+                check_unique_ids(ids)
+            try:
+                self.ids: Optional[np.ndarray] = np.asarray(
+                    [int(x) for x in ids], dtype=np.int64
+                )
+            except OverflowError:
+                self.ids = None  # kernels needing IDs must veto
+        else:
+            if ids is not None:
+                raise SimulationError(
+                    "RandLOCAL vertices are undifferentiated; "
+                    "do not pass IDs"
+                )
+            self.ids = None
+        self.seed = seed
+        #: Custom per-vertex stream factories cannot be vectorized;
+        #: RandLOCAL kernels must veto when this is set.
+        self.rng_factory = rng_factory
+        self._vector_rng: Optional[VectorMT] = None
+        self.graph = graph
+        self.model = model
+        self.n = n
+        self.num_edges = graph.num_edges
+        self.max_degree = graph.max_degree
+        offsets_list, targets_list = flat_adjacency(graph)
+        self.offsets = np.asarray(offsets_list, dtype=np.int64)
+        self.targets = np.asarray(targets_list, dtype=np.int64)
+        self.node_inputs = node_inputs
+        self.globals: Dict[str, Any] = dict(global_params or {})
+        self.halted = np.zeros(n, dtype=bool)
+        self.wake = np.full(n, -1, dtype=np.int64)
+        self.outputs: List[Any] = [None] * n
+        self.failures: Dict[int, str] = {}
+        #: Vertices halted in the round being executed (harness-reset).
+        self.halted_this_round = 0
+
+    def vector_rng(self, min_words: int = 64) -> VectorMT:
+        """The run's per-vertex random streams as one :class:`VectorMT`.
+
+        Built lazily (DET runs and vetoed kernels never pay for it)
+        from the same master-seed derivation as ``make_node_rngs``, so
+        vertex ``v``'s stream is bit-identical to the scalar engines'
+        ``ctx.random``.  ``min_words`` is the kernel's per-vertex draw
+        budget hint (only the first call sizes the buffer; outrunning
+        it stays correct, just slower).
+        """
+        if self._vector_rng is None:
+            if self.rng_factory is not None:
+                raise SimulationError(
+                    "custom rng_factory streams cannot be vectorized"
+                )
+            master = random.Random(self.seed)
+            seeds = np.fromiter(
+                (master.getrandbits(64) for _ in range(self.n)),
+                dtype=np.uint64,
+                count=self.n,
+            )
+            self._vector_rng = VectorMT(seeds, min_words=min_words)
+        return self._vector_rng
+
+    def halt(self, verts: np.ndarray, outputs: Any) -> None:
+        """Halt ``verts`` with per-vertex ``outputs`` (array or list).
+
+        Output values are converted to plain Python objects so the
+        RunResult (and anything serialized from it) is byte-identical
+        to the scalar engines'.
+        """
+        if verts.size == 0:
+            return
+        self.halted[verts] = True
+        self.halted_this_round += int(verts.size)
+        values = (
+            outputs.tolist()
+            if isinstance(outputs, np.ndarray)
+            else outputs
+        )
+        out = self.outputs
+        for v, value in zip(verts.tolist(), values):
+            out[v] = value
+
+    def sleep(self, verts: np.ndarray, wake_rounds: np.ndarray) -> None:
+        """Park ``verts`` until their ``wake_rounds`` (absolute)."""
+        self.wake[verts] = wake_rounds
+
+
+class RoundKernel:
+    """Vectorized implementation of one algorithm's rounds.
+
+    Subclasses implement:
+
+    - ``supports(algorithm, run)`` — veto configurations the kernel
+      cannot reproduce bit-identically (the harness then falls back to
+      the per-node engine, which is the spec);
+    - ``setup()`` — mirror ``algorithm.setup`` for all ``run.n``
+      vertices (initial publishes, setup halts via ``run.halt``,
+      sleeps via ``run.sleep``);
+    - ``step(awake, round_index)`` — mirror one synchronous round for
+      the scheduled vertex set ``awake``.  Reads must use pre-round
+      published state only (gather before scatter — the vectorized
+      double buffering).
+    """
+
+    def __init__(self, run: VectorRun, algorithm: SyncAlgorithm) -> None:
+        self.run = run
+        self.algorithm = algorithm
+
+    @classmethod
+    def supports(cls, algorithm: SyncAlgorithm, run: VectorRun) -> bool:
+        return True
+
+    def setup(self) -> None:
+        raise NotImplementedError
+
+    def step(self, awake: np.ndarray, round_index: int) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+def run_local_vectorized(
+    graph: Graph,
+    algorithm: SyncAlgorithm,
+    model: Model,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+    trace: bool = False,
+    observers: Optional[Sequence[Any]] = None,
+    fault_plan: Optional[Any] = None,
+) -> RunResult:
+    """Entry point of the ``"vectorized"`` backend (same signature and
+    same RunResult as every other backend)."""
+    _ensure_kernels()
+
+    def fall_back() -> RunResult:
+        return _run_local_fast(
+            graph,
+            algorithm,
+            model,
+            ids=ids,
+            seed=seed,
+            node_inputs=node_inputs,
+            global_params=global_params,
+            max_rounds=max_rounds,
+            rng_factory=rng_factory,
+            allow_duplicate_ids=allow_duplicate_ids,
+            trace=trace,
+            observers=observers,
+            fault_plan=fault_plan,
+        )
+
+    kernel_cls = _KERNELS.get(type(algorithm))
+    if kernel_cls is None or _attached_observers(observers):
+        return fall_back()
+    meta = RunMeta(
+        algorithm=algorithm.name,
+        model=model,
+        n=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        max_rounds=max_rounds,
+        seed=seed,
+        graph=graph,
+    )
+    plan = fault_plan if fault_plan is not None else active_fault_plan()
+    faults = plan.activate(meta) if plan is not None else None
+    if faults is not None and faults.touches_messages:
+        # Message perturbation happens per materialized inbox slot;
+        # the per-node engine is the spec for that path.
+        return fall_back()
+    run = VectorRun(
+        graph,
+        model,
+        ids=ids,
+        seed=seed,
+        node_inputs=node_inputs,
+        global_params=global_params,
+        rng_factory=rng_factory,
+        allow_duplicate_ids=allow_duplicate_ids,
+    )
+    if not kernel_cls.supports(algorithm, run):
+        return fall_back()
+    kernel = kernel_cls(run, algorithm)
+    kernel.setup()
+
+    n = run.n
+    alive = ~run.halted
+    parked_mask = alive & (run.wake > 0)
+    runnable = np.flatnonzero(alive & ~parked_mask)
+    #: wake round -> vertices parked until that round (index arrays).
+    buckets: Dict[int, np.ndarray] = {}
+    parked = int(parked_mask.sum())
+    if parked:
+        parked_verts = np.flatnonzero(parked_mask)
+        for wake_round, group in _group_by_wake(
+            run.wake[parked_verts], parked_verts
+        ):
+            buckets[wake_round] = group
+
+    crash_round: Optional[np.ndarray] = None
+    if faults is not None and faults.crashes:
+        crash_round = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        for v, at in faults.crashes.items():
+            crash_round[v] = at
+
+    rounds = 0
+    messages = 0
+    messages_per_round = 2 * run.num_edges
+    traces: List[RoundTrace] = []
+    budget = faults.budget if faults is not None else None
+
+    while runnable.size or parked:
+        if budget is not None and rounds >= budget:
+            raise faults.budget_error(rounds)
+        if rounds >= max_rounds:
+            raise SimulationError(
+                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                f"n={n} (likely non-terminating)",
+                round=rounds,
+                run_meta=meta,
+            )
+        if parked:
+            due = buckets.pop(rounds, None)
+            if due is not None and due.size:
+                parked -= int(due.size)
+                runnable = (
+                    np.concatenate([runnable, due])
+                    if runnable.size
+                    else due
+                )
+            if not runnable.size:
+                # Bulk-accounted sleeping span, exactly as in the fast
+                # engine: advance round/message counters to the next
+                # wake (clamped by max_rounds and any injected budget)
+                # and synthesize the same trace entries.
+                skip_to = min(min(buckets), max_rounds)
+                if budget is not None and budget < skip_to:
+                    skip_to = budget
+                skip = skip_to - rounds
+                if trace:
+                    traces.extend(
+                        RoundTrace(active=parked, awake=0, halted=0)
+                        for _ in range(skip)
+                    )
+                rounds += skip
+                messages += skip * messages_per_round
+                continue
+        active_now = int(runnable.size) + parked
+        awake_now = int(runnable.size)
+        run.halted_this_round = 0
+        if crash_round is not None:
+            crashed_sel = crash_round[runnable] <= rounds
+            if crashed_sel.any():
+                # Crash-stop semantics mirror the scalar engines: the
+                # vertex counts as awake (it was scheduled) and halted,
+                # never steps again, and its last published value stays
+                # visible.  Output stays None; the failure is recorded.
+                crashed = runnable[crashed_sel]
+                reason = faults.crash_reason(rounds)
+                for v in crashed.tolist():
+                    run.failures[v] = reason
+                run.halted[crashed] = True
+                run.halted_this_round += int(crashed.size)
+                runnable = runnable[~crashed_sel]
+        run.wake[runnable] = -1
+        if runnable.size:
+            kernel.step(runnable, rounds)
+        survivors = runnable[~run.halted[runnable]]
+        wake = run.wake[survivors]
+        park_sel = wake > rounds + 1
+        if park_sel.any():
+            parking = survivors[park_sel]
+            for wake_round, group in _group_by_wake(
+                wake[park_sel], parking
+            ):
+                previous = buckets.get(wake_round)
+                buckets[wake_round] = (
+                    group
+                    if previous is None
+                    else np.concatenate([previous, group])
+                )
+            parked += int(parking.size)
+            survivors = survivors[~park_sel]
+        if trace:
+            traces.append(
+                RoundTrace(
+                    active=active_now,
+                    awake=awake_now,
+                    halted=run.halted_this_round,
+                )
+            )
+        runnable = survivors
+        rounds += 1
+        messages += messages_per_round
+
+    return RunResult(
+        outputs=run.outputs,
+        rounds=rounds,
+        messages=messages,
+        failures=run.failures,
+        trace=traces,
+    )
+
+
+def _group_by_wake(
+    wake_rounds: np.ndarray, verts: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Group ``verts`` by their wake round (few distinct values)."""
+    groups: List[Tuple[int, np.ndarray]] = []
+    for wake_round in np.unique(wake_rounds).tolist():
+        groups.append(
+            (int(wake_round), verts[wake_rounds == wake_round])
+        )
+    return groups

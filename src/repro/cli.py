@@ -141,6 +141,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     report = perf.run_perf_suite(
         workers=args.workers,
         include_reference=not args.no_reference,
+        full=args.full,
     )
     rows = []
     for name, metric in sorted(report["metrics"].items()):
@@ -166,6 +167,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"jsonl {tracing['tracing_overhead_ratio']:.2f}x, "
             f"metrics {tracing['metrics_overhead_ratio']:.2f}x "
             "vs bare engine"
+        )
+    backends = report["raw"].get("backends")
+    if backends:
+        others = ", ".join(
+            f"{name} {timing['speedup_vs_fast']:.2f}x"
+            for name, timing in sorted(backends.items())
+            if name != "fast"
+        )
+        print(
+            "backend speedups vs fast (ColorBidding, "
+            f"n={int(backends['fast']['n'])}): {others}"
+        )
+    e5_full = report["raw"].get("e5_1e6_vectorized")
+    if e5_full:
+        print(
+            f"E5 n={int(e5_full['n'])}: vectorized "
+            f"{e5_full['vectorized_seconds']:.1f}s vs fast "
+            f"{e5_full['fast_seconds']:.1f}s "
+            f"({e5_full['speedup_vs_fast']:.1f}x)"
         )
     if args.output:
         Path(args.output).parent.mkdir(parents=True, exist_ok=True)
@@ -555,12 +575,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core.backend import backend_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "LOCAL-model separation laboratory (Chang-Kopelowitz-"
             "Pettie 2016 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="engine backend every run_local call in this command "
+        "uses (default: the REPRO_BACKEND env var, else 'fast')",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -643,6 +672,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the O(n)-per-round reference engine timing "
         "(faster runs while iterating)",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the n=10^6 E5 vectorized-vs-fast measurement "
+        "(minutes of wall clock; used when refreshing the committed "
+        "baseline)",
     )
     p.set_defaults(func=cmd_bench)
 
@@ -927,6 +963,11 @@ def main(argv=None) -> int:
         parser.print_help()
         return 2
     try:
+        if args.backend is not None:
+            from .core.backend import use_backend
+
+            with use_backend(args.backend):
+                return args.func(args)
         return args.func(args)
     except ReproError as exc:
         # Structured rendering: the error context (node, round, run

@@ -17,20 +17,28 @@ Faithfulness guarantees:
   (:class:`~repro.core.context.NodeContext` enforces this);
 - a run that exceeds ``max_rounds`` raises instead of under-reporting.
 
-Two implementations share these guarantees:
+:func:`run_local` dispatches to a pluggable *backend* (see
+:mod:`repro.core.backend`); three implementations share these
+guarantees:
 
-- :func:`run_local` — the production engine.  It keeps a persistent
-  ``visible`` list and commits only the publishes that actually changed
-  (instead of re-materializing an O(n) snapshot every round), delivers
-  inboxes through a flat CSR adjacency built once per run, and parks
-  ``sleep_until`` vertices in round-keyed wake buckets so sleeping
-  vertices are never scanned.  Per-round cost is O(awake + changed),
-  which is what the paper's shattering analysis predicts the workload
-  looks like: after a few rounds almost every vertex has halted.
-- :func:`run_local_reference` — the original straight-line loop, kept
-  deliberately simple.  The equivalence test suite runs every shipped
-  algorithm under both and asserts identical :class:`RunResult`\\ s;
-  see ``docs/performance.md``.
+- ``"fast"`` (:func:`_run_local_fast`, the default) — the production
+  engine.  It keeps a persistent ``visible`` list and commits only the
+  publishes that actually changed (instead of re-materializing an O(n)
+  snapshot every round), delivers inboxes through a flat CSR adjacency
+  built once per run, and parks ``sleep_until`` vertices in round-keyed
+  wake buckets so sleeping vertices are never scanned.  Per-round cost
+  is O(awake + changed), which is what the paper's shattering analysis
+  predicts the workload looks like: after a few rounds almost every
+  vertex has halted.
+- ``"reference"`` (:func:`run_local_reference`) — the original
+  straight-line loop, kept deliberately simple.  The equivalence test
+  suite runs every shipped algorithm under every registered backend and
+  asserts identical :class:`RunResult`\\ s; see ``docs/performance.md``.
+- ``"vectorized"`` (:mod:`repro.backends.vectorized`, optional) —
+  whole rounds as numpy kernels over the CSR arrays, for the paper's
+  asymptotic regime (n = 10^6 and up).  Requires the ``[perf]`` extra;
+  drivers without a registered kernel fall back to the fast per-node
+  loop.
 
 Both engines accept *observers* (``observers=[...]`` or ambiently via
 :func:`observe_runs`): read-only spectators implementing the
@@ -61,8 +69,16 @@ from types import MappingProxyType
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algorithm import SyncAlgorithm
+from .backend import (
+    DEFAULT_BACKEND,
+    Runner,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    use_backend,
+)
 from .context import Model, NodeContext
-from .errors import DuplicateIDError, SimulationError
+from .errors import DuplicateIDError, ReproError, SimulationError
 from .ids import check_unique_ids, sequential_ids
 from ..graphs.graph import Graph
 
@@ -406,26 +422,17 @@ def flat_adjacency(graph: Graph) -> Tuple[List[int], List[int]]:
     return offsets, targets
 
 
-#: Which implementation :func:`run_local` dispatches to ("fast" in
-#: production; "reference" inside :func:`use_reference_engine`).
-_ACTIVE_IMPL = "fast"
-
-
 @contextmanager
 def use_reference_engine() -> Iterator[None]:
     """Route every :func:`run_local` call to the reference engine.
 
     Lets the equivalence suite execute whole multi-phase drivers (which
     call ``run_local`` internally) under the kept-simple implementation
-    without touching their code.
+    without touching their code.  Kept as a compatibility alias for
+    ``use_backend("reference")`` (see :mod:`repro.core.backend`).
     """
-    global _ACTIVE_IMPL
-    previous = _ACTIVE_IMPL
-    _ACTIVE_IMPL = "reference"
-    try:
+    with use_backend("reference"):
         yield
-    finally:
-        _ACTIVE_IMPL = previous
 
 
 def run_local(
@@ -443,6 +450,7 @@ def run_local(
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
     fault_plan: Optional[Any] = None,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` under ``model``.
 
@@ -471,29 +479,25 @@ def run_local(
         A :class:`repro.faults.FaultPlan` adversary (overrides any
         ambient :func:`inject_faults` plan).  Fault decisions are a
         deterministic function of the plan seed and the (round, vertex,
-        port) coordinates, so a plan perturbs both engines identically;
-        with no plan attached the middleware costs one pointer test per
-        vertex-step.
+        port) coordinates, so a plan perturbs every backend
+        identically; with no plan attached the middleware costs one
+        pointer test per vertex-step.
+    backend:
+        Engine backend name (see :mod:`repro.core.backend`).  Overrides
+        the ambient :func:`~repro.core.backend.use_backend` scope and
+        the ``REPRO_BACKEND`` environment variable; defaults to
+        ``"fast"``.  Every backend returns the identical
+        :class:`RunResult` — selection is a performance choice, never a
+        semantic one.
 
     Returns
     -------
     RunResult
         Outputs, exact round count, message count, declared failures.
-
-    Engine invariants (identical to :func:`run_local_reference`; the
-    equivalence suite enforces this):
-
-    - **dirty-commit**: a publish becomes visible only after every step
-      of the publishing round returned — commits are deferred to a
-      separate pass over the (few) dirty vertices, so double buffering
-      is preserved while costing O(changed), not O(n);
-    - **wake buckets**: a vertex sleeping until round ``w`` is parked in
-      ``buckets[w]`` and touched exactly once, when round ``w`` starts.
-      Rounds in which every live vertex sleeps are accounted in bulk
-      (round and message counters advance; nobody is scanned).
     """
-    if _ACTIVE_IMPL == "reference":
-        return run_local_reference(
+    name = backend if backend is not None else current_backend_name()
+    if name == DEFAULT_BACKEND:
+        return _run_local_fast(
             graph,
             algorithm,
             model,
@@ -508,6 +512,54 @@ def run_local(
             observers=observers,
             fault_plan=fault_plan,
         )
+    runner: Runner = get_backend(name).load()
+    return runner(
+        graph,
+        algorithm,
+        model,
+        ids=ids,
+        seed=seed,
+        node_inputs=node_inputs,
+        global_params=global_params,
+        max_rounds=max_rounds,
+        rng_factory=rng_factory,
+        allow_duplicate_ids=allow_duplicate_ids,
+        trace=trace,
+        observers=observers,
+        fault_plan=fault_plan,
+    )
+
+
+def _run_local_fast(
+    graph: Graph,
+    algorithm: SyncAlgorithm,
+    model: Model,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+    trace: bool = False,
+    observers: Optional[Sequence[Any]] = None,
+    fault_plan: Optional[Any] = None,
+) -> RunResult:
+    """The ``"fast"`` backend: the production per-node round loop.
+
+    Engine invariants (identical to :func:`run_local_reference`; the
+    equivalence suite enforces this):
+
+    - **dirty-commit**: a publish becomes visible only after every step
+      of the publishing round returned — commits are deferred to a
+      separate pass over the (few) dirty vertices, so double buffering
+      is preserved while costing O(changed), not O(n);
+    - **wake buckets**: a vertex sleeping until round ``w`` is parked in
+      ``buckets[w]`` and touched exactly once, when round ``w`` starts.
+      Rounds in which every live vertex sleeps are accounted in bulk
+      (round and message counters advance; nobody is scanned).
+    """
     contexts = build_contexts(
         graph,
         model,
@@ -712,6 +764,26 @@ def run_local(
     return result
 
 
+def _load_vectorized_backend() -> Runner:
+    """Resolve the numpy whole-round backend (the ``[perf]`` extra).
+
+    Imported lazily and by name so that neither :mod:`repro.core` nor
+    the type-checked layer ever depends on numpy being installed.
+    """
+    import importlib
+
+    try:
+        module = importlib.import_module("repro.backends.vectorized")
+    except ImportError as exc:
+        raise ReproError(
+            "the 'vectorized' backend requires numpy, which is not "
+            "installed; install the perf extra: "
+            "pip install 'repro[perf]'"
+        ) from exc
+    runner: Runner = module.run_local_vectorized
+    return runner
+
+
 def run_local_reference(
     graph: Graph,
     algorithm: SyncAlgorithm,
@@ -872,3 +944,22 @@ def run_local_reference(
     if hub is not None:
         hub.run_end(result)
     return result
+
+
+register_backend(
+    "fast",
+    lambda: _run_local_fast,
+    description="production per-node loop (dirty-commit, wake buckets)",
+)
+register_backend(
+    "reference",
+    lambda: run_local_reference,
+    description="kept-simple oracle loop (full snapshot, full scan)",
+)
+register_backend(
+    "vectorized",
+    _load_vectorized_backend,
+    description="numpy whole-round kernels over the CSR adjacency "
+    "(requires the [perf] extra; per-node fallback for drivers "
+    "without a kernel)",
+)

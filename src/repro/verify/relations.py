@@ -14,13 +14,13 @@ port-permutation      stay LCL-valid under any port renumbering
 vertex-order          be equivariant under relabeling the simulation
                       handles: outputs follow the IDs / random
                       streams, never the engine's vertex indices
-engine-equivalence    produce bit-identical results on the fast and
-                      reference engines
+engine-equivalence    produce bit-identical results on every
+                      registered engine backend
 observer-neutrality   be unchanged by attaching a ``MetricsObserver``
                       (spectators never steer)
 fault-determinism     under a fixed ``FaultPlan``, be a deterministic
                       function of the plan — same perturbed outcome on
-                      every run and on both engines
+                      every run and on every backend
 order-invariance      (opt-in) depend only on the relative order of
                       IDs, not their values
 ====================  ================================================
@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.drivers import DriverSpec
 from ..core.algorithm import SyncAlgorithm
+from ..core.backend import available_backend_names, use_backend
 from ..core.context import Model
 from ..core.engine import (
     inject_faults,
@@ -469,11 +470,18 @@ class VertexOrderInvariance(Relation):
 
 
 class EngineEquivalence(Relation):
-    """The fast engine and the reference engine must agree bit-for-bit
-    on every run (labels, round counts, and error outcomes alike)."""
+    """Every available engine backend must agree bit-for-bit with the
+    reference engine on every run (labels, round counts, and error
+    outcomes alike).
+
+    The relation iterates the backend registry, so a newly registered
+    backend (e.g. ``"vectorized"``) is pinned against the oracle with
+    no test changes; backends whose dependencies are missing are
+    skipped (the no-numpy environment still checks fast vs reference).
+    """
 
     name = "engine-equivalence"
-    description = "fast engine == reference engine"
+    description = "every registered backend == reference engine"
 
     def applies_to(self, subject: Subject) -> bool:
         return True
@@ -481,17 +489,21 @@ class EngineEquivalence(Relation):
     def check(
         self, subject: Subject, instance: Instance
     ) -> Optional[RelationViolation]:
-        fast = run_outcome(subject, instance)
         with use_reference_engine():
             reference = run_outcome(subject, instance)
-        if fast != reference:
-            return self._violation(
-                subject,
-                instance,
-                f"fast and reference engines diverge: "
-                f"fast={_summarize(fast)}, reference="
-                f"{_summarize(reference)}",
-            )
+        for name in available_backend_names():
+            if name == "reference":
+                continue
+            with use_backend(name):
+                candidate = run_outcome(subject, instance)
+            if candidate != reference:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"backend {name!r} diverges from the reference "
+                    f"engine: {name}={_summarize(candidate)}, "
+                    f"reference={_summarize(reference)}",
+                )
         return None
 
 
@@ -530,12 +542,12 @@ def _tag_corrupt(payload: Any) -> Any:
 
 class FaultPlanDeterminism(Relation):
     """Under a fixed nonzero :class:`FaultPlan`, the perturbed execution
-    must be a pure function of the plan: repeating the run — on either
-    engine — reproduces the identical outcome (including the identical
-    failure, when the adversary wins)."""
+    must be a pure function of the plan: repeating the run — on any
+    available backend — reproduces the identical outcome (including the
+    identical failure, when the adversary wins)."""
 
     name = "fault-determinism"
-    description = "same FaultPlan => same perturbed outcome, both engines"
+    description = "same FaultPlan => same perturbed outcome, any backend"
 
     #: The adversary used for every check: light message-layer noise
     #: plus a budget so runs the faults derail still end deterministically.
@@ -570,16 +582,17 @@ class FaultPlanDeterminism(Relation):
                 f"repeating the same FaultPlan produced a different "
                 f"outcome: {_summarize(first)} vs {_summarize(second)}",
             )
-        with use_reference_engine(), inject_faults(plan):
-            reference = run_outcome(subject, instance)
-        if first != reference:
-            return self._violation(
-                subject,
-                instance,
-                f"fast and reference engines diverge under the same "
-                f"FaultPlan: fast={_summarize(first)}, reference="
-                f"{_summarize(reference)}",
-            )
+        for name in available_backend_names():
+            with use_backend(name), inject_faults(plan):
+                outcome = run_outcome(subject, instance)
+            if first != outcome:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"backend {name!r} diverges under the same "
+                    f"FaultPlan: fast={_summarize(first)}, {name}="
+                    f"{_summarize(outcome)}",
+                )
         return None
 
 

@@ -1,0 +1,484 @@
+"""The pluggable backend registry and the vectorized engine backend.
+
+Covers the selection machinery itself (precedence chain, env var,
+unknown names, unavailable extras), the vectorized backend's fallback
+rules, and the byte-level artifacts the backend contract promises:
+identical JSONL trace streams and backend-pinned sweep journals.
+
+Everything here runs on a numpy-less install too: vectorized-specific
+cases skip (never fail) when the ``[perf]`` extra is absent.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.algorithms.linial import LinialColoring
+from repro.algorithms.rand_tree_coloring import (
+    ColorBiddingAlgorithm,
+    ColorBiddingConfig,
+)
+from repro.core import (
+    BACKEND_ENV_VAR,
+    Model,
+    ReproError,
+    available_backend_names,
+    backend_names,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    run_local,
+    use_backend,
+)
+from repro.core.backend import _REGISTRY
+from repro.faults import FaultPlan
+from repro.graphs.generators import cycle_graph, random_tree_bounded_degree
+
+NUMPY_AVAILABLE = "vectorized" in available_backend_names()
+
+needs_vectorized = pytest.mark.skipif(
+    not NUMPY_AVAILABLE,
+    reason="vectorized backend unavailable ([perf] extra not installed)",
+)
+
+
+@pytest.fixture
+def scratch_backend():
+    """Register a temporary backend; restore the registry afterwards."""
+    registered = []
+
+    def add(name, loader, description=""):
+        assert name not in _REGISTRY
+        register_backend(name, loader, description=description)
+        registered.append(name)
+        return get_backend(name)
+
+    yield add
+    for name in registered:
+        del _REGISTRY[name]
+
+
+def _color_bidding_tree(n=200, seed=1):
+    graph = random_tree_bounded_degree(n, 9, random.Random(seed))
+    return graph, {"config": ColorBiddingConfig(), "main_palette": 6}
+
+
+# ----------------------------------------------------------------------
+# Registry and selection precedence
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_shipped_backends_registered(self):
+        names = backend_names()
+        assert "fast" in names
+        assert "reference" in names
+        assert "vectorized" in names
+
+    def test_fast_and_reference_always_available(self):
+        available = available_backend_names()
+        assert "fast" in available
+        assert "reference" in available
+
+    def test_unknown_backend_name_raises_with_known_set(self):
+        with pytest.raises(ReproError, match="unknown engine backend"):
+            get_backend("warp-drive")
+        with pytest.raises(ReproError, match="fast"):
+            get_backend("warp-drive")
+
+    def test_run_local_rejects_unknown_backend(self):
+        with pytest.raises(ReproError, match="unknown engine backend"):
+            run_local(
+                cycle_graph(4),
+                LinialColoring(),
+                Model.DET,
+                backend="warp-drive",
+            )
+
+    def test_use_backend_rejects_unknown_name_eagerly(self):
+        with pytest.raises(ReproError, match="unknown engine backend"):
+            with use_backend("warp-drive"):
+                pass  # pragma: no cover — must not be reached
+
+    def test_unavailable_backend_skipped_not_failed(self, scratch_backend):
+        def loader():
+            raise ReproError(
+                "the 'phantom' backend requires a missing extra"
+            )
+
+        backend = scratch_backend("phantom", loader)
+        assert not backend.available()
+        assert "phantom" in backend_names()
+        assert "phantom" not in available_backend_names()
+        # Selecting it is allowed; the run itself raises the guidance.
+        with use_backend("phantom"):
+            with pytest.raises(ReproError, match="missing extra"):
+                run_local(cycle_graph(4), LinialColoring(), Model.DET)
+
+    def test_vectorized_loader_guidance_without_numpy(self, monkeypatch):
+        """The loader's ImportError branch names the install command."""
+        import importlib
+
+        from repro.core import engine
+
+        def refuse(name):
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(importlib, "import_module", refuse)
+        with pytest.raises(ReproError, match=r"repro\[perf\]"):
+            engine._load_vectorized_backend()
+
+
+class TestSelectionPrecedence:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert current_backend_name() == "fast"
+
+    def test_env_var_beats_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert current_backend_name() == "reference"
+
+    def test_ambient_scope_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        with use_backend("fast"):
+            assert current_backend_name() == "fast"
+        assert current_backend_name() == "reference"
+
+    def test_scopes_nest_innermost_wins(self):
+        with use_backend("reference"):
+            with use_backend("fast"):
+                assert current_backend_name() == "fast"
+            assert current_backend_name() == "reference"
+
+    def test_scope_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                raise RuntimeError("boom")
+        assert current_backend_name() == "fast"
+
+    def test_explicit_argument_beats_ambient(self, scratch_backend):
+        calls = []
+
+        def probe_runner(*args, **kwargs):
+            calls.append("probe")
+            from repro.core.engine import _run_local_fast
+
+            return _run_local_fast(*args, **kwargs)
+
+        scratch_backend("probe", lambda: probe_runner)
+        with use_backend("reference"):
+            run_local(
+                cycle_graph(4),
+                LinialColoring(),
+                Model.DET,
+                backend="probe",
+            )
+        assert calls == ["probe"]
+
+    def test_env_var_selects_run_local_backend(
+        self, monkeypatch, scratch_backend
+    ):
+        calls = []
+
+        def probe_runner(*args, **kwargs):
+            calls.append("probe")
+            from repro.core.engine import _run_local_fast
+
+            return _run_local_fast(*args, **kwargs)
+
+        scratch_backend("probe", lambda: probe_runner)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "probe")
+        run_local(cycle_graph(4), LinialColoring(), Model.DET)
+        assert calls == ["probe"]
+
+
+# ----------------------------------------------------------------------
+# Vectorized backend: kernel path and fallback rules
+# ----------------------------------------------------------------------
+@needs_vectorized
+class TestVectorizedBackend:
+    def test_kernel_registered_for_color_bidding(self):
+        from repro.backends.vectorized import kernel_for
+
+        assert kernel_for(ColorBiddingAlgorithm()) is not None
+
+    def test_supports_veto_large_palette(self):
+        """Palettes beyond the int64 bitmask width fall back — and the
+        fallback result still matches the fast engine bit-for-bit."""
+        from repro.backends.vectorized import run_local_vectorized
+
+        graph, params = _color_bidding_tree()
+        params = dict(params, main_palette=70)
+        fast = run_local(
+            graph, ColorBiddingAlgorithm(), Model.RAND, seed=3,
+            global_params=params, trace=True,
+        )
+        vec = run_local_vectorized(
+            graph, ColorBiddingAlgorithm(), Model.RAND, seed=3,
+            global_params=params, trace=True,
+        )
+        assert fast.outputs == vec.outputs
+        assert fast.trace == vec.trace
+
+    def test_crash_faults_identical_on_kernel_path(self):
+        graph, params = _color_bidding_tree()
+        plan = FaultPlan(
+            seed=5, crashes={3: 1}, crash_rate=0.05, crash_round=2
+        )
+        fast = run_local(
+            graph, ColorBiddingAlgorithm(), Model.RAND, seed=9,
+            global_params=params, trace=True, fault_plan=plan,
+        )
+        vec = run_local(
+            graph, ColorBiddingAlgorithm(), Model.RAND, seed=9,
+            global_params=params, trace=True, fault_plan=plan,
+            backend="vectorized",
+        )
+        assert fast.outputs == vec.outputs
+        assert fast.failures == vec.failures
+        assert fast.trace == vec.trace
+        assert fast.failures  # the plan really crashed someone
+
+    def test_message_faults_fall_back_and_match(self):
+        graph, params = _color_bidding_tree(n=80)
+        plan = FaultPlan(seed=2, drop_rate=0.05, round_budget=256)
+        outcomes = []
+        for backend in ("fast", "vectorized"):
+            try:
+                result = run_local(
+                    graph, ColorBiddingAlgorithm(), Model.RAND,
+                    seed=4, global_params=params, fault_plan=plan,
+                    backend=backend,
+                )
+                outcomes.append(("ok", result.outputs, result.rounds))
+            except Exception as exc:  # noqa: BLE001 — outcome folding
+                outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
+        assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# VectorMT: the vectorized per-vertex random streams
+# ----------------------------------------------------------------------
+@needs_vectorized
+class TestVectorMT:
+    """Word-exact parity with ``[random.Random(s) for s in seeds]`` —
+    the property that lets kernels replay scalar draw sequences."""
+
+    def _pair(self, seeds):
+        import numpy as np
+
+        from repro.backends.mt19937 import VectorMT
+
+        arr = np.array(seeds, dtype=np.uint64)
+        return VectorMT(arr), [random.Random(int(s)) for s in seeds]
+
+    def test_interleaved_draws_match_across_block_boundary(self):
+        import numpy as np
+
+        master = random.Random(2024)
+        seeds = [master.getrandbits(64) for _ in range(23)]
+        vmt, scalars = self._pair(seeds)
+        verts = np.arange(len(seeds))
+        script = random.Random(7)
+        for _ in range(420):  # > 624 words consumed: crosses a refill
+            kind = script.randrange(3)
+            if kind == 0:
+                assert (
+                    vmt.random(verts)
+                    == np.array([r.random() for r in scalars])
+                ).all()
+            elif kind == 1:
+                sizes = np.array(
+                    [script.randrange(1, 40) for _ in scalars]
+                )
+                assert (
+                    vmt.randrange(verts, sizes)
+                    == np.array(
+                        [
+                            r.randrange(int(k))
+                            for r, k in zip(scalars, sizes)
+                        ]
+                    )
+                ).all()
+            else:
+                counts = np.array(
+                    [script.randrange(0, 5) for _ in scalars]
+                )
+                expected = [
+                    r.random()
+                    for r, c in zip(scalars, counts)
+                    for _ in range(int(c))
+                ]
+                got = vmt.random_runs(verts, counts)
+                assert got.tolist() == expected
+
+    def test_subset_draws_desynchronize_positions_safely(self):
+        import numpy as np
+
+        vmt, scalars = self._pair([10**18 + v for v in range(9)])
+        verts = np.arange(9)
+        subset = np.array([0, 3, 8])
+        for _ in range(400):  # subset streams refill before the rest
+            assert (
+                vmt.random(subset)
+                == np.array([scalars[int(v)].random() for v in subset])
+            ).all()
+        assert (
+            vmt.random(verts)
+            == np.array([r.random() for r in scalars])
+        ).all()
+
+    def test_edge_seeds_use_scalar_seeding_path(self):
+        """Seeds below 2³² have a different init_by_array key length."""
+        import numpy as np
+
+        seeds = [0, 1, 2**32 - 1, 2**32, 2**64 - 1]
+        vmt, scalars = self._pair(seeds)
+        verts = np.arange(len(seeds))
+        for _ in range(700):
+            assert (
+                vmt.random(verts)
+                == np.array([r.random() for r in scalars])
+            ).all()
+
+    def test_randrange_one_still_consumes_a_word(self):
+        import numpy as np
+
+        vmt, scalars = self._pair([42, 43])
+        verts = np.arange(2)
+        ones = np.array([1, 1])
+        assert (
+            vmt.randrange(verts, ones)
+            == np.array([r.randrange(1) for r in scalars])
+        ).all()
+        assert (
+            vmt.random(verts)
+            == np.array([r.random() for r in scalars])
+        ).all()
+
+    def test_randrange_empty_matches_stdlib_error(self):
+        import numpy as np
+
+        vmt, _ = self._pair([5])
+        with pytest.raises(ValueError, match="empty range"):
+            vmt.randrange(np.array([0]), np.array([0]))
+
+
+# ----------------------------------------------------------------------
+# Byte-level artifacts: JSONL traces and sweep journals
+# ----------------------------------------------------------------------
+class TestTraceBytes:
+    def _trace_bytes(self, backend):
+        from repro.obs import JsonlTraceObserver
+
+        graph, params = _color_bidding_tree(n=60)
+        sink = io.StringIO()
+        observer = JsonlTraceObserver(sink, node_steps=True)
+        run_local(
+            graph, ColorBiddingAlgorithm(), Model.RAND, seed=7,
+            global_params=params, observers=[observer],
+            backend=backend,
+        )
+        return sink.getvalue()
+
+    def test_jsonl_trace_bytes_identical_across_backends(self):
+        streams = {
+            name: self._trace_bytes(name)
+            for name in available_backend_names()
+        }
+        baseline = streams["fast"]
+        assert baseline  # the observer really wrote events
+        for name, stream in streams.items():
+            assert stream == baseline, f"backend {name!r} trace differs"
+
+
+class TestSweepBackendThreading:
+    def _measure(self, x, seed):
+        graph = cycle_graph(int(x))
+        result = run_local(
+            graph, LinialColoring(), Model.DET,
+            ids=list(range(int(x))),
+        )
+        return result.rounds + seed
+
+    def test_backend_pinned_results_match_default(self):
+        from repro.analysis.experiments import run_sweep
+
+        base = run_sweep(
+            "s", [8.0, 12.0], self._measure, seeds=(0, 1)
+        )
+        pinned = run_sweep(
+            "s", [8.0, 12.0], self._measure, seeds=(0, 1),
+            backend="reference",
+        )
+        assert base.as_dict() == pinned.as_dict()
+
+    def test_unknown_backend_rejected_before_any_cell_runs(self):
+        from repro.analysis.experiments import run_sweep
+
+        with pytest.raises(ReproError, match="unknown engine backend"):
+            run_sweep("s", [6.0], self._measure, backend="warp-drive")
+
+    def test_journal_fingerprint_pins_backend(self, tmp_path):
+        """Resuming a journaled sweep under a different backend must be
+        refused — never silently mixed."""
+        from repro.analysis.experiments import run_sweep
+
+        journal = str(tmp_path / "sweep.jsonl")
+        run_sweep(
+            "s", [6.0], self._measure, seeds=(0,), journal=journal,
+            backend="fast",
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_sweep(
+                "s", [6.0], self._measure, seeds=(0,),
+                journal=journal, backend="reference",
+            )
+
+    def test_ambient_scope_is_captured_in_fingerprint(self, tmp_path):
+        from repro.analysis.experiments import run_sweep
+
+        journal = str(tmp_path / "sweep.jsonl")
+        with use_backend("reference"):
+            run_sweep(
+                "s", [6.0], self._measure, seeds=(0,), journal=journal
+            )
+        # Same ambient backend resumes cleanly …
+        with use_backend("reference"):
+            run_sweep(
+                "s", [6.0], self._measure, seeds=(0,), journal=journal
+            )
+        # … the default (fast) does not.
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_sweep(
+                "s", [6.0], self._measure, seeds=(0,), journal=journal
+            )
+
+    @needs_vectorized
+    def test_pooled_sweep_threads_vectorized_backend(self):
+        """Fork-pool children must run under the parent's backend; with
+        the deterministic contract the pooled vectorized sweep equals
+        the serial fast sweep bit-for-bit."""
+        from repro.analysis.experiments import run_sweep
+
+        def measure(x, seed):
+            graph = random_tree_bounded_degree(
+                int(x), 9, random.Random(seed)
+            )
+            result = run_local(
+                graph,
+                ColorBiddingAlgorithm(),
+                Model.RAND,
+                seed=seed,
+                global_params={
+                    "config": ColorBiddingConfig(),
+                    "main_palette": 6,
+                },
+            )
+            return sum(1 for out in result.outputs if out == -1)
+
+        serial = run_sweep("bad", [60.0, 90.0], measure, seeds=(0, 1))
+        pooled = run_sweep(
+            "bad", [60.0, 90.0], measure, seeds=(0, 1),
+            workers=2, backend="vectorized",
+        )
+        assert serial.as_dict() == pooled.as_dict()

@@ -1,9 +1,11 @@
-"""Fast engine vs reference engine: observable equivalence.
+"""Engine backends vs reference engine: observable equivalence.
 
-The production :func:`repro.core.run_local` (incremental snapshots, CSR
-inbox delivery, wake buckets) must be indistinguishable from the
-kept-simple :func:`repro.core.run_local_reference` (full snapshot and
-full scan every round).  This suite pins that down two ways:
+Every registered backend of :func:`repro.core.run_local` — the fast
+per-node engine (incremental snapshots, CSR inbox delivery, wake
+buckets) and the numpy ``vectorized`` engine (whole-round kernels) —
+must be indistinguishable from the kept-simple
+:func:`repro.core.run_local_reference` (full snapshot and full scan
+every round).  This suite pins that down two ways:
 
 - direct ``run_local`` calls with ``trace=True`` on synthetic
   algorithms exercising the optimized paths (sleep buckets, partial
@@ -11,8 +13,14 @@ full scan every round).  This suite pins that down two ways:
   equality — outputs, rounds, messages, failures, and trace;
 - driver-level comparisons running every shipped algorithm family
   (coloring, MIS, matching, sinkless, Δ⁵⁵, decomposition) on fixed
-  seeds, once normally and once under :func:`use_reference_engine`,
-  asserting identical labelings, round counts, and phase logs.
+  seeds, once per registered backend and once under
+  :func:`use_reference_engine`, asserting identical labelings, round
+  counts, and phase logs.
+
+Both legs parameterize over the backend registry: registering a new
+backend automatically subjects it to the whole suite.  Backends whose
+extras are missing (``vectorized`` without numpy) are *skipped*, never
+failed — the core suite stays green on a bare install.
 """
 
 import random
@@ -37,8 +45,11 @@ from repro.algorithms.drivers import driver_registry
 from repro.core import (
     Model,
     SyncAlgorithm,
+    available_backend_names,
+    backend_names,
     run_local,
     run_local_reference,
+    use_backend,
     use_reference_engine,
 )
 from repro.graphs.generators import (
@@ -48,6 +59,28 @@ from repro.graphs.generators import (
     random_tree_prufer,
     ring_of_cycles,
 )
+
+
+def backend_params():
+    """Every registered non-reference backend, with unavailable ones
+    (missing extras, e.g. numpy) marked skip rather than fail."""
+    available = set(available_backend_names())
+    return [
+        name
+        if name in available
+        else pytest.param(
+            name,
+            marks=pytest.mark.skip(
+                reason=f"backend {name!r} unavailable "
+                f"(optional extra not installed)"
+            ),
+        )
+        for name in backend_names()
+        if name != "reference"
+    ]
+
+
+CANDIDATE_BACKENDS = backend_params()
 
 
 def assert_results_identical(fast, reference):
@@ -94,11 +127,13 @@ class _EventRecorder:
         self.events.append(("run_end", result.rounds))
 
 
-def run_both(graph, algorithm_factory, model, **kwargs):
+def run_both(graph, algorithm_factory, model, backend="fast", **kwargs):
+    """Run once on ``backend`` and once on the reference engine,
+    asserting full result *and* observer-event-stream equality."""
     fast_rec, ref_rec = _EventRecorder(), _EventRecorder()
     fast = run_local(
         graph, algorithm_factory(), model, trace=True,
-        observers=[fast_rec], **kwargs
+        observers=[fast_rec], backend=backend, **kwargs
     )
     reference = run_local_reference(
         graph, algorithm_factory(), model, trace=True,
@@ -207,16 +242,18 @@ class RandomTalker(SyncAlgorithm):
             ctx.publish(draw)
 
 
+@pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
 class TestSyntheticEquivalence:
-    def test_staggered_sleep_with_bulk_skips(self):
+    def test_staggered_sleep_with_bulk_skips(self, backend):
         graph = cycle_graph(60)
         inputs = [{"klass": (v * 7) % 23 + (v % 3) * 40} for v in range(60)]
         result = run_both(
-            graph, StaggeredSleeper, Model.DET, node_inputs=inputs
+            graph, StaggeredSleeper, Model.DET, backend=backend,
+            node_inputs=inputs,
         )
         assert result.rounds == max(i["klass"] for i in inputs) + 1
 
-    def test_bulk_skipped_span_trace_pinned(self):
+    def test_bulk_skipped_span_trace_pinned(self, backend):
         """Explicit expected trace for a run with a bulk-skipped span:
         the fast engine must synthesize per-round entries (and observer
         round events) identical to the reference engine's full scan."""
@@ -226,7 +263,7 @@ class TestSyntheticEquivalence:
         inputs = [{"klass": 0 if v % 2 == 0 else 5} for v in range(8)]
         rec = _EventRecorder()
         result = run_local(
-            graph, StaggeredSleeper(), Model.DET,
+            graph, StaggeredSleeper(), Model.DET, backend=backend,
             node_inputs=inputs, trace=True, observers=[rec],
         )
         expected = [RoundTrace(active=8, awake=4, halted=4)]
@@ -247,41 +284,53 @@ class TestSyntheticEquivalence:
         )
         # And the reference engine agrees event-for-event.
         run_both(
-            graph, StaggeredSleeper, Model.DET, node_inputs=inputs
+            graph, StaggeredSleeper, Model.DET, backend=backend,
+            node_inputs=inputs,
         )
 
-    def test_repeated_sleep_cycles(self):
+    def test_repeated_sleep_cycles(self, backend):
         graph = ring_of_cycles(4, 5)
         inputs = [
             {"klass": v % 6, "hops": v} for v in range(graph.num_vertices)
         ]
-        run_both(graph, RepeatSleeper, Model.DET, node_inputs=inputs)
+        run_both(
+            graph, RepeatSleeper, Model.DET, backend=backend,
+            node_inputs=inputs,
+        )
 
-    def test_partial_publish_dirty_commit(self):
-        run_both(cycle_graph(31), PartialPublisher, Model.DET)
+    def test_partial_publish_dirty_commit(self, backend):
+        run_both(
+            cycle_graph(31), PartialPublisher, Model.DET, backend=backend
+        )
 
-    def test_failures_and_staggered_halts(self):
-        result = run_both(cycle_graph(40), FlakyHalter, Model.DET)
+    def test_failures_and_staggered_halts(self, backend):
+        result = run_both(
+            cycle_graph(40), FlakyHalter, Model.DET, backend=backend
+        )
         assert result.failures  # the scenario really exercises failures
 
-    def test_max_rounds_guard(self):
+    def test_max_rounds_guard(self, backend):
         from repro.core import SimulationError
 
         graph = cycle_graph(10)
         with pytest.raises(SimulationError, match="exceeded 12"):
-            run_local(graph, NeverHalts(), Model.DET, max_rounds=12)
+            run_local(
+                graph, NeverHalts(), Model.DET, max_rounds=12,
+                backend=backend,
+            )
         with pytest.raises(SimulationError, match="exceeded 12"):
             run_local_reference(
                 graph, NeverHalts(), Model.DET, max_rounds=12
             )
 
     @pytest.mark.parametrize("seed", [0, 1, 7])
-    def test_randomized_streams_match(self, seed):
+    def test_randomized_streams_match(self, seed, backend):
         run_both(
-            cycle_graph(50), RandomTalker, Model.RAND, seed=seed
+            cycle_graph(50), RandomTalker, Model.RAND, backend=backend,
+            seed=seed,
         )
 
-    def test_sleep_past_max_rounds_still_raises(self):
+    def test_sleep_past_max_rounds_still_raises(self, backend):
         class FarSleeper(SyncAlgorithm):
             name = "far-sleeper"
 
@@ -294,14 +343,21 @@ class TestSyntheticEquivalence:
 
         from repro.core import SimulationError
 
-        for engine in (run_local, run_local_reference):
-            with pytest.raises(SimulationError, match="exceeded 50"):
-                engine(
-                    cycle_graph(6),
-                    FarSleeper(),
-                    Model.DET,
-                    max_rounds=50,
-                )
+        with pytest.raises(SimulationError, match="exceeded 50"):
+            run_local(
+                cycle_graph(6),
+                FarSleeper(),
+                Model.DET,
+                max_rounds=50,
+                backend=backend,
+            )
+        with pytest.raises(SimulationError, match="exceeded 50"):
+            run_local_reference(
+                cycle_graph(6),
+                FarSleeper(),
+                Model.DET,
+                max_rounds=50,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -359,26 +415,39 @@ DRIVERS = {
 }
 
 
+#: Reference-engine reports are the (slow) shared oracle — computed
+#: once per driver, compared against every candidate backend.
+_REFERENCE_REPORTS = {}
+
+
+def _reference_report(name):
+    if name not in _REFERENCE_REPORTS:
+        with use_reference_engine():
+            _REFERENCE_REPORTS[name] = DRIVERS[name]()
+    return _REFERENCE_REPORTS[name]
+
+
+@pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
 @pytest.mark.parametrize("name", sorted(DRIVERS))
-def test_shipped_driver_matches_reference_engine(name):
+def test_shipped_driver_matches_reference_engine(name, backend):
     """Each driver (possibly multi-phase) must produce byte-identical
-    reports whether its internal run_local calls hit the fast engine
-    or the reference engine."""
-    driver = DRIVERS[name]
-    fast = driver()
-    with use_reference_engine():
-        reference = driver()
-    assert_reports_identical(fast, reference)
+    reports whichever registered backend its internal run_local calls
+    hit — including backends its phases only reach ambiently."""
+    with use_backend(backend):
+        candidate = DRIVERS[name]()
+    assert_reports_identical(candidate, _reference_report(name))
 
 
-def test_mpx_decomposition_matches_reference_engine():
+@pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+def test_mpx_decomposition_matches_reference_engine(backend):
     graph = random_regular_graph(64, 4, random.Random(9))
-    fast = mpx_decomposition(graph, beta=0.4, seed=6)
+    with use_backend(backend):
+        candidate = mpx_decomposition(graph, beta=0.4, seed=6)
     with use_reference_engine():
         reference = mpx_decomposition(graph, beta=0.4, seed=6)
-    assert fast.assignment == reference.assignment
-    assert fast.distances == reference.distances
-    assert fast.rounds == reference.rounds
+    assert candidate.assignment == reference.assignment
+    assert candidate.distances == reference.distances
+    assert candidate.rounds == reference.rounds
 
 
 # ----------------------------------------------------------------------
@@ -434,12 +503,12 @@ class TestFaultedEquivalence:
 
 
 def test_use_reference_engine_restores_fast_engine():
-    from repro.core import engine
+    from repro.core import current_backend_name
 
-    assert engine._ACTIVE_IMPL == "fast"
+    assert current_backend_name() == "fast"
     with use_reference_engine():
-        assert engine._ACTIVE_IMPL == "reference"
+        assert current_backend_name() == "reference"
         with use_reference_engine():
-            assert engine._ACTIVE_IMPL == "reference"
-        assert engine._ACTIVE_IMPL == "reference"
-    assert engine._ACTIVE_IMPL == "fast"
+            assert current_backend_name() == "reference"
+        assert current_backend_name() == "reference"
+    assert current_backend_name() == "fast"
