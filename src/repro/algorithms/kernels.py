@@ -26,7 +26,7 @@ it takes to accelerate one.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -90,7 +90,13 @@ class ColorBiddingKernel(RoundKernel):
     scalar code exactly), a *resolve* round computes the neighbor-bid
     union as a segment OR and halts the winners, and the *filter*
     checks are per-vertex popcount arithmetic on the masks.
+
+    Crash-safe: ``pub_kind``/``pub_bid``/``pub_color`` and the ``part``
+    slots are scattered only for stepping vertices, so a crashed
+    competitor keeps publishing its frozen message.
     """
+
+    handles_crashes = True
 
     def __init__(self, run: VectorRun, algorithm: SyncAlgorithm) -> None:
         super().__init__(run, algorithm)
@@ -285,10 +291,18 @@ class _LinialKernelBase(RoundKernel):
     escaped neighbors' sets — which is exactly the smallest ``x`` with
     no agreeing escaped neighbor, vectorized here as one Horner
     evaluation plus one edge-compare per candidate ``x``.
+
+    ``self.colors`` holds the *published* color of every vertex and is
+    scattered only for the ``awake`` set, so a crash-stopped vertex
+    keeps publishing its frozen color exactly like a halted scalar
+    context.  A frozen color from an earlier stage may lie outside the
+    current stage's family — the scalar path raises ``ValueError`` from
+    ``cover_free_set`` when a stepping vertex reads it, mirrored here
+    (including its precedence against the cover-free
+    ``AssertionError``, per scalar vertex order).
     """
 
-    #: Edges whose conflicts this variant escapes (None = all).
-    edge_mask: Optional[np.ndarray] = None
+    handles_crashes = True
 
     def _degree_param(self, run: VectorRun) -> int:
         raise NotImplementedError
@@ -304,10 +318,10 @@ class _LinialKernelBase(RoundKernel):
         self.iteration = 0
         assert run.ids is not None
         self.colors = run.ids.astype(np.int64)
-        degrees = np.diff(run.offsets)
-        self.src = np.repeat(
-            np.arange(run.n, dtype=np.int64), degrees
-        )
+        # CSR of the neighbors each variant escapes, in the exact order
+        # the scalar code reads them (all ports / out_ports order).
+        self.read_offsets = run.offsets
+        self.read_targets = run.targets
 
     @classmethod
     def _basic_support(cls, run: VectorRun, k0_degree_ok: bool) -> bool:
@@ -332,47 +346,67 @@ class _LinialKernelBase(RoundKernel):
             run.halt(everyone, self.colors)
 
     def step(self, awake: np.ndarray, round_index: int) -> None:
-        # Every live vertex recolors in lockstep (the schedule is
-        # common knowledge), so ``awake`` is all of them.
+        # Live vertices recolor in lockstep (the schedule is common
+        # knowledge); ``awake`` excludes crash-stopped vertices, whose
+        # published color in ``self.colors`` stays frozen.
         run = self.run
         i = self.iteration
         k = self.schedule[i]
         d, q = choose_cover_free_params(k, self.degree)
-        # Base-q coefficient extraction of every current color.
+        # Base-q coefficient extraction of every published color.  A
+        # frozen crashed color can exceed q^(d+1) (non-zero remainder);
+        # the scalar path raises from cover_free_set if it is read.
         coeffs = []
         rest = self.colors.copy()
         for _ in range(d + 1):
             coeffs.append(rest % q)
             rest //= q
         n = run.n
-        src = self.src
-        tgt = run.targets
-        mask = self.edge_mask
-        found = np.zeros(n, dtype=bool)
-        new_colors = np.zeros(n, dtype=np.int64)
+        e, _, ptr = edge_slices(self.read_offsets, awake)
+        nb = self.read_targets[e]
+        src = awake[ptr]
+        bad_pos: Optional[int] = None
+        bad_edges = (rest != 0)[nb]
+        if bad_edges.any():
+            # Position (in awake order) of the first vertex reading an
+            # out-of-range color; whether it raises, and against which
+            # neighbor, depends on the cover-free scan below.
+            bad_pos = int(ptr[int(np.argmax(bad_edges))])
+        found = np.zeros(awake.size, dtype=bool)
+        new_colors = np.zeros(awake.size, dtype=np.int64)
         for x in range(q):
             value = np.zeros(n, dtype=np.int64)
             for coeff in reversed(coeffs):
                 value = (value * x + coeff) % q
-            agree = value[src] == value[tgt]
-            if mask is not None:
-                agree &= mask
-            conflicted = np.zeros(n, dtype=bool)
-            conflicted[src[agree]] = True
+            agree = value[src] == value[nb]
+            conflicted = np.zeros(awake.size, dtype=bool)
+            conflicted[ptr[agree]] = True
             settled = ~found & ~conflicted
-            new_colors[settled] = x * q + value[settled]
+            new_colors[settled] = x * q + value[awake[settled]]
             found |= settled
             if found.all():
                 break
         if not found.all():
-            raise AssertionError(
-                "cover-free property violated — more neighbors than "
-                "the family parameter supports"
+            first_unfound = int(np.argmax(~found))
+            # Scalar vertex order: a vertex raising ValueError on an
+            # out-of-range neighbor read does so before any later
+            # vertex's own-set scan fails (and before its own, since
+            # neighbors are read first).
+            if bad_pos is None or first_unfound < bad_pos:
+                raise AssertionError(
+                    "cover-free property violated — more neighbors "
+                    "than the family parameter supports"
+                )
+        if bad_pos is not None:
+            first = int(np.argmax(bad_edges & (ptr == bad_pos)))
+            color = int(self.colors[nb[first]])
+            raise ValueError(
+                f"color {color} out of range for q={q}, d={d}"
             )
-        self.colors = new_colors
+        self.colors[awake] = new_colors
         self.iteration = i + 1
         if i + 1 >= len(self.schedule) - 1:
-            run.halt(awake, new_colors[awake])
+            run.halt(awake, new_colors)
 
 
 @register_kernel(LinialColoring)
@@ -406,9 +440,19 @@ class OrientedLinialKernel(_LinialKernelBase):
             ),
             dtype=np.int64,
         )
-        mask = np.zeros(run.targets.size, dtype=bool)
-        mask[out_slots] = True
-        self.edge_mask = mask
+        counts = np.fromiter(
+            (
+                len(node_input["out_ports"])
+                for node_input in run.node_inputs
+            ),
+            dtype=np.int64,
+            count=run.n,
+        )
+        read_offsets = np.zeros(run.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=read_offsets[1:])
+        self.read_offsets = read_offsets
+        # out_ports order preserved — the scalar read (and raise) order.
+        self.read_targets = run.targets[out_slots]
 
     @classmethod
     def supports(cls, algorithm: SyncAlgorithm, run: VectorRun) -> bool:
@@ -431,7 +475,13 @@ class OrientedLinialKernel(_LinialKernelBase):
 
 @register_kernel(PeelingAlgorithm)
 class PeelingKernel(RoundKernel):
-    """Iterated low-degree peeling: one bincount per round."""
+    """Iterated low-degree peeling: one bincount per round.
+
+    Crash-safe: ``active_pub`` flips only for peeled stepping vertices,
+    so a crashed vertex stays frozen at its last published activity.
+    """
+
+    handles_crashes = True
 
     def __init__(self, run: VectorRun, algorithm: SyncAlgorithm) -> None:
         super().__init__(run, algorithm)
@@ -467,7 +517,13 @@ class LayerSweepKernel(RoundKernel):
     The harness's wake buckets and bulk round-skip do the scheduling
     (each vertex acts in exactly one round); the kernel's step is one
     gather of neighbor finals and one lowest-zero-bit per vertex.
+
+    Crash-safe: ``final`` is committed only for stepping vertices; a
+    vertex crashed at its wake round keeps its pre-final publish,
+    which neighbors ignore exactly as the scalar path does.
     """
+
+    handles_crashes = True
 
     def __init__(self, run: VectorRun, algorithm: SyncAlgorithm) -> None:
         super().__init__(run, algorithm)

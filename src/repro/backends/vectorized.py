@@ -24,8 +24,11 @@ bit-identical or is impossible:
 - no kernel is registered for the algorithm's type;
 - observers are attached (per-node events require per-node stepping);
 - the active fault plan touches messages (drop/duplicate/corrupt need
-  materialized per-port inboxes) — crash-stop faults and round budgets
-  stay on the vectorized path;
+  materialized per-port inboxes) — round budgets stay on the
+  vectorized path, and so do crash-stop faults when the kernel
+  declares :attr:`RoundKernel.handles_crashes` (all shipped kernels
+  do: their published-state arrays are scattered only for ``awake``
+  vertices, so a crashed vertex's last published value stays frozen);
 - the kernel's ``supports()`` veto — unusual configurations (oversized
   palettes, missing inputs) where the scalar path is the spec.
 
@@ -52,7 +55,7 @@ from ..core.engine import (
     active_fault_plan,
     flat_adjacency,
 )
-from ..core.errors import DuplicateIDError, SimulationError
+from ..core.errors import DuplicateIDError, ReproError, SimulationError
 from ..core.ids import check_unique_ids, sequential_ids
 from ..graphs.graph import Graph
 from .mt19937 import VectorMT
@@ -131,9 +134,30 @@ def segment_or(values: np.ndarray, seg_off: np.ndarray) -> np.ndarray:
     return out
 
 
-def popcount(masks: np.ndarray) -> np.ndarray:
-    """Per-element set-bit count of non-negative int64 masks."""
-    return np.bitwise_count(masks).astype(np.int64)
+_SWAR_M1 = np.uint64(0x5555555555555555)
+_SWAR_M2 = np.uint64(0x3333333333333333)
+_SWAR_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_SWAR_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount_swar(masks: np.ndarray) -> np.ndarray:
+    """Branch-free SWAR popcount for numpy < 2.0 (no
+    ``np.bitwise_count``).  Inputs are non-negative int64 masks."""
+    x = masks.astype(np.uint64)
+    x = x - ((x >> np.uint64(1)) & _SWAR_M1)
+    x = (x & _SWAR_M2) + ((x >> np.uint64(2)) & _SWAR_M2)
+    x = (x + (x >> np.uint64(4))) & _SWAR_M4
+    return ((x * _SWAR_H01) >> np.uint64(56)).astype(np.int64)
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount(masks: np.ndarray) -> np.ndarray:
+        """Per-element set-bit count of non-negative int64 masks."""
+        return np.bitwise_count(masks).astype(np.int64)
+
+else:  # pragma: no cover — exercised directly by the test suite
+    popcount = _popcount_swar
 
 
 # ---------------------------------------------------------------------------
@@ -272,7 +296,19 @@ class RoundKernel:
       the scheduled vertex set ``awake``.  Reads must use pre-round
       published state only (gather before scatter — the vectorized
       double buffering).
+
+    A kernel that opts into :attr:`handles_crashes` additionally
+    guarantees crash-stop fidelity: published state it gathers from
+    must be scattered only for vertices in ``awake``, so a crashed
+    vertex's last published value stays frozen exactly as in the
+    scalar engines (which simply stop stepping it).  Kernels that keep
+    the default ``False`` make the harness fall back to the per-node
+    engine whenever the active plan crashes anybody.
     """
+
+    #: Whether this kernel freezes non-awake published state correctly
+    #: under crash-stop fault plans (see class docstring).
+    handles_crashes = False
 
     def __init__(self, run: VectorRun, algorithm: SyncAlgorithm) -> None:
         self.run = run
@@ -350,20 +386,38 @@ def run_local_vectorized(
         # Message perturbation happens per materialized inbox slot;
         # the per-node engine is the spec for that path.
         return fall_back()
-    run = VectorRun(
-        graph,
-        model,
-        ids=ids,
-        seed=seed,
-        node_inputs=node_inputs,
-        global_params=global_params,
-        rng_factory=rng_factory,
-        allow_duplicate_ids=allow_duplicate_ids,
-    )
-    if not kernel_cls.supports(algorithm, run):
+    if (
+        faults is not None
+        and faults.crashes
+        and not kernel_cls.handles_crashes
+    ):
+        # Crash-stop freezes published state; only kernels declaring
+        # that guarantee (scatter restricted to ``awake``) may stay on
+        # the vectorized path.
         return fall_back()
-    kernel = kernel_cls(run, algorithm)
-    kernel.setup()
+    try:
+        run = VectorRun(
+            graph,
+            model,
+            ids=ids,
+            seed=seed,
+            node_inputs=node_inputs,
+            global_params=global_params,
+            rng_factory=rng_factory,
+            allow_duplicate_ids=allow_duplicate_ids,
+        )
+        if not kernel_cls.supports(algorithm, run):
+            return fall_back()
+        kernel = kernel_cls(run, algorithm)
+        kernel.setup()
+    except ReproError:
+        raise
+    except Exception:
+        # Construction chokes on ill-typed inputs (e.g. a composite
+        # driver feeding forward the None outputs of a crash-faulted
+        # upstream phase) before anything observable happened; the
+        # scalar engine re-raises its own — contractual — error.
+        return fall_back()
 
     n = run.n
     alive = ~run.halted

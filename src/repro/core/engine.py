@@ -70,7 +70,6 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algorithm import SyncAlgorithm
 from .backend import (
-    DEFAULT_BACKEND,
     Runner,
     current_backend_name,
     get_backend,
@@ -496,22 +495,9 @@ def run_local(
         Outputs, exact round count, message count, declared failures.
     """
     name = backend if backend is not None else current_backend_name()
-    if name == DEFAULT_BACKEND:
-        return _run_local_fast(
-            graph,
-            algorithm,
-            model,
-            ids=ids,
-            seed=seed,
-            node_inputs=node_inputs,
-            global_params=global_params,
-            max_rounds=max_rounds,
-            rng_factory=rng_factory,
-            allow_duplicate_ids=allow_duplicate_ids,
-            trace=trace,
-            observers=observers,
-            fault_plan=fault_plan,
-        )
+    # Resolve every name — including the default — through the
+    # registry, so register_backend("fast", ...) replacements are
+    # honored exactly as the registry API documents.
     runner: Runner = get_backend(name).load()
     return runner(
         graph,

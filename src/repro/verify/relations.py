@@ -549,11 +549,18 @@ class FaultPlanDeterminism(Relation):
     name = "fault-determinism"
     description = "same FaultPlan => same perturbed outcome, any backend"
 
-    #: The adversary used for every check: light message-layer noise
-    #: plus a budget so runs the faults derail still end deterministically.
+    #: The message adversary used for every check: light message-layer
+    #: noise plus a budget so runs the faults derail still end
+    #: deterministically.
     drop_rate: float = 0.02
     corrupt_rate: float = 0.01
     round_budget: int = 512
+    #: The crash adversary: message-fault-free, so backends whose
+    #: kernels declare crash support stay on their native round loop
+    #: instead of falling back — the plan that pins frozen-publish
+    #: crash-stop semantics per backend.
+    crash_rate: float = 0.05
+    crash_round: int = 1
 
     def applies_to(self, subject: Subject) -> bool:
         return True
@@ -567,10 +574,29 @@ class FaultPlanDeterminism(Relation):
             round_budget=self.round_budget,
         )
 
+    def crash_plan_for(self, instance: Instance) -> FaultPlan:
+        return FaultPlan(
+            seed=mix64(instance.seed, 0xFA02),
+            crash_rate=self.crash_rate,
+            crash_round=self.crash_round,
+            round_budget=self.round_budget,
+        )
+
     def check(
         self, subject: Subject, instance: Instance
     ) -> Optional[RelationViolation]:
-        plan = self.plan_for(instance)
+        for plan in (
+            self.plan_for(instance),
+            self.crash_plan_for(instance),
+        ):
+            violation = self._check_plan(subject, instance, plan)
+            if violation is not None:
+                return violation
+        return None
+
+    def _check_plan(
+        self, subject: Subject, instance: Instance, plan: FaultPlan
+    ) -> Optional[RelationViolation]:
         with inject_faults(plan):
             first = run_outcome(subject, instance)
         with inject_faults(plan):

@@ -114,6 +114,32 @@ class TestRegistry:
             with pytest.raises(ReproError, match="missing extra"):
                 run_local(cycle_graph(4), LinialColoring(), Model.DET)
 
+    def test_replacing_the_default_backend_is_honored(self):
+        """register_backend("fast", ...) replaces the default: every
+        selection route (default, explicit, ambient) must route through
+        the registry entry, not a hardwired engine."""
+        calls = []
+        original = _REGISTRY["fast"]
+
+        def probe_runner(*args, **kwargs):
+            calls.append("probe")
+            return original.load()(*args, **kwargs)
+
+        register_backend(
+            "fast", lambda: probe_runner, description="probe override"
+        )
+        try:
+            graph = cycle_graph(4)
+            run_local(graph, LinialColoring(), Model.DET)
+            run_local(
+                graph, LinialColoring(), Model.DET, backend="fast"
+            )
+            with use_backend("fast"):
+                run_local(graph, LinialColoring(), Model.DET)
+        finally:
+            _REGISTRY["fast"] = original
+        assert calls == ["probe", "probe", "probe"]
+
     def test_vectorized_loader_guidance_without_numpy(self, monkeypatch):
         """The loader's ImportError branch names the install command."""
         import importlib
@@ -238,6 +264,141 @@ class TestVectorizedBackend:
         assert fast.trace == vec.trace
         assert fast.failures  # the plan really crashed someone
 
+    def _linial_sparse_ids(self, n=30):
+        """Sparse IDs in a 2^20 space: a 3-stage schedule, so a color
+        frozen by an early crash can be out of range for later stages."""
+        graph = cycle_graph(n)
+        ids = [(v * 34567 + 11) % (1 << 20) for v in range(n)]
+        assert len(set(ids)) == n
+        return graph, ids, {"id_space": 1 << 20}
+
+    def _forbid_fallback(self, monkeypatch):
+        from repro.backends import vectorized
+
+        def boom(*args, **kwargs):  # pragma: no cover — must not run
+            raise AssertionError("unexpected fallback to fast engine")
+
+        monkeypatch.setattr(vectorized, "_run_local_fast", boom)
+
+    def test_linial_crash_faults_identical_on_kernel_path(
+        self, monkeypatch
+    ):
+        """A vertex crashed mid-schedule keeps publishing its frozen
+        color; neighbors must recolor against it exactly as the scalar
+        engines do — on the kernel path, not via fallback."""
+        graph, ids, params = self._linial_sparse_ids()
+        plan = FaultPlan(seed=5, crashes={3: 1, 11: 1})
+        fast = run_local(
+            graph, LinialColoring(), Model.DET, ids=ids,
+            global_params=params, trace=True, fault_plan=plan,
+        )
+        self._forbid_fallback(monkeypatch)
+        vec = run_local(
+            graph, LinialColoring(), Model.DET, ids=ids,
+            global_params=params, trace=True, fault_plan=plan,
+            backend="vectorized",
+        )
+        assert fast.outputs == vec.outputs
+        assert fast.failures == vec.failures
+        assert fast.trace == vec.trace
+        assert fast.failures  # the plan really crashed someone
+
+    def test_linial_stale_crash_color_raises_identically(self):
+        """A round-0 crash freezes the published ID, which is out of
+        range for the stage-1 cover-free family — the scalar path
+        raises ValueError from cover_free_set, and the kernel must
+        raise the identical error."""
+        graph, ids, params = self._linial_sparse_ids()
+        plan = FaultPlan(seed=5, crashes={3: 0})
+        outcomes = []
+        for backend in ("fast", "vectorized", "reference"):
+            with pytest.raises(ValueError, match="out of range") as exc:
+                run_local(
+                    graph, LinialColoring(), Model.DET, ids=ids,
+                    global_params=params, fault_plan=plan,
+                    backend=backend,
+                )
+            outcomes.append(str(exc.value))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_oriented_linial_crash_faults_identical(self, monkeypatch):
+        from repro.algorithms.linial import OrientedLinialColoring
+        from repro.graphs.generators import random_tree_prufer
+
+        graph = random_tree_prufer(40, random.Random(3))
+        parent = {0: None}
+        order, seen, head = [0], {0}, 0
+        while head < len(order):
+            v = order[head]
+            head += 1
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    parent[u] = v
+                    order.append(u)
+        inputs = [
+            {
+                "out_ports": (
+                    [graph.port_of(v, parent[v])]
+                    if parent[v] is not None
+                    else []
+                )
+            }
+            for v in graph.vertices()
+        ]
+        ids = [(v * 9176 + 5) % (1 << 18) for v in range(40)]
+        params = {"out_degree": 1, "id_space": 1 << 18}
+        plan = FaultPlan(seed=1, crashes={0: 0, 9: 2})
+        fast = run_local(
+            graph, OrientedLinialColoring(), Model.DET, ids=ids,
+            node_inputs=inputs, global_params=params, trace=True,
+            fault_plan=plan,
+        )
+        self._forbid_fallback(monkeypatch)
+        vec = run_local(
+            graph, OrientedLinialColoring(), Model.DET, ids=ids,
+            node_inputs=inputs, global_params=params, trace=True,
+            fault_plan=plan, backend="vectorized",
+        )
+        assert fast.outputs == vec.outputs
+        assert fast.failures == vec.failures
+        assert fast.trace == vec.trace
+
+    def test_crash_plan_falls_back_without_declared_support(
+        self, monkeypatch
+    ):
+        """Kernels that do not declare ``handles_crashes`` must leave
+        the vectorized path whenever the plan crashes anybody — and the
+        fallback result still matches the fast engine."""
+        from repro.algorithms import kernels
+        from repro.backends import vectorized
+
+        calls = []
+        original = vectorized._run_local_fast
+
+        def counting(*args, **kwargs):
+            calls.append("fast")
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vectorized, "_run_local_fast", counting)
+        monkeypatch.setattr(
+            kernels.LinialKernel, "handles_crashes", False
+        )
+        graph, ids, params = self._linial_sparse_ids()
+        plan = FaultPlan(seed=5, crashes={3: 1})
+        fast = run_local(
+            graph, LinialColoring(), Model.DET, ids=ids,
+            global_params=params, trace=True, fault_plan=plan,
+        )
+        vec = run_local(
+            graph, LinialColoring(), Model.DET, ids=ids,
+            global_params=params, trace=True, fault_plan=plan,
+            backend="vectorized",
+        )
+        assert calls == ["fast"]
+        assert fast.outputs == vec.outputs
+        assert fast.trace == vec.trace
+
     def test_message_faults_fall_back_and_match(self):
         graph, params = _color_bidding_tree(n=80)
         plan = FaultPlan(seed=2, drop_rate=0.05, round_budget=256)
@@ -253,6 +414,31 @@ class TestVectorizedBackend:
             except Exception as exc:  # noqa: BLE001 — outcome folding
                 outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
         assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# popcount: numpy>=2 fast path and the SWAR fallback for numpy 1.x
+# ----------------------------------------------------------------------
+@needs_vectorized
+class TestPopcount:
+    def _reference(self, masks):
+        return [bin(m).count("1") for m in masks]
+
+    def test_swar_fallback_matches_python(self):
+        import numpy as np
+
+        from repro.backends.vectorized import _popcount_swar, popcount
+
+        rng = random.Random(99)
+        masks = [0, 1, 2, 3, (1 << 62) - 1, 2**63 - 1]
+        masks += [rng.getrandbits(62) for _ in range(500)]
+        arr = np.asarray(masks, dtype=np.int64)
+        expected = self._reference(masks)
+        # Both the numpy 1.x fallback and whatever ``popcount`` resolved
+        # to on this install must agree with pure-python counting.
+        assert _popcount_swar(arr).tolist() == expected
+        assert popcount(arr).tolist() == expected
+        assert _popcount_swar(arr).dtype == np.int64
 
 
 # ----------------------------------------------------------------------
