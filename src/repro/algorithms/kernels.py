@@ -48,6 +48,7 @@ from ..backends.vectorized import (
 )
 from ..core.algorithm import SyncAlgorithm
 from ..core.context import Model
+from ..obs.metrics import estimate_payload_bytes
 
 #: Palette/bid bitmasks are int64: 62 usable color bits (sign-safe).
 MAX_MASK_COLORS = 62
@@ -59,6 +60,16 @@ def _lowest_set_bit_index(masks: np.ndarray) -> np.ndarray:
     """Index of the lowest set bit of each (non-zero, positive) mask."""
     low = masks & -masks
     return popcount(low - _ONE)
+
+
+def _mask_to_set(mask: int) -> set:
+    """The color set a bid bitmask encodes (matches the scalar bid)."""
+    out = set()
+    while mask:
+        low = mask & -mask
+        out.add(low.bit_length() - 1)
+        mask ^= low
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -156,8 +167,16 @@ class ColorBiddingKernel(RoundKernel):
         # Scatter after the gather above: double buffering.
         self.pub_kind[winners] = _KIND_COLORED
         self.pub_color[winners] = colors
+        run.record_publish(
+            winners,
+            payload_bytes=10,  # estimate_payload_bytes(("colored", c<62))
+            values_fn=lambda: [("colored", c) for c in colors.tolist()],
+        )
         run.halt(winners, colors)
         self.pub_kind[awake[~won]] = _KIND_STILL
+        run.record_publish(
+            awake[~won], value_const=("still",), payload_bytes=7
+        )
 
     def _filter_and_rebid(self, awake: np.ndarray) -> None:
         run = self.run
@@ -190,6 +209,9 @@ class ColorBiddingKernel(RoundKernel):
 
     def _mark_bad(self, verts: np.ndarray) -> None:
         self.pub_kind[verts] = _KIND_BAD
+        self.run.record_publish(
+            verts, value_const=("bad",), payload_bytes=5
+        )
         self.run.halt(verts, np.full(verts.size, BAD, dtype=np.int64))
 
     def _publish_bid(self, verts: np.ndarray, iteration: int) -> None:
@@ -215,6 +237,16 @@ class ColorBiddingKernel(RoundKernel):
             bids = self._draw_bernoulli(bidders, palettes, sizes, c_i)
         self.pub_kind[bidders] = _KIND_BID
         self.pub_bid[bidders] = bids
+        # estimate_payload_bytes(("bid", S)) = 7 + |S| for colors < 256:
+        # byte accounting stays pure mask arithmetic, the Python sets
+        # are only built if an observer wants materialized values.
+        self.run.record_publish(
+            bidders,
+            payload_bytes=popcount(bids) + 7,
+            values_fn=lambda: [
+                ("bid", _mask_to_set(m)) for m in bids.tolist()
+            ],
+        )
 
     def _draw_uniform(
         self,
@@ -341,8 +373,9 @@ class _LinialKernelBase(RoundKernel):
 
     def setup(self) -> None:
         run = self.run
+        everyone = np.arange(run.n, dtype=np.int64)
+        run.record_publish(everyone, self.colors.copy())  # publish(id)
         if len(self.schedule) == 1:
-            everyone = np.arange(run.n, dtype=np.int64)
             run.halt(everyone, self.colors)
 
     def step(self, awake: np.ndarray, round_index: int) -> None:
@@ -404,6 +437,7 @@ class _LinialKernelBase(RoundKernel):
                 f"color {color} out of range for q={q}, d={d}"
             )
         self.colors[awake] = new_colors
+        run.record_publish(awake, new_colors)
         self.iteration = i + 1
         if i + 1 >= len(self.schedule) - 1:
             run.halt(awake, new_colors)
@@ -493,7 +527,12 @@ class PeelingKernel(RoundKernel):
         return "threshold" in run.globals
 
     def setup(self) -> None:
-        pass  # everyone publishes "active"; nobody halts or sleeps
+        # Everyone publishes "active"; nobody halts or sleeps.
+        self.run.record_publish(
+            np.arange(self.run.n, dtype=np.int64),
+            value_const="active",
+            payload_bytes=6,
+        )
 
     def step(self, awake: np.ndarray, round_index: int) -> None:
         run = self.run
@@ -502,6 +541,11 @@ class PeelingKernel(RoundKernel):
         counts = np.bincount(ptr[active_edges], minlength=awake.size)
         peeled_sel = counts <= self.threshold
         peeled = awake[peeled_sel]
+        run.record_publish(
+            peeled,
+            value_const=("peeled", round_index),
+            payload_bytes=estimate_payload_bytes(("peeled", round_index)),
+        )
         run.halt(
             peeled, np.full(peeled.size, round_index, dtype=np.int64)
         )
@@ -561,7 +605,10 @@ class LayerSweepKernel(RoundKernel):
     def setup(self) -> None:
         run = self.run
         everyone = np.arange(run.n, dtype=np.int64)
-        run.sleep(everyone, self.wake)  # publishes only ("tmp",)
+        run.record_publish(
+            everyone, value_const=("tmp",), payload_bytes=5
+        )
+        run.sleep(everyone, self.wake)
 
     def step(self, awake: np.ndarray, round_index: int) -> None:
         run = self.run
@@ -583,5 +630,10 @@ class LayerSweepKernel(RoundKernel):
                 "precondition"
             )
         colors = _lowest_set_bit_index(free)
+        run.record_publish(
+            awake,
+            payload_bytes=8,  # estimate_payload_bytes(("final", c<62))
+            values_fn=lambda: [("final", c) for c in colors.tolist()],
+        )
         run.halt(awake, colors)
         self.final[awake] = colors  # commit after the gather above

@@ -213,8 +213,17 @@ def run_sweep(
     timeout: Optional[float] = None,
     journal: Optional[str] = None,
     backend: Optional[str] = None,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
+
+    ``progress`` is an optional callback fired in the *parent* process
+    after every settled cell — ``progress(done, total, outcome)`` with
+    the running completed-cell count, the grid size, and the cell's
+    :class:`CellOutcome` (``None`` for the batch of journal-replayed
+    cells reported once up front).  It is plane-2 telemetry: purely
+    informational, never part of the Series, and exceptions it raises
+    propagate like any observer's.
 
     ``backend`` pins the engine backend every cell runs under
     (default: the ambient selection at call time, resolved once so
@@ -295,12 +304,24 @@ def run_sweep(
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     summaries: List[Any] = [None] * len(cells)
     done: Dict[int, Any] = {}
+    settled = [0]
+    ticker: Optional[Callable[[Any], None]] = None
+    if progress is not None:
+        total = len(cells)
+
+        def ticker(outcome: Any) -> None:
+            settled[0] += 1
+            progress(settled[0], total, outcome)
+
     try:
         if sweep_journal is not None:
             done = dict(sweep_journal.completed)
             for index, (outcome, summary) in done.items():
                 outcomes[index] = outcome
                 summaries[index] = summary
+            if done and progress is not None:
+                settled[0] = len(done)
+                progress(settled[0], len(cells), None)
         pool_ctx = None
         if workers is not None and workers > 1 and len(cells) > 1:
             import multiprocessing
@@ -321,6 +342,7 @@ def run_sweep(
                 outcomes,
                 summaries,
                 effective_backend,
+                ticker,
             )
         else:
             assert workers is not None
@@ -338,6 +360,7 @@ def run_sweep(
                 outcomes,
                 summaries,
                 effective_backend,
+                ticker,
             )
     finally:
         if sweep_journal is not None:
@@ -376,6 +399,7 @@ def _run_serial(
     outcomes: List[Optional[CellOutcome]],
     summaries: List[Any],
     backend: str,
+    ticker: Optional[Callable[[Any], None]] = None,
 ) -> None:
     """Evaluate cells inline, in grid order, with bounded retries."""
     for index, (x, seed) in enumerate(cells):
@@ -409,6 +433,8 @@ def _run_serial(
         if sweep_journal is not None:
             assert outcomes[index] is not None
             sweep_journal.record(index, outcomes[index], summaries[index])
+        if ticker is not None:
+            ticker(outcomes[index])
 
 
 def _run_pooled(
@@ -425,6 +451,7 @@ def _run_pooled(
     outcomes: List[Optional[CellOutcome]],
     summaries: List[Any],
     backend: str,
+    ticker: Optional[Callable[[Any], None]] = None,
 ) -> None:
     """Fan cells out to the resilient process-per-cell fork pool."""
     from .resilience import run_cells_resilient
@@ -505,6 +532,8 @@ def _run_pooled(
         summaries[index] = summary
         if sweep_journal is not None:
             sweep_journal.record(index, outcome, summary)
+        if ticker is not None:
+            ticker(outcome)
 
     global _POOLED
     previous_pooled = _POOLED

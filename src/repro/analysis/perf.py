@@ -274,19 +274,90 @@ def backend_engine_metrics(
     return timings
 
 
+def traced_backend_metrics(
+    n: int = 20_000,
+    delta: int = 9,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict[str, Dict[str, float]]:
+    """Per-backend timing of the ColorBidding workload **observed**:
+    a :class:`~repro.obs.MetricsObserver` plus a
+    :class:`~repro.obs.JsonlTraceObserver` streaming to the null device
+    are attached for every timed run.
+
+    This is the plane-1 scale contract made a number: since the
+    vectorized backend feeds batch-capable observers natively (no
+    scalar fallback), its traced throughput must stay vectorized-class,
+    not collapse to the fast engine's.  Asserts en passant that every
+    backend's metrics summary is identical — the byte-identity contract
+    with observers attached.
+    """
+    import os as _os
+
+    from ..core.backend import available_backend_names, use_backend
+    from ..obs import JsonlTraceObserver, MetricsObserver
+
+    graph, algorithm, kwargs = _color_bidding_workload(n, delta, seed)
+    timings: Dict[str, Dict[str, float]] = {}
+    summaries: Dict[str, Any] = {}
+    rounds: Dict[str, int] = {}
+    devnull = open(_os.devnull, "w", encoding="utf-8")
+    try:
+        for name in available_backend_names():
+            def traced() -> None:
+                metrics = MetricsObserver()
+                trace = JsonlTraceObserver(devnull, topology=False)
+                with use_backend(name):
+                    result = run_local(
+                        graph,
+                        algorithm,
+                        Model.RAND,
+                        observers=[metrics, trace],
+                        **kwargs,
+                    )
+                summaries[name] = metrics.summary()
+                rounds[name] = result.rounds
+
+            seconds = _time_best(traced, repeats)
+            timings[name] = {
+                "n": float(n),
+                "seconds": seconds,
+                "traced_rounds_nodes_per_sec": rounds[name] * n / seconds,
+            }
+    finally:
+        devnull.close()
+    for name, summary in summaries.items():
+        if summary != summaries["fast"]:
+            raise AssertionError(
+                f"backend {name!r} produced a different metrics summary "
+                "than the fast engine with observers attached — the "
+                "observed byte-identity contract is broken"
+            )
+        timings[name]["traced_speedup_vs_fast"] = (
+            timings["fast"]["seconds"] / timings[name]["seconds"]
+        )
+    return timings
+
+
 def e5_vectorized_metrics(
     n: int = 1_000_000,
     delta: int = 9,
     seed: int = 0,
 ) -> Optional[Dict[str, float]]:
     """The tentpole measurement: E5 shattering at n = 10⁶, vectorized
-    vs fast, single run each (the fast engine alone takes minutes).
+    vs fast, single run each (the fast engine alone takes minutes) —
+    bare first, then **traced** (MetricsObserver + JsonlTraceObserver
+    to the null device) to pin the observed-at-scale contract: a traced
+    vectorized run must stay well clear of the traced fast engine.
 
     Returns None when the vectorized backend is unavailable.  Gated
     behind ``repro bench --full`` — this is the number the committed
     baseline records, not a per-CI-run workload.
     """
+    import os as _os
+
     from ..core.backend import available_backend_names
+    from ..obs import JsonlTraceObserver, MetricsObserver
 
     if "vectorized" not in available_backend_names():
         return None
@@ -307,6 +378,37 @@ def e5_vectorized_metrics(
             "vectorized E5 outputs diverged from the fast engine at "
             f"n={n} — the bit-identity contract is broken"
         )
+
+    devnull = open(_os.devnull, "w", encoding="utf-8")
+    try:
+        summaries: Dict[str, Any] = {}
+
+        def traced(backend: str) -> float:
+            metrics = MetricsObserver()
+            trace = JsonlTraceObserver(devnull, topology=False)
+            start = time.perf_counter()
+            run_local(
+                graph,
+                algorithm,
+                Model.RAND,
+                backend=backend,
+                observers=[metrics, trace],
+                **kwargs,
+            )
+            seconds = time.perf_counter() - start
+            summaries[backend] = metrics.summary()
+            return seconds
+
+        traced_vec_seconds = traced("vectorized")
+        traced_fast_seconds = traced("fast")
+    finally:
+        devnull.close()
+    if summaries["vectorized"] != summaries["fast"]:
+        raise AssertionError(
+            "vectorized E5 metrics summary diverged from the fast "
+            f"engine at n={n} — the observed byte-identity contract "
+            "is broken"
+        )
     return {
         "n": float(n),
         "rounds": float(vec.rounds),
@@ -315,6 +417,12 @@ def e5_vectorized_metrics(
         "fast_rounds_nodes_per_sec": fast.rounds * n / fast_seconds,
         "vectorized_rounds_nodes_per_sec": vec.rounds * n / vec_seconds,
         "speedup_vs_fast": fast_seconds / vec_seconds,
+        "traced_fast_seconds": traced_fast_seconds,
+        "traced_vectorized_seconds": traced_vec_seconds,
+        "traced_vectorized_rounds_nodes_per_sec": (
+            vec.rounds * n / traced_vec_seconds
+        ),
+        "traced_speedup_vs_fast": traced_fast_seconds / traced_vec_seconds,
     }
 
 
@@ -389,6 +497,7 @@ def run_perf_suite(
     tracing = tracing_overhead_metrics()
     sweep = sweep_metrics(workers=workers)
     backends = backend_engine_metrics()
+    traced_backends = traced_backend_metrics()
     e5_full = e5_vectorized_metrics() if full else None
 
     def throughput(value: float) -> Dict[str, Optional[float]]:
@@ -432,6 +541,19 @@ def run_perf_suite(
             metrics[f"backend_{name}_speedup_vs_fast"] = ratio(
                 timing["speedup_vs_fast"]
             )
+    # Observed (metrics + trace attached) per-backend throughput: the
+    # plane-1 scale contract.  The vectorized row is the number the
+    # perf-smoke CI job tracks — if batched emission ever regresses to
+    # the scalar fallback, this metric collapses by an order of
+    # magnitude and the comparison flags it.
+    for name, timing in sorted(traced_backends.items()):
+        metrics[f"engine_{name}_traced_rounds_per_sec"] = throughput(
+            timing["traced_rounds_nodes_per_sec"]
+        )
+        if name != "fast":
+            metrics[f"engine_{name}_traced_speedup_vs_fast"] = ratio(
+                timing["traced_speedup_vs_fast"]
+            )
     if e5_full is not None:
         metrics["e5_1e6_vectorized_rounds_nodes_per_sec"] = throughput(
             e5_full["vectorized_rounds_nodes_per_sec"]
@@ -439,11 +561,18 @@ def run_perf_suite(
         metrics["e5_1e6_vectorized_speedup_vs_fast"] = ratio(
             e5_full["speedup_vs_fast"]
         )
+        metrics["e5_1e6_traced_vectorized_rounds_nodes_per_sec"] = (
+            throughput(e5_full["traced_vectorized_rounds_nodes_per_sec"])
+        )
+        metrics["e5_1e6_traced_vectorized_speedup_vs_fast"] = ratio(
+            e5_full["traced_speedup_vs_fast"]
+        )
     raw = {
         "engine_sleepheavy": engine,
         "tracing_overhead": tracing,
         "sweep": sweep,
         "backends": backends,
+        "traced_backends": traced_backends,
     }
     if e5_full is not None:
         raw["e5_1e6_vectorized"] = e5_full

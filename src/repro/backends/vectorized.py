@@ -22,7 +22,15 @@ per-node engine whenever vectorized execution could not be
 bit-identical or is impossible:
 
 - no kernel is registered for the algorithm's type;
-- observers are attached (per-node events require per-node stepping);
+- a *legacy* (non batch-capable) observer is attached — per-event
+  callbacks require per-node stepping.  Batch-capable observers
+  (:class:`repro.obs.BatchRunObserver` subclasses, which includes
+  ``MetricsObserver`` and ``JsonlTraceObserver``) stay on the
+  vectorized path: the harness delivers whole rounds columnar-ly via
+  ``on_round_batch``, with kernels reporting their published values
+  through :meth:`VectorRun.record_publish`, and the resulting
+  telemetry (metrics summaries, trace bytes) is identical to the
+  scalar engines' per-event stream;
 - the active fault plan touches messages (drop/duplicate/corrupt need
   materialized per-port inboxes) — round budgets stay on the
   vectorized path, and so do crash-stop faults when the kernel
@@ -33,7 +41,11 @@ bit-identical or is impossible:
   palettes, missing inputs) where the scalar path is the spec.
 
 The fallback is an implementation detail: callers always observe
-engine-identical behavior, including error behavior.
+engine-identical behavior, including error behavior.  One documented
+exception on *raising* observed runs: the batched stream stops at the
+last completed round boundary, whereas the scalar stream may include a
+prefix of the partial round (both satisfy the observer contract's
+"the stream simply stops").
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ from ..core.algorithm import SyncAlgorithm
 from ..core.context import Model
 from ..core.engine import (
     DEFAULT_MAX_ROUNDS,
+    SETUP_ROUND,
     RoundTrace,
     RunMeta,
     RunResult,
@@ -55,10 +68,14 @@ from ..core.engine import (
     active_fault_plan,
     flat_adjacency,
 )
-from ..core.errors import DuplicateIDError, ReproError, SimulationError
+from ..core.errors import DuplicateIDError, FaultEvent, ReproError, SimulationError
 from ..core.ids import check_unique_ids, sequential_ids
 from ..graphs.graph import Graph
+from ..obs.observer import RoundBatch
 from .mt19937 import VectorMT
+
+#: Sentinel distinguishing "no constant value" in record_publish.
+_NO_VALUE = object()
 
 #: Kernel registry: algorithm class -> RoundKernel subclass.
 _KERNELS: Dict[type, Type["RoundKernel"]] = {}
@@ -231,6 +248,12 @@ class VectorRun:
         self.failures: Dict[int, str] = {}
         #: Vertices halted in the round being executed (harness-reset).
         self.halted_this_round = 0
+        #: True when batch-capable observers are attached; kernels must
+        #: then report publishes via :meth:`record_publish` (a no-op
+        #: otherwise, so the unobserved hot path pays one bool test).
+        self.observing = False
+        self._pub_segments: List[Tuple[np.ndarray, Any, Any, Any, Any]] = []
+        self._halt_segments: List[Tuple[np.ndarray, List[Any]]] = []
 
     def vector_rng(self, min_words: int = 64) -> VectorMT:
         """The run's per-vertex random streams as one :class:`VectorMT`.
@@ -275,6 +298,51 @@ class VectorRun:
         out = self.outputs
         for v, value in zip(verts.tolist(), values):
             out[v] = value
+        if self.observing:
+            self._halt_segments.append(
+                (
+                    verts,
+                    values if isinstance(outputs, np.ndarray) else list(values),
+                )
+            )
+
+    def record_publish(
+        self,
+        verts: np.ndarray,
+        values: Any = None,
+        *,
+        value_const: Any = _NO_VALUE,
+        values_fn: Optional[Callable[[], Sequence[Any]]] = None,
+        payload_bytes: Any = None,
+    ) -> None:
+        """Report this round's published values for ``verts``.
+
+        A no-op unless the run is observed (:attr:`observing`), so
+        kernels call it unconditionally at every scatter site.  The
+        reported values must be *exactly* what the scalar algorithm
+        passes to ``ctx.publish`` for those vertices — the
+        observer-neutrality relation pins trace bytes across backends.
+
+        Exactly one of three value forms must be given: ``values`` (a
+        sequence/array aligned with ``verts``), ``value_const`` (one
+        shared value for every vertex), or ``values_fn`` (a thunk
+        returning the aligned sequence, called only if an observer
+        actually needs materialized values — payload-value traces).
+        ``payload_bytes`` optionally pre-computes
+        :func:`repro.obs.estimate_payload_bytes` per vertex (an aligned
+        int array, or one int for all) so byte accounting never has to
+        materialize values; omit it to let observers derive sizes from
+        the values themselves.
+        """
+        if not self.observing or verts.size == 0:
+            return
+        if values is None and value_const is _NO_VALUE and values_fn is None:
+            raise TypeError(
+                "record_publish needs values, value_const, or values_fn"
+            )
+        self._pub_segments.append(
+            (verts, payload_bytes, values, value_const, values_fn)
+        )
 
     def sleep(self, verts: np.ndarray, wake_rounds: np.ndarray) -> None:
         """Park ``verts`` until their ``wake_rounds`` (absolute)."""
@@ -326,6 +394,123 @@ class RoundKernel:
 
 
 # ---------------------------------------------------------------------------
+# Batch assembly: kernel-recorded segments -> one RoundBatch per round
+# ---------------------------------------------------------------------------
+
+
+def _merged_values_fn(
+    pubs: List[Tuple[np.ndarray, Any, Any, Any, Any]],
+    order: Optional[np.ndarray],
+) -> Callable[[], List[Any]]:
+    """Thunk materializing the round's published values in vertex
+    order, deferring per-vertex Python object construction until an
+    observer actually asks (payload-value traces, generic replay)."""
+
+    def materialize() -> List[Any]:
+        parts: List[Any] = []
+        for verts, _pb, values, const, fn in pubs:
+            if values is not None:
+                parts.extend(
+                    values.tolist()
+                    if isinstance(values, np.ndarray)
+                    else values
+                )
+            elif fn is not None:
+                parts.extend(fn())
+            else:
+                parts.extend([const] * int(verts.size))
+        if order is not None:
+            return [parts[i] for i in order.tolist()]
+        return parts
+
+    return materialize
+
+
+def _build_round_batch(
+    run: VectorRun,
+    round_index: int,
+    *,
+    active: int = 0,
+    awake: int = 0,
+    halted: int = 0,
+    messages: int = 0,
+    stepped: Any = (),
+    failed: Any = (),
+    fail_reasons: Sequence[str] = (),
+    faults: Sequence[Tuple[int, FaultEvent]] = (),
+) -> RoundBatch:
+    """Drain the run's recorded publish/halt segments into one
+    :class:`RoundBatch` with ascending vertex columns."""
+    pubs = run._pub_segments
+    halts = run._halt_segments
+    run._pub_segments = []
+    run._halt_segments = []
+
+    published: Any = ()
+    publish_bytes: Optional[np.ndarray] = None
+    values_fn: Optional[Callable[[], List[Any]]] = None
+    if pubs:
+        if len(pubs) == 1:
+            published = pubs[0][0]
+            order = None
+        else:
+            published = np.concatenate([seg[0] for seg in pubs])
+            order = np.argsort(published, kind="stable")
+            published = published[order]
+        byte_parts: Optional[List[np.ndarray]] = []
+        for verts, pb, _values, _const, _fn in pubs:
+            if pb is None:
+                byte_parts = None
+                break
+            if isinstance(pb, (int, np.integer)):
+                byte_parts.append(
+                    np.full(verts.size, int(pb), dtype=np.int64)
+                )
+            else:
+                byte_parts.append(np.asarray(pb, dtype=np.int64))
+        if byte_parts is not None:
+            publish_bytes = (
+                byte_parts[0]
+                if len(byte_parts) == 1
+                else np.concatenate(byte_parts)
+            )
+            if order is not None:
+                publish_bytes = publish_bytes[order]
+        values_fn = _merged_values_fn(pubs, order)
+
+    halted_verts: Any = ()
+    halt_values: Sequence[Any] = ()
+    if halts:
+        if len(halts) == 1:
+            halted_verts, halt_values = halts[0]
+        else:
+            halted_verts = np.concatenate([seg[0] for seg in halts])
+            horder = np.argsort(halted_verts, kind="stable")
+            halted_verts = halted_verts[horder]
+            merged: List[Any] = []
+            for _verts, vals in halts:
+                merged.extend(vals)
+            halt_values = [merged[i] for i in horder.tolist()]
+
+    return RoundBatch(
+        round_index,
+        active=active,
+        awake=awake,
+        halted=halted,
+        messages=messages,
+        stepped=stepped,
+        published=published,
+        publish_values_fn=values_fn,
+        publish_bytes=publish_bytes,
+        halted_verts=halted_verts,
+        halt_values=halt_values,
+        failed=failed,
+        fail_reasons=fail_reasons,
+        faults=faults,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The harness
 # ---------------------------------------------------------------------------
 
@@ -368,8 +553,17 @@ def run_local_vectorized(
         )
 
     kernel_cls = _KERNELS.get(type(algorithm))
-    if kernel_cls is None or _attached_observers(observers):
+    if kernel_cls is None:
         return fall_back()
+    attached = _attached_observers(observers)
+    if attached and not all(
+        getattr(obs, "batch_capable", False) for obs in attached
+    ):
+        # Legacy per-event observers need per-node stepping; batch
+        # capable ones consume columnar ``on_round_batch`` deliveries
+        # and keep the run on the vectorized kernels.
+        return fall_back()
+    observing = bool(attached)
     meta = RunMeta(
         algorithm=algorithm.name,
         model=model,
@@ -406,6 +600,7 @@ def run_local_vectorized(
             rng_factory=rng_factory,
             allow_duplicate_ids=allow_duplicate_ids,
         )
+        run.observing = observing
         if not kernel_cls.supports(algorithm, run):
             return fall_back()
         kernel = kernel_cls(run, algorithm)
@@ -418,6 +613,19 @@ def run_local_vectorized(
         # upstream phase) before anything observable happened; the
         # scalar engine re-raises its own — contractual — error.
         return fall_back()
+
+    if observing:
+        # Observable events start only after setup succeeded: had the
+        # harness fallen back above, the per-node engine would have
+        # emitted the whole stream itself (no double run_start).
+        for obs in attached:
+            obs.on_run_start(meta)
+        kernel_name = type(kernel).__name__
+        for obs in attached:
+            obs.on_backend_info("vectorized", kernel_name)
+        setup_batch = _build_round_batch(run, SETUP_ROUND)
+        for obs in attached:
+            obs.on_round_batch(setup_batch)
 
     n = run.n
     alive = ~run.halted
@@ -447,7 +655,14 @@ def run_local_vectorized(
 
     while runnable.size or parked:
         if budget is not None and rounds >= budget:
-            raise faults.budget_error(rounds)
+            budget_error = faults.budget_error(rounds)
+            if observing:
+                # Run-level fault: delivered immediately (never part of
+                # a batch), exactly like the scalar engines' vertex-None
+                # ``on_fault`` right before the raise.
+                for obs in attached:
+                    obs.on_run_fault(rounds, budget_error)
+            raise budget_error
         if rounds >= max_rounds:
             raise SimulationError(
                 f"{algorithm.name!r} exceeded {max_rounds} rounds on "
@@ -478,12 +693,32 @@ def run_local_vectorized(
                         RoundTrace(active=parked, awake=0, halted=0)
                         for _ in range(skip)
                     )
+                if observing:
+                    # The scalar engines emit round boundaries for
+                    # bulk-accounted sleeping rounds too: one empty
+                    # batch per skipped round keeps the streams equal.
+                    for r in range(rounds, rounds + skip):
+                        empty = RoundBatch(
+                            r,
+                            active=parked,
+                            messages=messages_per_round,
+                        )
+                        for obs in attached:
+                            obs.on_round_batch(empty)
                 rounds += skip
                 messages += skip * messages_per_round
                 continue
+        if observing and runnable.size:
+            # Ascending vertex order, as the scalar engines schedule
+            # when observed; kernels are order-insensitive so this only
+            # normalizes the batch columns.
+            runnable = np.sort(runnable)
         active_now = int(runnable.size) + parked
         awake_now = int(runnable.size)
         run.halted_this_round = 0
+        crashed_verts: Any = ()
+        crash_reasons: List[str] = []
+        crash_faults: List[Tuple[int, FaultEvent]] = []
         if crash_round is not None:
             crashed_sel = crash_round[runnable] <= rounds
             if crashed_sel.any():
@@ -495,9 +730,16 @@ def run_local_vectorized(
                 reason = faults.crash_reason(rounds)
                 for v in crashed.tolist():
                     run.failures[v] = reason
+                    if observing:
+                        crash_faults.append(
+                            (v, faults.crash_event(rounds, v))
+                        )
+                        crash_reasons.append(reason)
                 run.halted[crashed] = True
                 run.halted_this_round += int(crashed.size)
                 runnable = runnable[~crashed_sel]
+                if observing:
+                    crashed_verts = crashed
         run.wake[runnable] = -1
         if runnable.size:
             kernel.step(runnable, rounds)
@@ -525,17 +767,36 @@ def run_local_vectorized(
                     halted=run.halted_this_round,
                 )
             )
+        if observing:
+            batch = _build_round_batch(
+                run,
+                rounds,
+                active=active_now,
+                awake=awake_now,
+                halted=run.halted_this_round,
+                messages=messages_per_round,
+                stepped=runnable,
+                failed=crashed_verts,
+                fail_reasons=crash_reasons,
+                faults=crash_faults,
+            )
+            for obs in attached:
+                obs.on_round_batch(batch)
         runnable = survivors
         rounds += 1
         messages += messages_per_round
 
-    return RunResult(
+    result = RunResult(
         outputs=run.outputs,
         rounds=rounds,
         messages=messages,
         failures=run.failures,
         trace=traces,
     )
+    if observing:
+        for obs in attached:
+            obs.on_run_end(result)
+    return result
 
 
 def _group_by_wake(

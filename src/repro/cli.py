@@ -229,8 +229,18 @@ def _traced_workload(args: argparse.Namespace, observer) -> None:
 def cmd_trace(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .core.engine import observe_runs
     from .obs import JsonlTraceObserver
 
+    if getattr(args, "trace_command", None) == "query":
+        return cmd_trace_query(args)
+    if args.output is None:
+        print(
+            "repro trace: --output PATH is required in record mode "
+            "(or use 'repro trace query' to analyze an existing trace)",
+            file=sys.stderr,
+        )
+        return 2
     if args.n < 2 or args.delta < 2:
         print(
             f"repro trace: need n >= 2 and delta >= 2, got "
@@ -245,15 +255,154 @@ def cmd_trace(args: argparse.Namespace) -> int:
         topology=not args.no_topology,
         node_steps=args.steps,
     )
+    # Plane-2 sidecars ride along without touching the deterministic
+    # trace bytes: timing goes to its own JSONL, progress to stderr.
+    sidecars = []
+    if args.timing_sidecar:
+        from .obs import TimingSidecarObserver
+
+        Path(args.timing_sidecar).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        sidecars.append(TimingSidecarObserver(args.timing_sidecar))
+    if args.progress:
+        from .obs import ProgressReporter
+
+        sidecars.append(ProgressReporter(label="trace"))
     try:
-        _traced_workload(args, observer)
+        with observe_runs(*sidecars) if sidecars else _null_context():
+            _traced_workload(args, observer)
     finally:
         observer.close()
+        for sidecar in sidecars:
+            if hasattr(sidecar, "close"):
+                sidecar.close()
     print(
         f"trace written: {args.output} "
         f"({observer.events_written} events, workload={args.workload}, "
         f"n={args.n}, delta={args.delta}, seed={args.seed})"
     )
+    if args.timing_sidecar:
+        print(f"timing sidecar written: {args.timing_sidecar}")
+    return 0
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+def cmd_trace_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import iter_trace
+    from .obs.query import (
+        aggregate_trace,
+        dump_jsonl,
+        filter_events,
+        merge_aggregates,
+        render_aggregate,
+        render_timeline,
+        round_timeline,
+        vertex_history,
+    )
+
+    paths = args.traces
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(
+                f"repro trace query: trace does not exist: {p}",
+                file=sys.stderr,
+            )
+        return 2
+    if args.op != "aggregate" and len(paths) > 1:
+        print(
+            f"repro trace query: --op {args.op} takes exactly one "
+            "trace (cross-trace merge is aggregate-only)",
+            file=sys.stderr,
+        )
+        return 2
+    out = sys.stdout
+    out_file = None
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        out_file = open(args.output, "w", encoding="utf-8")
+        out = out_file
+    try:
+        if args.op == "aggregate":
+            # One streaming pass per trace; never loads a trace whole.
+            aggregates = [
+                aggregate_trace(iter_trace(p), run=args.run)
+                for p in paths
+            ]
+            merged = (
+                merge_aggregates(aggregates)
+                if len(aggregates) > 1
+                else aggregates[0]
+            )
+            if args.format == "json":
+                out.write(_json.dumps(merged, sort_keys=True))
+                out.write("\n")
+            else:
+                out.write(render_aggregate(merged))
+                out.write("\n")
+        elif args.op == "timeline":
+            rows = round_timeline(
+                iter_trace(paths[0]),
+                run=args.run if args.run is not None else 0,
+            )
+            if args.format == "json":
+                out.write(_json.dumps(rows))
+                out.write("\n")
+            else:
+                out.write(render_timeline(rows))
+                out.write("\n")
+        elif args.op == "vertex":
+            if args.vertex is None:
+                print(
+                    "repro trace query: --op vertex needs --vertex V",
+                    file=sys.stderr,
+                )
+                return 2
+            history = vertex_history(
+                iter_trace(paths[0]),
+                args.vertex,
+                run=args.run if args.run is not None else 0,
+            )
+            dump_jsonl(history, out)
+        else:  # filter
+            count = dump_jsonl(
+                filter_events(
+                    iter_trace(paths[0]),
+                    run=args.run,
+                    kinds=args.kind or None,
+                    vertex=args.vertex,
+                    round_min=args.round_min,
+                    round_max=args.round_max,
+                ),
+                out,
+            )
+            if out_file is not None:
+                print(f"{count} matching event(s)")
+    except ValueError as exc:
+        print(f"repro trace query: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: that is a normal way
+        # to end a streaming query, not an error.  Point stdout at
+        # /dev/null so interpreter-exit flushing cannot raise again.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if out_file is not None:
+            out_file.close()
+    if out_file is not None:
+        print(f"query output written to {args.output}")
     return 0
 
 
@@ -304,16 +453,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
             os.close(fd)
             cleanup = True
         observer = JsonlTraceObserver(trace_path)
+        sidecars = []
+        if args.progress:
+            from .obs import ProgressReporter
+
+            sidecars.append(ProgressReporter(label="profile"))
+        if args.timing_sidecar:
+            from .obs import TimingSidecarObserver
+
+            Path(args.timing_sidecar).parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            sidecars.append(
+                TimingSidecarObserver(args.timing_sidecar)
+            )
         try:
             from .core import observe_runs
 
             tree = random_tree_bounded_degree(
                 args.n, args.delta, random.Random(args.seed)
             )
-            with observe_runs(observer):
+            with observe_runs(observer, *sidecars):
                 pettie_su_tree_coloring(tree, seed=args.seed)
         finally:
             observer.close()
+            for sidecar in sidecars:
+                if hasattr(sidecar, "close"):
+                    sidecar.close()
     try:
         from .algorithms.rand_tree_coloring import BAD
 
@@ -361,6 +527,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    progress = None
+    if args.progress:
+        from .obs.timing import sweep_progress_printer
+
+        progress = sweep_progress_printer(label="repro faults")
     try:
         record = failure_rate_experiment(
             n=args.n,
@@ -372,6 +543,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             workers=args.workers,
             retries=args.retries,
             journal=args.journal,
+            progress=progress,
         )
     except ValueError as exc:
         print(f"repro faults: {exc}", file=sys.stderr)
@@ -385,6 +557,23 @@ def cmd_faults(args: argparse.Namespace) -> int:
             fh.write(text)
             fh.write("\n")
         print(f"report written to {args.output}")
+    if args.export_metrics:
+        from .obs.export import write_metrics_export
+
+        summary = next(iter(record.telemetry.values()), None)
+        if summary is None:
+            print(
+                "repro faults: no telemetry to export",
+                file=sys.stderr,
+            )
+        else:
+            Path(args.export_metrics).parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            fmt = write_metrics_export(summary, args.export_metrics)
+            print(
+                f"metrics exported to {args.export_metrics} ({fmt})"
+            )
     return 0 if record.all_checks_pass else 1
 
 
@@ -685,8 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace",
         help=(
-            "run a demo workload with the JSONL trace observer "
-            "attached and write the event stream"
+            "record a demo workload's JSONL event stream, or query "
+            "an existing trace ('repro trace query ...')"
         ),
     )
     p.add_argument(
@@ -702,8 +891,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         metavar="PATH",
-        required=True,
-        help="JSONL file to write (overwritten)",
+        help="JSONL file to write (overwritten); required in record "
+        "mode",
     )
     p.add_argument(
         "--values",
@@ -721,7 +910,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one event per vertex step (large traces)",
     )
-    p.set_defaults(func=cmd_trace)
+    p.add_argument(
+        "--timing-sidecar",
+        metavar="PATH",
+        help="also write the plane-2 timing/resource JSONL sidecar "
+        "here (wall clock, RSS, backend attribution — excluded from "
+        "the deterministic byte-identity contract)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live round progress on stderr while recording",
+    )
+    p.set_defaults(func=cmd_trace, trace_command=None)
+    trace_sub = p.add_subparsers(dest="trace_command")
+    q = trace_sub.add_parser(
+        "query",
+        help=(
+            "streaming analytics over recorded traces: filter, "
+            "aggregate, per-round timeline, per-vertex history "
+            "(never loads a trace fully into memory)"
+        ),
+    )
+    q.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE",
+        help="JSONL trace file(s); several are merged (aggregate op "
+        "only)",
+    )
+    q.add_argument(
+        "--op",
+        choices=("aggregate", "timeline", "vertex", "filter"),
+        default="aggregate",
+        help="aggregate = whole-trace totals (default); timeline = "
+        "one row per round; vertex = one vertex's event history; "
+        "filter = re-emit matching events as JSONL",
+    )
+    q.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        help="restrict to this run index (default: all runs for "
+        "aggregate/filter, run 0 for timeline/vertex)",
+    )
+    q.add_argument(
+        "--vertex",
+        type=int,
+        default=None,
+        help="vertex id (required for --op vertex; optional filter "
+        "predicate otherwise)",
+    )
+    q.add_argument(
+        "--kind",
+        action="append",
+        metavar="EVENT",
+        help="filter op: keep only this event kind (repeatable)",
+    )
+    q.add_argument("--round-min", type=int, default=None)
+    q.add_argument("--round-max", type=int, default=None)
+    q.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="aggregate/timeline output format (default: text); "
+        "vertex/filter always emit JSONL",
+    )
+    q.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the query result here instead of stdout",
+    )
+    q.set_defaults(func=cmd_trace, trace_command="query")
 
     p = sub.add_parser(
         "profile",
@@ -771,6 +1031,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="driver mode: keep the intermediate JSONL trace at PATH "
         "instead of a deleted tempfile",
+    )
+    p.add_argument(
+        "--timing-sidecar",
+        metavar="PATH",
+        help="driver mode: write the plane-2 timing/resource JSONL "
+        "sidecar here",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="driver mode: render live round progress on stderr",
     )
     p.set_defaults(func=cmd_profile)
 
@@ -830,6 +1101,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="PATH",
         help="also write the rendered record here",
+    )
+    p.add_argument(
+        "--export-metrics",
+        metavar="PATH",
+        help="export the merged sweep telemetry here (.prom/.txt = "
+        "Prometheus text exposition, anything else = canonical JSON)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live cells-done ticker on stderr",
     )
     p.set_defaults(func=cmd_faults)
 

@@ -129,6 +129,7 @@ def failure_rate_experiment(
     retries: int = 0,
     journal: Optional[str] = None,
     record: Optional[ExperimentRecord] = None,
+    progress=None,
 ) -> ExperimentRecord:
     """Run the fault-rate sweep and package it as an ExperimentRecord.
 
@@ -158,6 +159,7 @@ def failure_rate_experiment(
         retries=retries,
         journal=journal,
         observer_factory=MetricsObserver,
+        progress=progress,
     )
     if record is None:
         record = ExperimentRecord(

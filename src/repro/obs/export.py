@@ -1,0 +1,171 @@
+"""Export metric summaries to standard formats.
+
+:func:`repro.obs.metrics.MetricsObserver.summary` (and the merged
+summaries sweeps produce) are plain dicts; this module renders them
+
+- as **Prometheus text exposition format** (version 0.0.4) — counters
+  and gauges map directly, histograms become the conventional
+  ``_count``/``_sum`` pair plus ``_min``/``_max`` gauges (the metrics
+  registry keeps exact count/sum/min/max rather than buckets, so
+  bucketed ``le`` series would be fabrication);
+- as a **canonical JSON snapshot** — the summary dict wrapped with an
+  export schema marker, serialized with sorted keys and fixed
+  separators so repeated exports of the same summary are byte-equal.
+
+Exports are *views* of the deterministic plane: exporting never
+mutates a summary, and the bytes produced from a given summary are
+stable.  Wall-clock scrape timestamps are deliberately omitted — a
+scraper adds its own.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Optional
+
+from .metrics import SUMMARY_VERSION
+
+EXPORT_SCHEMA = "repro.obs.export"
+EXPORT_VERSION = 1
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _check_summary(summary: Dict[str, Any]) -> None:
+    schema = summary.get("schema")
+    if schema != "repro.obs.metrics":
+        raise ValueError(
+            f"cannot export summary with schema {schema!r}; expected "
+            "'repro.obs.metrics' (MetricsObserver.summary() output)"
+        )
+    version = summary.get("version")
+    if not isinstance(version, int) or version > SUMMARY_VERSION:
+        raise ValueError(
+            f"cannot export summary version {version!r}; this "
+            f"exporter understands <= {SUMMARY_VERSION}"
+        )
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    candidate = prefix + _NAME_FIX.sub("_", name)
+    if not _NAME_OK.match(candidate):
+        candidate = "_" + candidate
+    return candidate
+
+
+def _prom_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(
+    summary: Dict[str, Any], *, prefix: str = "repro_"
+) -> str:
+    """Render a metrics summary as Prometheus text exposition format.
+
+    Metric names are prefixed and sanitized (every character outside
+    ``[a-zA-Z0-9_:]`` becomes ``_``); output is sorted by metric name
+    so the bytes are a pure function of the summary.
+    """
+    _check_summary(summary)
+    lines = []
+    metrics = summary.get("metrics", {})
+    for name in sorted(metrics):
+        snap = metrics[name]
+        kind = snap.get("type")
+        base = _prom_name(prefix, name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {_prom_value(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prom_value(snap['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} summary")
+            lines.append(f"{base}_count {_prom_value(snap['count'])}")
+            lines.append(f"{base}_sum {_prom_value(snap['total'])}")
+            lines.append(f"# TYPE {base}_min gauge")
+            lines.append(f"{base}_min {_prom_value(snap['min'])}")
+            lines.append(f"# TYPE {base}_max gauge")
+            lines.append(f"{base}_max {_prom_value(snap['max'])}")
+        else:
+            raise ValueError(
+                f"metric {name!r} has unknown type {kind!r}"
+            )
+    derived = summary.get("derived") or {}
+    for name in sorted(derived):
+        value = derived[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        base = _prom_name(prefix + "derived_", name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_prom_value(value)}")
+    runs = summary.get("runs")
+    if isinstance(runs, int):
+        base = _prom_name(prefix, "runs_observed")
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {runs}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json_snapshot(summary: Dict[str, Any]) -> str:
+    """Canonical JSON export (sorted keys, fixed separators)."""
+    _check_summary(summary)
+    return json.dumps(
+        {
+            "schema": EXPORT_SCHEMA,
+            "version": EXPORT_VERSION,
+            "summary": summary,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def write_metrics_export(
+    summary: Dict[str, Any],
+    path: str,
+    *,
+    fmt: Optional[str] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Write ``summary`` to ``path`` as Prometheus text or JSON.
+
+    ``fmt`` is ``"prometheus"`` or ``"json"``; left ``None`` it is
+    inferred from the extension (``.prom``/``.txt`` → Prometheus,
+    everything else → JSON).  Returns the format used.
+    """
+    if fmt is None:
+        fmt = (
+            "prometheus"
+            if path.endswith((".prom", ".txt"))
+            else "json"
+        )
+    if fmt == "prometheus":
+        text = to_prometheus(summary, prefix=prefix)
+    elif fmt == "json":
+        text = to_json_snapshot(summary) + "\n"
+    else:
+        raise ValueError(
+            f"unknown export format {fmt!r}; "
+            "expected 'prometheus' or 'json'"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return fmt
+
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "EXPORT_VERSION",
+    "to_json_snapshot",
+    "to_prometheus",
+    "write_metrics_export",
+]

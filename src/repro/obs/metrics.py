@@ -21,15 +21,30 @@
 Summaries are plain JSON-safe dicts so :func:`repro.analysis.run_sweep`
 can pickle them back from forked workers; :func:`merge_summaries`
 combines them deterministically (counters add, gauges take the max,
-histograms pool their moments).
+histograms pool their moments) and refuses summaries it cannot merge
+faithfully (foreign schema, newer version, unknown metric type).
+
+The observer is batch-capable (:class:`~repro.obs.BatchRunObserver`):
+on the scalar engines it accumulates from per-event callbacks, on the
+vectorized backend from columnar ``on_round_batch`` deliveries — both
+paths produce the *same summary*, a contract pinned per backend by the
+observer-neutrality relation in :mod:`repro.verify`.  Histogram totals
+stay exact under bulk accumulation because every observed value is an
+integer far below 2**53 (or a single per-round float computed
+identically on both paths).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..core.engine import RunMeta, RunResult, SETUP_ROUND
-from .observer import RunObserver
+from ..core.engine import RunMeta, RunResult, SETUP_ROUND, flat_adjacency
+from .observer import BatchRunObserver, RoundBatch, iter_scalar_events
+
+#: Schema version written by :meth:`MetricsObserver.summary`.  v2 added
+#: the run-outcome counters (``runs_succeeded_total`` etc.) and the
+#: recomputable ``derived`` block; v1 summaries still merge.
+SUMMARY_VERSION = 2
 
 #: Deterministic size charged for objects whose ``repr`` would embed a
 #: memory address (default ``object.__repr__``) — never call that repr,
@@ -170,7 +185,7 @@ class MetricsRegistry:
         }
 
 
-class MetricsObserver(RunObserver):
+class MetricsObserver(BatchRunObserver):
     """Populate a :class:`MetricsRegistry` from engine events.
 
     One instance may watch several runs (every phase of a driver under
@@ -178,9 +193,17 @@ class MetricsObserver(RunObserver):
     across runs, per-run locality state resets at each
     ``on_run_start``.  Setup-round publishes are folded into the first
     round's payload accounting.
+
+    Batch-capable with two disjoint accumulation paths: the scalar
+    callbacks below (every one overridden, so the base-class shim never
+    engages) and :meth:`on_round_batch` for columnar deliveries.  When
+    a batch arrives with numpy columns, per-run locality state flips to
+    numpy arrays for that run and ball-growth becomes one CSR segment
+    reduction per round — same numbers, no per-vertex Python work.
     """
 
     def __init__(self) -> None:
+        super().__init__()
         self.registry = MetricsRegistry()
         self.runs = 0
         #: Per-run, per-round curve: list (over runs) of lists of dicts.
@@ -192,6 +215,12 @@ class MetricsObserver(RunObserver):
         self._pending_radius: Dict[int, int] = {}
         self._round_payload = 0
         self._round_publishes = 0
+        # Numpy-mode locality state (vectorized-backend runs only).
+        self._vec = False
+        self._radius_np: Any = None
+        self._pub_radius_np: Any = None
+        self._pending_np: List[Tuple[Any, Any]] = []
+        self._csr: Any = None
 
     # -- engine callbacks ----------------------------------------------
     def on_run_start(self, meta: RunMeta) -> None:
@@ -204,6 +233,11 @@ class MetricsObserver(RunObserver):
         self._pending_radius = {}
         self._round_payload = 0
         self._round_publishes = 0
+        self._vec = False
+        self._radius_np = None
+        self._pub_radius_np = None
+        self._pending_np = []
+        self._csr = None
 
     def on_round_start(self, round_index: int, active: int) -> None:
         # Publishes staged last round (or in setup) became visible at
@@ -286,10 +320,151 @@ class MetricsObserver(RunObserver):
         self._round_publishes = 0
 
     def on_run_end(self, result: RunResult) -> None:
-        if self._radius:
+        if self._vec:
+            if self._radius_np is not None and self._n:
+                self.registry.gauge("max_locality_radius").set(
+                    int(self._radius_np.max())
+                )
+        elif self._radius:
             self.registry.gauge("max_locality_radius").set(
                 max(self._radius)
             )
+        # Run-outcome accounting for the empirical failure-probability
+        # story (RandLOCAL algorithms promise failure probability
+        # ≤ 1/n): pure counters, so sweep merges stay order-insensitive
+        # and the rates can be recomputed after any merge (see
+        # ``derived`` in :meth:`summary`).
+        if result.failures:
+            self.registry.counter("runs_failed_total").inc()
+        else:
+            self.registry.counter("runs_succeeded_total").inc()
+        self.registry.counter("runs_vertices_total").inc(self._n)
+
+    def on_run_fault(self, round_index: int, fault: Any) -> None:
+        # Vectorized delivery of what the scalar engines report as a
+        # vertex-``None`` ``on_fault`` (round-budget exhaustion).
+        self.on_fault(round_index, None, fault)
+
+    # -- the columnar accumulation path --------------------------------
+    def on_round_batch(self, batch: RoundBatch) -> None:
+        has_np = (
+            hasattr(batch.stepped, "dtype")
+            or hasattr(batch.published, "dtype")
+            or hasattr(batch.halted_verts, "dtype")
+        )
+        if has_np and not self._vec:
+            self._enter_vector_mode()
+        if self._vec:
+            self._batch_np(batch)
+            return
+        # Plain-list batches (the scalar shim's shape): replay the
+        # scalar event order through the per-event callbacks — exact by
+        # construction, and numpy-free.
+        r = batch.round_index
+        if r != SETUP_ROUND:
+            self.on_round_start(r, batch.active)
+        for event in iter_scalar_events(batch):
+            kind = event[0]
+            if kind == "step":
+                self.on_node_step(event[1], event[2], None)
+            elif kind == "publish":
+                self.on_publish(event[1], event[2], event[3])
+            elif kind == "halt":
+                self.on_halt(event[1], event[2], event[3])
+            elif kind == "failure":
+                self.on_failure(event[1], event[2], event[3])
+            elif kind == "fault":
+                self.on_fault(event[1], event[2], event[3])
+        if r != SETUP_ROUND:
+            self.on_round_end(
+                r, batch.awake, batch.halted, batch.messages
+            )
+
+    def _enter_vector_mode(self) -> None:
+        import numpy as np
+
+        self._vec = True
+        self._radius_np = np.zeros(self._n, dtype=np.int64)
+        self._pub_radius_np = np.zeros(self._n, dtype=np.int64)
+        self._pending_np = []
+        if self._graph is not None and self._n:
+            offsets, targets = flat_adjacency(self._graph)
+            self._csr = (
+                np.asarray(offsets, dtype=np.int64),
+                np.asarray(targets, dtype=np.int64),
+            )
+
+    def _batch_np(self, batch: RoundBatch) -> None:
+        import numpy as np
+
+        registry = self.registry
+        r = batch.round_index
+        track_radius = self._n > 0
+        if r != SETUP_ROUND:
+            if self._pending_np:
+                for verts, radii in self._pending_np:
+                    self._pub_radius_np[verts] = radii
+                self._pending_np = []
+            if self._csr is not None and len(batch.stepped):
+                self._grow_radii_np(np, np.asarray(batch.stepped))
+        for vertex, fault in batch.faults:
+            self.on_fault(r, vertex, fault)
+        npub = len(batch.published)
+        if npub:
+            sizes = np.asarray(batch.publish_bytes(), dtype=np.int64)
+            total = int(sizes.sum())
+            registry.counter("publishes_total").inc(npub)
+            registry.counter("payload_bytes_total").inc(total)
+            self._round_payload += total
+            self._round_publishes += npub
+            if track_radius:
+                published = np.asarray(batch.published)
+                self._pending_np.append(
+                    (published, self._radius_np[published])
+                )
+        nhalt = len(batch.halted_verts)
+        if nhalt:
+            registry.counter("halted_total").inc(nhalt)
+            _observe_bulk(
+                registry.histogram("halt_round"), nhalt, r * nhalt, r, r
+            )
+            if track_radius:
+                radii = self._radius_np[np.asarray(batch.halted_verts)]
+                _observe_bulk(
+                    registry.histogram("locality_radius"),
+                    nhalt,
+                    int(radii.sum()),
+                    int(radii.min()),
+                    int(radii.max()),
+                )
+        nfail = len(batch.failed)
+        if nfail:
+            registry.counter("failed_total").inc(nfail)
+        if r != SETUP_ROUND:
+            self.on_round_end(
+                r, batch.awake, batch.halted, batch.messages
+            )
+
+    def _grow_radii_np(self, np: Any, stepped: Any) -> None:
+        """Ball-growth for all stepping vertices as one CSR segment
+        reduction — the columnar twin of the ``on_node_step`` loop."""
+        offsets, targets = self._csr
+        starts = offsets[stepped]
+        counts = offsets[stepped + 1] - starts
+        seg_off = np.zeros(stepped.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=seg_off[1:])
+        total = int(seg_off[-1])
+        if total == 0:
+            return
+        ptr = np.repeat(np.arange(stepped.size, dtype=np.int64), counts)
+        within = np.arange(total, dtype=np.int64) - seg_off[ptr]
+        reach = self._pub_radius_np[targets[starts[ptr] + within]] + 1
+        padded = np.append(reach, np.int64(0))
+        grown = np.maximum.reduceat(padded, seg_off[:-1])
+        grown[seg_off[:-1] == seg_off[1:]] = 0
+        self._radius_np[stepped] = np.maximum(
+            self._radius_np[stepped], grown
+        )
 
     # -- summaries ------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
@@ -297,14 +472,67 @@ class MetricsObserver(RunObserver):
 
         This is what :func:`repro.analysis.run_sweep` ships back from
         forked workers and merges across cells — keep it picklable and
-        deterministic.
+        deterministic.  The ``derived`` block (empirical failure rate
+        vs the 1/n target) is recomputed from counters, both here and
+        after every :func:`merge_summaries`, so it stays correct under
+        any merge order.
         """
+        metrics = self.registry.snapshot()
         return {
             "schema": "repro.obs.metrics",
-            "version": 1,
+            "version": SUMMARY_VERSION,
             "runs": self.runs,
-            "metrics": self.registry.snapshot(),
+            "metrics": metrics,
+            "derived": _derived_block(metrics),
         }
+
+
+def _observe_bulk(
+    hist: Histogram,
+    count: int,
+    total: int,
+    vmin: float,
+    vmax: float,
+) -> None:
+    """Fold ``count`` integer observations summing to ``total`` into
+    ``hist`` at once.  Exact twin of ``count`` scalar ``observe``
+    calls: integer partial sums are float-exact below 2**53."""
+    hist.count += count
+    hist.total += total
+    if hist.min is None or vmin < hist.min:
+        hist.min = vmin
+    if hist.max is None or vmax > hist.max:
+        hist.max = vmax
+
+
+def _counter_value(metrics: Dict[str, Any], name: str) -> int:
+    snap = metrics.get(name)
+    return snap["value"] if snap and snap.get("type") == "counter" else 0
+
+
+def _derived_block(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Rates recomputed from counters — never merged directly, so they
+    stay consistent regardless of merge order.
+
+    ``empirical_failure_rate`` is the fraction of observed runs with at
+    least one failed vertex; ``failure_rate_target`` is the paper's
+    1/n promise, generalized to runs/total-vertices so uniform-n sweeps
+    read exactly 1/n.
+    """
+    failed = _counter_value(metrics, "runs_failed_total")
+    succeeded = _counter_value(metrics, "runs_succeeded_total")
+    vertices = _counter_value(metrics, "runs_vertices_total")
+    finished = failed + succeeded
+    derived: Dict[str, Any] = {}
+    if finished:
+        derived["runs_observed"] = finished
+        derived["empirical_failure_rate"] = failed / finished
+    if vertices:
+        derived["failure_rate_target"] = finished / vertices
+    return derived
+
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
 
 
 def _merge_metric(
@@ -333,24 +561,71 @@ def _merge_metric(
     }
 
 
+#: Every top-level section this build knows how to merge.  ``derived``
+#: is recomputable from the merged counters, so dropping an *input's*
+#: derived block is faithful; any other unrecognized section is not.
+_SUMMARY_KEYS = frozenset(
+    {"schema", "version", "runs", "metrics", "derived"}
+)
+
+
+def _check_mergeable(summary: Dict[str, Any]) -> None:
+    """Refuse summaries this code cannot merge faithfully — silently
+    dropping (or mis-adding) a newer schema's keys would corrupt sweep
+    telemetry without a trace."""
+    schema = summary.get("schema", "repro.obs.metrics")
+    if schema != "repro.obs.metrics":
+        raise ValueError(
+            f"cannot merge foreign summary schema {schema!r}"
+        )
+    version = summary.get("version", 1)
+    if not isinstance(version, int) or version > SUMMARY_VERSION:
+        raise ValueError(
+            f"cannot merge metrics summary version {version!r}: this "
+            f"build understands versions 1..{SUMMARY_VERSION} — "
+            "upgrade before merging"
+        )
+    unknown = sorted(set(summary) - _SUMMARY_KEYS)
+    if unknown:
+        raise ValueError(
+            f"cannot merge metrics summary with unknown section(s) "
+            f"{unknown} — merging would silently drop them"
+        )
+    for name, snap in summary.get("metrics", {}).items():
+        kind = snap.get("type") if isinstance(snap, dict) else None
+        if kind not in _METRIC_TYPES:
+            raise ValueError(
+                f"metric {name!r} has unknown type {kind!r} "
+                "(newer schema?) — refusing to merge"
+            )
+
+
 def merge_summaries(
     summaries: Sequence[Dict[str, Any]],
 ) -> Dict[str, Any]:
     """Deterministically combine :meth:`MetricsObserver.summary` dicts.
 
-    Counters add, gauges keep the maximum, histograms pool moments.
+    Counters add, gauges keep the maximum, histograms pool moments, and
+    the ``derived`` rates are recomputed from the merged counters.
     Merging is order-insensitive for counters/histograms and reduced
     with ``max`` for gauges, so any grid order yields the same result
     — the bit-identical-to-serial contract ``run_sweep`` tests rely on.
+
+    Raises :class:`ValueError` on anything that cannot be merged
+    faithfully: a foreign schema, a summary version newer than
+    :data:`SUMMARY_VERSION`, or a metric of unknown type.  (v1
+    summaries merge fine; the result is always emitted at the current
+    version.)
     """
     merged: Dict[str, Any] = {
         "schema": "repro.obs.metrics",
-        "version": 1,
+        "version": SUMMARY_VERSION,
         "runs": 0,
         "metrics": {},
     }
     metrics: Dict[str, Dict[str, Any]] = {}
     for summary in summaries:
+        _check_mergeable(summary)
         merged["runs"] += summary.get("runs", 0)
         for name, snap in summary.get("metrics", {}).items():
             if name in metrics:
@@ -358,6 +633,7 @@ def merge_summaries(
             else:
                 metrics[name] = dict(snap)
     merged["metrics"] = {name: metrics[name] for name in sorted(metrics)}
+    merged["derived"] = _derived_block(merged["metrics"])
     return merged
 
 
@@ -368,6 +644,7 @@ __all__ = [
     "MetricsObserver",
     "MetricsRegistry",
     "SETUP_ROUND",
+    "SUMMARY_VERSION",
     "estimate_payload_bytes",
     "merge_summaries",
 ]

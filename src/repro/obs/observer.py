@@ -1,4 +1,4 @@
-"""The observer callback protocol.
+"""The observer callback protocol — scalar events and round batches.
 
 :class:`RunObserver` is the no-op base class engine observers derive
 from: subclass it, override the callbacks you care about, and pass
@@ -30,19 +30,47 @@ delivery faults (drop/duplicate/corrupt, ports ascending) precede its
 exhaustion emits one run-level ``on_fault`` (vertex ``None``) right
 before the run raises :class:`~repro.core.errors.BudgetExceededError`.
 
+**Round batches.**  :class:`BatchRunObserver` extends the protocol with
+a columnar delivery path: instead of one callback per event, a backend
+may deliver one :class:`RoundBatch` per round via ``on_round_batch``.
+The ``"vectorized"`` backend emits batches natively (numpy index
+arrays, no per-vertex Python dispatch); on the scalar engines the base
+class's scalar callbacks transparently assemble the same batches from
+per-event callbacks, so a batch observer works everywhere.  A batch
+carries exactly the information of the scalar event stream —
+:func:`iter_scalar_events` reconstructs the per-event order — so both
+delivery paths produce identical telemetry (the observer-neutrality
+relation in ``repro.verify`` pins this per backend).  One caveat on
+raising runs: a batch is delivered at its round boundary, so when the
+run raises mid-round the batched stream omits that final partial round
+while the scalar stream may include its prefix ("the stream simply
+stops" covers both).
+
 Observers are **read-only spectators**.  The ``ctx`` handed to
-``on_node_step`` is live engine state: reading (``ctx.halted``,
-``ctx.output``, ``ctx.pending_publish``, ...) is fine, calling
-lifecycle methods or assigning attributes is not (rule LM008).
+``on_node_step`` is live engine state, and the arrays inside a
+:class:`RoundBatch` are shared with the emitting backend: reading is
+fine, calling lifecycle methods, assigning attributes, or writing into
+batch payload arrays is not (rule LM008).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.context import NodeContext
-from ..core.engine import RunMeta, RunResult
+from ..core.engine import RunMeta, RunResult, SETUP_ROUND
 from ..core.errors import FaultEvent
+
+#: Sentinel batch payload meaning "no value recorded".
+_UNSET = object()
 
 
 class RunObserver:
@@ -105,3 +133,326 @@ class RunObserver:
 
     def on_run_end(self, result: RunResult) -> None:
         """The run completed with ``result``."""
+
+
+class RoundBatch:
+    """Columnar snapshot of one round's events (or of the setup pass).
+
+    Vertex columns are ascending index sequences — numpy int64 arrays
+    when emitted by the vectorized backend, plain lists when assembled
+    by the scalar shim; consume them duck-typed (``len``, iteration,
+    and integer indexing work on both).  Payload columns are aligned
+    with their vertex column.  All columns may be backend-owned storage
+    — treat them as read-only (rule LM008).
+
+    ``round_index`` is :data:`repro.core.SETUP_ROUND` for the setup
+    batch, in which case ``stepped`` is empty and the round bookkeeping
+    fields (``active``/``awake``/``halted``/``messages``) are zero —
+    setup emits no round boundaries on the scalar path either.
+    """
+
+    __slots__ = (
+        "round_index",
+        "active",
+        "awake",
+        "halted",
+        "messages",
+        "stepped",
+        "published",
+        "halted_verts",
+        "halt_values",
+        "failed",
+        "fail_reasons",
+        "faults",
+        "_publish_values",
+        "_publish_values_fn",
+        "_publish_bytes",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        *,
+        active: int = 0,
+        awake: int = 0,
+        halted: int = 0,
+        messages: int = 0,
+        stepped: Sequence[int] = (),
+        published: Sequence[int] = (),
+        publish_values: Any = _UNSET,
+        publish_values_fn: Optional[Callable[[], Sequence[Any]]] = None,
+        publish_bytes: Optional[Sequence[int]] = None,
+        halted_verts: Sequence[int] = (),
+        halt_values: Sequence[Any] = (),
+        failed: Sequence[int] = (),
+        fail_reasons: Sequence[str] = (),
+        faults: Sequence[Tuple[Optional[int], FaultEvent]] = (),
+    ) -> None:
+        self.round_index = round_index
+        self.active = active
+        self.awake = awake
+        self.halted = halted
+        self.messages = messages
+        self.stepped = stepped
+        self.published = published
+        self.halted_verts = halted_verts
+        self.halt_values = halt_values
+        self.failed = failed
+        self.fail_reasons = fail_reasons
+        self.faults = list(faults)
+        self._publish_values = publish_values
+        self._publish_values_fn = publish_values_fn
+        self._publish_bytes = publish_bytes
+
+    def publish_values(self) -> Sequence[Any]:
+        """Published values aligned with :attr:`published`.
+
+        Materialized lazily (and cached): backends that can account
+        payload sizes columnar-ly only pay for building the actual
+        Python values when an observer asks for them (payload-value
+        traces, generic event reconstruction).
+        """
+        if self._publish_values is _UNSET:
+            fn = self._publish_values_fn
+            self._publish_values = (
+                list(fn()) if fn is not None else []
+            )
+        return self._publish_values
+
+    def publish_bytes(self) -> Sequence[int]:
+        """Estimated payload bytes aligned with :attr:`published`
+        (:func:`repro.obs.estimate_payload_bytes` of each value).
+
+        Computed lazily from :meth:`publish_values` unless the emitting
+        backend supplied the column directly (the vectorized kernels
+        compute it as array arithmetic without materializing values).
+        """
+        if self._publish_bytes is None:
+            from .metrics import estimate_payload_bytes
+
+            self._publish_bytes = [
+                estimate_payload_bytes(value)
+                for value in self.publish_values()
+            ]
+        return self._publish_bytes
+
+
+class _BatchBuilder:
+    """Accumulates one round's scalar events into a RoundBatch."""
+
+    __slots__ = (
+        "round_index",
+        "active",
+        "stepped",
+        "published",
+        "values",
+        "halted_verts",
+        "halt_values",
+        "failed",
+        "fail_reasons",
+        "faults",
+    )
+
+    def __init__(self, round_index: int, active: int = 0) -> None:
+        self.round_index = round_index
+        self.active = active
+        self.stepped: List[int] = []
+        self.published: List[int] = []
+        self.values: List[Any] = []
+        self.halted_verts: List[int] = []
+        self.halt_values: List[Any] = []
+        self.failed: List[int] = []
+        self.fail_reasons: List[str] = []
+        self.faults: List[Tuple[Optional[int], FaultEvent]] = []
+
+    def build(
+        self, awake: int = 0, halted: int = 0, messages: int = 0
+    ) -> RoundBatch:
+        return RoundBatch(
+            self.round_index,
+            active=self.active,
+            awake=awake,
+            halted=halted,
+            messages=messages,
+            stepped=self.stepped,
+            published=self.published,
+            publish_values=self.values,
+            halted_verts=self.halted_verts,
+            halt_values=self.halt_values,
+            failed=self.failed,
+            fail_reasons=self.fail_reasons,
+            faults=self.faults,
+        )
+
+
+class BatchRunObserver(RunObserver):
+    """Observer consuming whole-round :class:`RoundBatch` payloads.
+
+    Subclasses override :meth:`on_round_batch` (and optionally
+    :meth:`on_run_fault` / :meth:`on_backend_info`).  Two delivery
+    paths feed it:
+
+    - the ``"vectorized"`` backend calls ``on_round_batch`` directly,
+      with numpy vertex columns, and never fires the per-vertex scalar
+      callbacks — attaching only batch-capable observers keeps it on
+      its native kernels (no scalar fallback);
+    - on the scalar engines, the base-class scalar callbacks assemble
+      batches from per-event callbacks and emit them at each round
+      boundary — a subclass that overrides ``on_run_start`` /
+      ``on_round_start`` / ``on_run_end`` (or any per-event callback)
+      while relying on this shim must call ``super()``.
+
+    Observers like :class:`~repro.obs.MetricsObserver` instead override
+    *all* scalar callbacks natively and implement ``on_round_batch`` as
+    a second accumulation path; the shim then never engages.
+
+    ``batch_capable`` is the attribute backends test — keep it truthy.
+    """
+
+    #: Backends check this flag: every attached observer must be batch
+    #: capable for the vectorized harness to stay on its kernels.
+    batch_capable = True
+
+    def __init__(self) -> None:
+        self._batch_pending: Optional[_BatchBuilder] = None
+
+    # -- the batch-plane callbacks -------------------------------------
+    def on_round_batch(self, batch: RoundBatch) -> None:
+        """One completed round (or the setup pass) as a batch."""
+
+    def on_run_fault(self, round_index: int, fault: FaultEvent) -> None:
+        """A run-level fault (round-budget exhaustion) fired; the run
+        raises immediately after, so this is never buffered into a
+        batch."""
+
+    def on_backend_info(
+        self, backend: str, kernel: Optional[str]
+    ) -> None:
+        """The executing backend identified itself (called after
+        ``on_run_start`` by backends that know; the scalar engines do
+        not call it).  ``kernel`` names the vectorized round kernel, or
+        is ``None``."""
+
+    # -- scalar shim: assemble batches from per-event callbacks --------
+    def _builder(self, round_index: int) -> _BatchBuilder:
+        pending = self._batch_pending
+        if pending is None:
+            pending = _BatchBuilder(round_index)
+            self._batch_pending = pending
+        return pending
+
+    def _flush_pending(self) -> None:
+        pending = self._batch_pending
+        if pending is not None and pending.round_index == SETUP_ROUND:
+            self._batch_pending = None
+            self.on_round_batch(pending.build())
+
+    def on_run_start(self, meta: RunMeta) -> None:
+        self._batch_pending = None
+
+    def on_round_start(self, round_index: int, active: int) -> None:
+        self._flush_pending()
+        self._batch_pending = _BatchBuilder(round_index, active)
+
+    def on_node_step(
+        self, round_index: int, vertex: int, ctx: NodeContext
+    ) -> None:
+        self._builder(round_index).stepped.append(vertex)
+
+    def on_publish(
+        self, round_index: int, vertex: int, value: Any
+    ) -> None:
+        pending = self._builder(round_index)
+        pending.published.append(vertex)
+        pending.values.append(value)
+
+    def on_halt(self, round_index: int, vertex: int, output: Any) -> None:
+        pending = self._builder(round_index)
+        pending.halted_verts.append(vertex)
+        pending.halt_values.append(output)
+
+    def on_failure(
+        self, round_index: int, vertex: int, reason: str
+    ) -> None:
+        pending = self._builder(round_index)
+        pending.failed.append(vertex)
+        pending.fail_reasons.append(reason)
+
+    def on_fault(
+        self,
+        round_index: int,
+        vertex: Optional[int],
+        fault: FaultEvent,
+    ) -> None:
+        if vertex is None:
+            # Run-level: the run raises right after — deliver now, the
+            # enclosing round (if any) will never reach its boundary.
+            self.on_run_fault(round_index, fault)
+            return
+        self._builder(round_index).faults.append((vertex, fault))
+
+    def on_round_end(
+        self,
+        round_index: int,
+        awake: int,
+        halted: int,
+        messages: int,
+    ) -> None:
+        pending = self._batch_pending
+        self._batch_pending = None
+        if pending is None:
+            pending = _BatchBuilder(round_index)
+        self.on_round_batch(pending.build(awake, halted, messages))
+
+    def on_run_end(self, result: RunResult) -> None:
+        # A run whose vertices all halt in setup executes zero rounds:
+        # the setup batch is flushed here instead of at a round start.
+        self._flush_pending()
+
+
+def iter_scalar_events(
+    batch: RoundBatch,
+) -> Iterator[Tuple[Any, ...]]:
+    """Reconstruct a batch's events in the scalar engines' exact order.
+
+    Yields tuples keyed by event name, mirroring the per-vertex
+    ascending order of the ordering contract::
+
+        ("fault", round, vertex, fault_event)
+        ("step", round, vertex)
+        ("publish", round, vertex, value)
+        ("failure", round, vertex, reason)
+        ("halt", round, vertex, output)
+
+    Per vertex: faults first, then the step (crash-stop vertices never
+    step), then its publish, then failure *or* halt.  Round boundaries
+    (``round_start``/``round_end``) are not yielded — the caller owns
+    them.  Setup batches yield publishes/failures/halts only.
+    """
+    r = batch.round_index
+    events: List[Tuple[int, int, Tuple[Any, ...]]] = []
+    for vertex, fault in batch.faults:
+        events.append((int(vertex), 0, ("fault", r, int(vertex), fault)))
+    for vertex in batch.stepped:
+        events.append((int(vertex), 1, ("step", r, int(vertex))))
+    if len(batch.published):
+        values = batch.publish_values()
+        for i, vertex in enumerate(batch.published):
+            events.append(
+                (int(vertex), 2, ("publish", r, int(vertex), values[i]))
+            )
+    for i, vertex in enumerate(batch.failed):
+        events.append(
+            (
+                int(vertex),
+                3,
+                ("failure", r, int(vertex), batch.fail_reasons[i]),
+            )
+        )
+    for i, vertex in enumerate(batch.halted_verts):
+        events.append(
+            (int(vertex), 3, ("halt", r, int(vertex), batch.halt_values[i]))
+        )
+    events.sort(key=lambda item: (item[0], item[1]))
+    for _, _, event in events:
+        yield event

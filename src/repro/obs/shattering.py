@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.tables import render_kv, render_table
 
@@ -151,7 +151,7 @@ def _components(
 
 
 def profile_events(
-    events: Sequence[Dict[str, Any]],
+    events: Iterable[Dict[str, Any]],
     *,
     run: int = 0,
     threshold: float = DEFAULT_THRESHOLD,
@@ -159,14 +159,20 @@ def profile_events(
 ) -> ShatteringProfile:
     """Compute a :class:`ShatteringProfile` from trace event dicts.
 
+    ``events`` may be any iterable — including the generator
+    :func:`repro.obs.trace.iter_trace` yields — and is consumed in a
+    **single forward pass**, so a million-vertex trace profiles in the
+    memory of its topology, not of its event stream.
+
     ``unresolved`` is the halt-output sentinel marking vertices an
     algorithm abandoned rather than resolved (``BAD`` = -1 for the
     tree-coloring Phase 1); pass nothing to count every halt.
     Requires the trace's ``run_start`` line to carry topology
     (``edges``), i.e. written without ``topology=False``.
     """
+    stream = iter(events)
     start = None
-    for event in events:
+    for event in stream:
         if event.get("event") == "run_start" and event.get("run") == run:
             start = event
             break
@@ -184,21 +190,26 @@ def profile_events(
         adjacency[v].append(u)
 
     resolved = [False] * n
+    done = 0
     setup_resolved = 0
     curve: List[RoundShatterStats] = []
     shattering_round: Optional[int] = None
     rounds = 0
-    for event in events:
+    for event in stream:
         if event.get("run") != run:
             continue
         kind = event["event"]
         if kind == "halt":
             value = event.get("value")
             if unresolved is _NO_SENTINEL or value != unresolved:
-                resolved[event["v"]] = True
+                v = event["v"]
+                if not resolved[v]:
+                    resolved[v] = True
+                    done += 1
+                if event["round"] < 0:
+                    setup_resolved += 1
         elif kind == "round_end":
             rounds = event["round"] + 1
-            done = sum(resolved)
             fraction = done / n if n else 1.0
             num_components, largest = _components(
                 [not r for r in resolved], adjacency
@@ -217,15 +228,6 @@ def profile_events(
                 shattering_round = event["round"]
         elif kind == "run_end":
             break
-    for event in events:
-        if (
-            event.get("run") == run
-            and event["event"] == "halt"
-            and event["round"] < 0
-        ):
-            value = event.get("value")
-            if unresolved is _NO_SENTINEL or value != unresolved:
-                setup_resolved += 1
 
     return ShatteringProfile(
         algorithm=start["algorithm"],
@@ -249,11 +251,12 @@ def profile_trace(
     threshold: float = DEFAULT_THRESHOLD,
     unresolved: Any = _NO_SENTINEL,
 ) -> ShatteringProfile:
-    """Profile a JSONL trace file (see :func:`profile_events`)."""
-    from .trace import read_trace
+    """Profile a JSONL trace file, streaming (see
+    :func:`profile_events` — the file is never loaded whole)."""
+    from .trace import iter_trace
 
     return profile_events(
-        read_trace(path),
+        iter_trace(path),
         run=run,
         threshold=threshold,
         unresolved=unresolved,

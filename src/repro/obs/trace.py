@@ -32,8 +32,13 @@ enable) — they dominate trace size without serving the built-in
 profilers.
 
 Version history: v1 had no ``fault`` events; v2 added them (and
-nothing else), so every v1 trace is also a valid v2 trace.  The reader
-accepts both and rejects versions newer than it understands.
+nothing else), so every v1 trace is also a valid v2 trace.  v3 added
+the constant ``emission_modes`` header field on ``run_start``,
+declaring that the trace may have been produced by per-event *or*
+batched (columnar) emission — deliberately **not** recording which:
+event bodies are byte-identical across both, so the bytes must not
+betray the backend.  The reader accepts v1–v3 and rejects versions
+newer than it understands.
 """
 
 from __future__ import annotations
@@ -41,16 +46,24 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
-from ..core.engine import RunMeta, RunResult
+from ..core.engine import RunMeta, RunResult, SETUP_ROUND
 from ..core.errors import FaultEvent
 from .metrics import estimate_payload_bytes
-from .observer import RunObserver
+from .observer import BatchRunObserver, RoundBatch, iter_scalar_events
 
 TRACE_SCHEMA = "repro.obs.trace"
-TRACE_VERSION = 2
+TRACE_VERSION = 3
 
 #: Schema versions :func:`read_trace` / :func:`iter_trace` understand.
-SUPPORTED_TRACE_VERSIONS = (1, 2)
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3)
+
+#: v3 header metadata: the emission strategies a writer of this version
+#: may use.  A constant — the same trace bytes must come out of the
+#: per-event scalar engines and the batched vectorized backend, so the
+#: header cannot depend on which one actually ran (design invariant;
+#: timing and backend attribution live in the nondeterministic sidecar,
+#: :mod:`repro.obs.timing`).
+EMISSION_MODES = ("per-event", "batched")
 
 
 def _json_safe(value: Any) -> Any:
@@ -88,8 +101,25 @@ def _dumps(obj: Dict[str, Any]) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-class JsonlTraceObserver(RunObserver):
+def _value_json(value: Any) -> str:
+    """Serialized form of one value field, byte-identical to how
+    :func:`_dumps` renders it nested (same sort/separators)."""
+    if type(value) is int:  # the hot case: halt outputs, publish ints
+        return repr(value)
+    return json.dumps(
+        _json_safe(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+class JsonlTraceObserver(BatchRunObserver):
     """Stream engine events to a JSONL file (or open text stream).
+
+    Batch-capable: on the scalar engines every event arrives through a
+    per-event callback; on the vectorized backend whole rounds arrive
+    through :meth:`on_round_batch` and are serialized with the exact
+    same bytes (pinned by the observer-neutrality relation).  The
+    backend identity announced via ``on_backend_info`` is deliberately
+    *not* written — trace bytes must not betray the backend.
 
     Parameters
     ----------
@@ -115,6 +145,7 @@ class JsonlTraceObserver(RunObserver):
         topology: bool = True,
         node_steps: bool = False,
     ) -> None:
+        super().__init__()
         if isinstance(target, str):
             self._stream: TextIO = open(target, "w", encoding="utf-8")
             self._owns_stream = True
@@ -150,6 +181,7 @@ class JsonlTraceObserver(RunObserver):
             "event": "run_start",
             "schema": TRACE_SCHEMA,
             "version": TRACE_VERSION,
+            "emission_modes": list(EMISSION_MODES),
             "run": self._run,
             "algorithm": meta.algorithm,
             "model": meta.model.name,
@@ -269,6 +301,122 @@ class JsonlTraceObserver(RunObserver):
         )
         self._stream.flush()
 
+    # -- the columnar emission path ------------------------------------
+    def on_run_fault(self, round_index: int, fault: FaultEvent) -> None:
+        # Vectorized delivery of the scalar engines' vertex-``None``
+        # ``on_fault`` (round-budget exhaustion) — same line.
+        self.on_fault(round_index, None, fault)
+
+    def on_round_batch(self, batch: RoundBatch) -> None:
+        """Serialize one round batch — byte-identical to the per-event
+        path.
+
+        Publish/halt-heavy rounds (the n = 10^6 regime) take a direct
+        string-building path: every hot line has only integer fields in
+        a fixed sorted-key order, so the JSON is assembled with
+        f-strings and written in one call instead of one
+        ``json.dumps`` per event.  Rounds with faults, failures, or
+        step lines replay :func:`iter_scalar_events` through the
+        per-event callbacks — the exact same code that serves the
+        scalar engines.
+        """
+        r = batch.round_index
+        run = self._run
+        if r != SETUP_ROUND:
+            self._stream.write(
+                f'{{"active":{batch.active},"event":"round_start",'
+                f'"round":{r},"run":{run}}}\n'
+            )
+            self.events_written += 1
+        if (
+            batch.faults
+            or len(batch.failed)
+            or (self.node_steps and len(batch.stepped))
+        ):
+            for event in iter_scalar_events(batch):
+                kind = event[0]
+                if kind == "publish":
+                    self.on_publish(event[1], event[2], event[3])
+                elif kind == "halt":
+                    self.on_halt(event[1], event[2], event[3])
+                elif kind == "step":
+                    self.on_node_step(event[1], event[2], None)
+                elif kind == "failure":
+                    self.on_failure(event[1], event[2], event[3])
+                else:
+                    self.on_fault(event[1], event[2], event[3])
+        else:
+            self._write_publish_halt(batch, r, run)
+        if r != SETUP_ROUND:
+            self._stream.write(
+                f'{{"awake":{batch.awake},"event":"round_end",'
+                f'"halted":{batch.halted},"messages":{batch.messages},'
+                f'"round":{r},"run":{run}}}\n'
+            )
+            self.events_written += 1
+
+    def _write_publish_halt(
+        self, batch: RoundBatch, r: int, run: int
+    ) -> None:
+        published = batch.published
+        pverts = (
+            published.tolist()
+            if hasattr(published, "tolist")
+            else list(published)
+        )
+        lines: List[str] = []
+        if pverts:
+            pbytes = batch.publish_bytes()
+            if hasattr(pbytes, "tolist"):
+                pbytes = pbytes.tolist()
+            values = (
+                batch.publish_values() if self.payload_values else None
+            )
+            if values is None:
+                pub_lines = [
+                    f'{{"bytes":{b},"event":"publish","round":{r},'
+                    f'"run":{run},"v":{v}}}'
+                    for v, b in zip(pverts, pbytes)
+                ]
+            else:
+                pub_lines = [
+                    f'{{"bytes":{b},"event":"publish","round":{r},'
+                    f'"run":{run},"v":{v},"value":{_value_json(val)}}}'
+                    for v, b, val in zip(pverts, pbytes, values)
+                ]
+        else:
+            pub_lines = []
+        halted = batch.halted_verts
+        if len(halted):
+            hverts = (
+                halted.tolist()
+                if hasattr(halted, "tolist")
+                else list(halted)
+            )
+            hvals = batch.halt_values
+            halt_lines = [
+                f'{{"event":"halt","round":{r},"run":{run},"v":{v},'
+                f'"value":{_value_json(out)}}}'
+                for v, out in zip(hverts, hvals)
+            ]
+            # Interleave in per-vertex ascending order, a vertex's
+            # publish before its halt — the scalar event order.
+            i = j = 0
+            np_, nh = len(pub_lines), len(halt_lines)
+            while i < np_ or j < nh:
+                if j >= nh or (i < np_ and pverts[i] <= hverts[j]):
+                    lines.append(pub_lines[i])
+                    i += 1
+                else:
+                    lines.append(halt_lines[j])
+                    j += 1
+        else:
+            lines = pub_lines
+        if lines:
+            self._stream.write("\n".join(lines))
+            self._stream.write("\n")
+            self.events_written += len(lines)
+
 
 def read_trace(
     path: str, run: Optional[int] = None
@@ -325,6 +473,7 @@ def _check_readable(run_start: Dict[str, Any], path: str) -> None:
 
 
 __all__ = [
+    "EMISSION_MODES",
     "JsonlTraceObserver",
     "SUPPORTED_TRACE_VERSIONS",
     "TRACE_SCHEMA",

@@ -123,9 +123,10 @@ RULES: Dict[str, RuleSpec] = {
             Severity.WARNING,
             "observer callback mutates engine state",
             "observers are read-only spectators: a callback that "
-            "mutates the live ctx (or draws from ctx.random) changes "
-            "the run it claims to measure, voiding the telemetry "
-            "determinism contract (docs/observability.md).",
+            "mutates the live ctx (or draws from ctx.random), the "
+            "graph, or a RoundBatch's payload arrays changes the run "
+            "it claims to measure, voiding the telemetry determinism "
+            "contract (docs/observability.md).",
         ),
         RuleSpec(
             "LM009",
@@ -174,6 +175,11 @@ _OBSERVER_CALLBACKS = {
     "on_fault",
     "on_round_end",
     "on_run_end",
+    # Batch-plane callbacks (BatchRunObserver): the RoundBatch payload
+    # arrays are engine-owned views, as read-only as ctx and the graph.
+    "on_round_batch",
+    "on_run_fault",
+    "on_backend_info",
 }
 
 #: Exception names whose handlers (in node code) also catch the
@@ -743,7 +749,11 @@ class RuleEngine:
             for name in sorted(callbacks):
                 method = callbacks[name]
                 ctx_names = _ctx_param_names(method)
-                tracked = ctx_names | _graph_param_names(method)
+                tracked = (
+                    ctx_names
+                    | _graph_param_names(method)
+                    | _batch_param_names(method)
+                )
                 if not tracked:
                     continue
                 yield from self._lm008_method(
@@ -869,6 +879,32 @@ def _graph_param_names(fn: FunctionNode) -> Set[str]:
         elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
             text = ann.value
         if "Graph" in text:
+            names.add(arg.arg)
+    return names
+
+
+def _batch_param_names(fn: FunctionNode) -> Set[str]:
+    """Parameters holding a RoundBatch: named ``batch`` or annotated
+    so.  Batch payload arrays are engine-owned (the vectorized backend
+    hands out views of its live buffers); writing into them corrupts
+    the run being observed."""
+    names: Set[str] = set()
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.arg == "batch":
+            names.add(arg.arg)
+            continue
+        ann = arg.annotation
+        text = ""
+        if isinstance(ann, ast.Name):
+            text = ann.id
+        elif isinstance(ann, ast.Attribute):
+            text = ann.attr
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value
+        if "RoundBatch" in text:
             names.add(arg.arg)
     return names
 

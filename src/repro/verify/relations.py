@@ -56,7 +56,7 @@ from ..faults.plan import FaultPlan
 from ..faults.runtime import mix64
 from ..graphs.graph import Graph
 from ..lcl.problem import LCLProblem
-from ..obs import MetricsObserver
+from ..obs import JsonlTraceObserver, MetricsObserver
 from ..transforms.order_invariance import order_preserving_remap
 from .gen import (
     Instance,
@@ -508,11 +508,26 @@ class EngineEquivalence(Relation):
 
 
 class ObserverNeutrality(Relation):
-    """Attaching a ``MetricsObserver`` must never change the result —
-    telemetry is a spectator, not a participant."""
+    """Attaching observers must never change the result — telemetry is
+    a spectator, not a participant — and what the observers *record*
+    must not depend on which backend ran the algorithm.
+
+    Checked on every available backend: (1) bare vs observed (a
+    ``MetricsObserver`` plus a ``JsonlTraceObserver`` with per-vertex
+    step events, the heaviest deterministic-plane configuration)
+    outcome equality; (2) for runs that complete, the metrics summary
+    and the full trace bytes must be identical across all backends —
+    the byte-identity half of the two-plane telemetry contract.
+    Raising runs are held to outcome equality only: the batched stream
+    legally ends at the last completed round boundary while a scalar
+    engine may emit a partial-round prefix.
+    """
 
     name = "observer-neutrality"
-    description = "MetricsObserver attachment changes nothing"
+    description = (
+        "observers change nothing; summaries and trace bytes "
+        "backend-identical"
+    )
 
     def applies_to(self, subject: Subject) -> bool:
         return True
@@ -520,17 +535,50 @@ class ObserverNeutrality(Relation):
     def check(
         self, subject: Subject, instance: Instance
     ) -> Optional[RelationViolation]:
-        bare = run_outcome(subject, instance)
-        with observe_runs(MetricsObserver()):
-            observed = run_outcome(subject, instance)
-        if bare != observed:
-            return self._violation(
-                subject,
-                instance,
-                f"attaching MetricsObserver changed the outcome: "
-                f"bare={_summarize(bare)}, observed="
-                f"{_summarize(observed)}",
-            )
+        import io
+
+        first_backend: Optional[str] = None
+        first_summary: Optional[Dict[str, Any]] = None
+        first_trace: Optional[str] = None
+        for name in available_backend_names():
+            with use_backend(name):
+                bare = run_outcome(subject, instance)
+                metrics = MetricsObserver()
+                sink = io.StringIO()
+                trace = JsonlTraceObserver(sink, node_steps=True)
+                with observe_runs(metrics, trace):
+                    observed = run_outcome(subject, instance)
+            if bare != observed:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"attaching observers changed the outcome on "
+                    f"backend {name!r}: bare={_summarize(bare)}, "
+                    f"observed={_summarize(observed)}",
+                )
+            if bare[0] != "ok":
+                continue
+            summary = metrics.summary()
+            trace_bytes = sink.getvalue()
+            if first_backend is None:
+                first_backend = name
+                first_summary = summary
+                first_trace = trace_bytes
+                continue
+            if summary != first_summary:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"metrics summary diverges between backends "
+                    f"{first_backend!r} and {name!r}",
+                )
+            if trace_bytes != first_trace:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"trace bytes diverge between backends "
+                    f"{first_backend!r} and {name!r}",
+                )
         return None
 
 

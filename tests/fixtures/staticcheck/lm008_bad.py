@@ -57,3 +57,35 @@ class PoliteWatcher(RunObserver):
 
     def on_halt(self, round_index, vertex, output):
         self.halts.append((round_index, vertex, output))
+
+
+class BatchScribbler:
+    """Duck-typed batch-plane observer writing into the columnar
+    RoundBatch payload arrays the vectorized backend hands out."""
+
+    def on_round_batch(self, batch):
+        # seeded: element store into an engine-owned payload array
+        batch.stepped[0] = -1
+        # seeded: container mutation rooted at the batch
+        batch.halted_verts.append(0)
+
+
+class AnnotatedBatchEditor:
+    """Batch param recognized by annotation, not by name."""
+
+    def on_round_batch(self, rb: "RoundBatch"):
+        # seeded: attribute store through an annotated batch param
+        rb.active = 0
+
+    def on_backend_info(self, backend, kernel):
+        self.backend = backend
+
+
+class PoliteBatchWatcher:
+    """Clean control: reads batch columns, touches only self."""
+
+    def __init__(self):
+        self.rounds = []
+
+    def on_round_batch(self, batch):
+        self.rounds.append((batch.round_index, batch.active))

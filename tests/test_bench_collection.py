@@ -37,13 +37,22 @@ def test_every_bench_module_is_collected():
         assert path.name in result.stdout, f"{path.name} not collected"
 
 
-def test_every_bench_module_has_one_benchmark_test():
+def test_every_bench_module_has_benchmark_tests():
+    # At least one benchmark-fixture test per module; a module may add
+    # variant tests (e.g. bench_e05_vectorized.py's observed-mode
+    # "E5VO") but each must use the benchmark fixture so pedantic
+    # rounds/iterations stay controlled.
     for path in sorted(BENCHMARKS.glob("bench_*.py")):
         text = path.read_text()
         tests = re.findall(r"^def (test_\w+)\(benchmark", text, re.M)
-        assert len(tests) == 1, (
-            f"{path.name} must define exactly one benchmark-fixture "
-            f"test, found {tests}"
+        bare = re.findall(r"^def (test_\w+)\((?!benchmark)", text, re.M)
+        assert tests, (
+            f"{path.name} must define at least one benchmark-fixture "
+            f"test"
+        )
+        assert not bare, (
+            f"{path.name} defines tests without the benchmark "
+            f"fixture: {bare}"
         )
 
 

@@ -361,7 +361,8 @@ class TestJsonlTrace:
         start = events[0]
         assert start["event"] == "run_start"
         assert start["schema"] == "repro.obs.trace"
-        assert start["version"] == 2
+        assert start["version"] == 3
+        assert start["emission_modes"] == ["per-event", "batched"]
         assert start["n"] == 10
         assert len(start["edges"]) == graph.num_edges
         kinds = [e["event"] for e in events]

@@ -51,7 +51,7 @@ class TestRuleTruePositives:
             ("lm005_bad.py", "LM005", 3),
             ("lm006_bad.py", "LM006", 2),
             ("lm007_bad.py", "LM007", 2),
-            ("lm008_bad.py", "LM008", 6),
+            ("lm008_bad.py", "LM008", 9),
             ("lm009_bad.py", "LM009", 4),
             ("lm010_bad.py", "LM010", 2),
             ("lm011_bad.py", "LM011", 2),
