@@ -214,6 +214,8 @@ def run_sweep(
     journal: Optional[str] = None,
     backend: Optional[str] = None,
     progress: Optional[Callable[[int, int, Any], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> Series:
     """Measure ``measure(x, seed)`` over a grid × seeds.
 
@@ -275,6 +277,17 @@ def run_sweep(
     rest, producing a :class:`Series` byte-identical to an
     uninterrupted run (journaled summaries must be JSON-safe).  A
     journal written by a different sweep configuration is refused.
+
+    With ``checkpoint_dir``, each cell additionally snapshots *inside*
+    its runs at round boundaries (``checkpoint_every``; see
+    :mod:`repro.core.checkpoint`), one ``cell-NNNN`` directory per
+    cell.  The two recovery layers compose: re-launching a killed
+    sweep with the same ``journal`` and ``checkpoint_dir`` replays
+    finished cells from the journal and resumes the cell that was
+    in flight from its last round-boundary snapshot instead of round
+    0.  The checkpoint configuration is part of the journal
+    fingerprint, so a journal cannot be resumed under a different
+    snapshot cadence.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -299,6 +312,12 @@ def run_sweep(
                 "telemetry": observer_factory is not None,
                 "cells": len(cells),
                 "backend": effective_backend,
+                # In-run snapshot cadence (the directory path itself is
+                # machine-local and deliberately excluded).
+                "checkpoint": checkpoint_dir is not None,
+                "checkpoint_every": (
+                    checkpoint_every if checkpoint_dir is not None else None
+                ),
             },
         )
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
@@ -343,6 +362,8 @@ def run_sweep(
                 summaries,
                 effective_backend,
                 ticker,
+                checkpoint_dir,
+                checkpoint_every,
             )
         else:
             assert workers is not None
@@ -361,6 +382,8 @@ def run_sweep(
                 summaries,
                 effective_backend,
                 ticker,
+                checkpoint_dir,
+                checkpoint_every,
             )
     finally:
         if sweep_journal is not None:
@@ -400,8 +423,12 @@ def _run_serial(
     summaries: List[Any],
     backend: str,
     ticker: Optional[Callable[[Any], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> None:
     """Evaluate cells inline, in grid order, with bounded retries."""
+    from .resilience import _run_cell
+
     for index, (x, seed) in enumerate(cells):
         if index in done:
             continue
@@ -409,8 +436,14 @@ def _run_serial(
         while True:
             effective = retry_seed(seed, attempt)
             try:
-                value, observer = _attempt(
-                    x, effective, measure, observer_factory, backend
+                value, observer = _run_cell(
+                    lambda i, a: _attempt(
+                        x, effective, measure, observer_factory, backend
+                    ),
+                    index,
+                    attempt,
+                    checkpoint_dir,
+                    checkpoint_every,
                 )
             except AlgorithmFailure as exc:
                 if attempt < retries:
@@ -452,6 +485,8 @@ def _run_pooled(
     summaries: List[Any],
     backend: str,
     ticker: Optional[Callable[[Any], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> None:
     """Fan cells out to the resilient process-per-cell fork pool."""
     from .resilience import run_cells_resilient
@@ -549,6 +584,8 @@ def _run_pooled(
             timeout=timeout,
             skip=done,
             on_result=on_result,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
     finally:
         _POOLED = previous_pooled

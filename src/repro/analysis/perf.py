@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .experiments import run_sweep
 from ..core.algorithm import Inbox, SyncAlgorithm
+from ..core.atomicio import atomic_write_text
 from ..core.context import Model, NodeContext
 from ..core.engine import run_local, run_local_reference
 
@@ -590,9 +591,9 @@ def run_perf_suite(
 
 
 def save_baseline(report: Dict[str, Any], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def load_baseline(path: str) -> Dict[str, Any]:

@@ -51,6 +51,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.atomicio import fsync_stream
 from ..core.errors import TelemetryError
 
 __all__ = [
@@ -176,7 +177,7 @@ class SweepJournal:
                 "fingerprint": self.fingerprint,
             }
             self._file.write(json.dumps(header, sort_keys=True) + "\n")
-            self._file.flush()
+            fsync_stream(self._file)
 
     def _replay(self) -> None:
         with open(self.path, "r", encoding="utf-8") as handle:
@@ -243,7 +244,10 @@ class SweepJournal:
                 "summaries JSON-safe, or drop the journal."
             )
         self._file.write(line + "\n")
-        self._file.flush()
+        # Through the OS cache, not just the libc buffer: a SIGKILL'd
+        # sweep may then tear at most the trailing line, which _replay
+        # already tolerates.
+        fsync_stream(self._file)
 
     def close(self) -> None:
         if not self._file.closed:
@@ -266,6 +270,8 @@ def run_cells_resilient(
     timeout: Optional[float],
     skip: Optional[Dict[int, Any]] = None,
     on_result: Optional[Callable[[int, str, Any, int], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> List[Optional[Tuple[str, Any, int]]]:
     """Run ``count`` cells on a process-per-cell fork pool.
 
@@ -281,6 +287,18 @@ def run_cells_resilient(
     ``on_result(index, status, payload, attempts_made)`` fires as each
     cell settles terminally (in completion order — checkpoint journals
     hook in here); it too may raise to abort.
+
+    With ``checkpoint_dir``, each cell runs inside an ambient
+    :func:`repro.core.checkpoint.checkpointing` scope rooted at
+    ``checkpoint_dir/cell-NNNN`` with ``resume=True``: every
+    ``run_local`` the payload makes snapshots at round boundaries, and
+    a cell whose previous incarnation died mid-run (a killed sweep
+    re-launched with the same directory, or a timed-out worker whose
+    payload re-derives the same run) resumes from its last snapshot
+    instead of round 0.  Snapshots are fingerprinted by run identity —
+    a retry whose payload derives a *different* seed (see
+    :func:`retry_seed`) starts fresh rather than resuming into the
+    wrong run.
 
     Returns, per cell index, ``(status, payload, attempts_made)`` —
     or ``None`` for indices listed in ``skip`` (already completed,
@@ -316,7 +334,14 @@ def run_cells_resilient(
                 recv_end, send_end = mp_context.Pipe(duplex=False)
                 proc = mp_context.Process(
                     target=_child_entry,
-                    args=(send_end, child_payload, index, attempt),
+                    args=(
+                        send_end,
+                        child_payload,
+                        index,
+                        attempt,
+                        checkpoint_dir,
+                        checkpoint_every,
+                    ),
                 )
                 proc.start()
                 # Close the parent's copy of the write end: a child
@@ -371,12 +396,43 @@ def run_cells_resilient(
     return results
 
 
+def _run_cell(
+    child_payload: Callable[[int, int], Any],
+    index: int,
+    attempt: int,
+    checkpoint_dir: Optional[str],
+    checkpoint_every: int,
+) -> Any:
+    """Evaluate one cell, under an in-run checkpoint scope when asked.
+
+    Shared by the forked pool child and the serial sweep path so both
+    recover identically.  ``resume=True`` is safe on a first attempt:
+    an empty cell directory simply starts fresh, and stale snapshots
+    from a *different* run identity are rejected by fingerprint."""
+    if checkpoint_dir is None:
+        return child_payload(index, attempt)
+    from ..core.checkpoint import checkpointing
+
+    cell_dir = os.path.join(checkpoint_dir, f"cell-{index:04d}")
+    with checkpointing(
+        cell_dir, every_rounds=checkpoint_every, resume=True
+    ):
+        return child_payload(index, attempt)
+
+
 def _child_entry(
-    conn: Any, child_payload: Callable[[int, int], Any], index: int, attempt: int
+    conn: Any,
+    child_payload: Callable[[int, int], Any],
+    index: int,
+    attempt: int,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> None:
     """Forked child bootstrap: evaluate the cell, ship the payload."""
     try:
-        payload = child_payload(index, attempt)
+        payload = _run_cell(
+            child_payload, index, attempt, checkpoint_dir, checkpoint_every
+        )
     except BaseException as exc:  # defensive: child_payload should not raise
         payload = ("error_repr", repr(exc))
     try:

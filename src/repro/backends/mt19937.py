@@ -210,6 +210,17 @@ class VectorMT:
             self.words *= 2
         self._refill()
 
+    def restore_positions(self, pos: np.ndarray) -> None:
+        """Restore per-vertex draw cursors from a checkpoint snapshot.
+
+        The output buffer itself needs no restoring: it is a pure
+        function of the seeds and the current depth, and any cursor
+        past the depth triggers the usual transparent grow-and-replay
+        on that vertex's next draw.  This is what keeps checkpoints
+        O(n) — ``(words, pos)`` fully determines every future draw.
+        """
+        self.pos[:] = np.asarray(pos, dtype=np.int64)
+
     def _next_words(self, verts: np.ndarray) -> np.ndarray:
         """One tempered 32-bit word from each of ``verts``' streams."""
         pos = self.pos[verts]

@@ -50,12 +50,14 @@ prefix of the partial round (both satisfy the observer contract's
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..core.algorithm import SyncAlgorithm
+from ..core.checkpoint import CheckpointSession
 from ..core.context import Model
 from ..core.engine import (
     DEFAULT_MAX_ROUNDS,
@@ -270,6 +272,16 @@ class VectorRun:
                 raise SimulationError(
                     "custom rng_factory streams cannot be vectorized"
                 )
+            cap = os.environ.get("REPRO_VECTOR_WORD_CAP")
+            if cap:
+                # Supervisor degradation ladder, stage 1: clamp the
+                # initial buffer *hint* to shrink peak RSS.  Streams
+                # that outrun the cap still grow on demand, so results
+                # stay bit-identical — just slower.
+                try:
+                    min_words = min(min_words, max(1, int(cap)))
+                except ValueError:
+                    pass
             master = random.Random(self.seed)
             seeds = np.fromiter(
                 (master.getrandbits(64) for _ in range(self.n)),
@@ -391,6 +403,88 @@ class RoundKernel:
 
     def step(self, awake: np.ndarray, round_index: int) -> None:
         raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint capability (see repro.core.backend / repro.core.checkpoint)
+# ---------------------------------------------------------------------------
+
+
+class _VectorState:
+    """Checkpoint handle for one vectorized run: the kernel (which owns
+    the :class:`VectorRun`) plus the harness counters the engine copies
+    in at each round boundary before :meth:`CheckpointSession.save`."""
+
+    __slots__ = ("kernel", "rounds", "messages", "traces")
+
+    def __init__(self, kernel: RoundKernel) -> None:
+        self.kernel = kernel
+        self.rounds = 0
+        self.messages = 0
+        self.traces: List[RoundTrace] = []
+
+
+def capture_vector_state(state: _VectorState) -> Dict[str, Any]:
+    """``Backend.capture_state`` for the vectorized engine.
+
+    The snapshot holds the kernel's columnar algorithm state (its
+    ``__dict__`` minus the ``run``/``algorithm`` back-references), the
+    run's lifecycle arrays (halt flags, wake rounds, outputs,
+    failures), and the :class:`~repro.backends.mt19937.VectorMT` depth
+    and draw cursors.  The MT output buffer itself is *not* stored — it
+    regenerates bit-exactly from the seeds at restore, keeping
+    snapshots O(n) instead of O(words × n).  Values are referenced,
+    not copied: the caller pickles the payload synchronously at the
+    round boundary, before any further mutation.
+    """
+    kernel = state.kernel
+    run = kernel.run
+    rng = run._vector_rng
+    return {
+        "format": "vector",
+        "rounds": state.rounds,
+        "messages": state.messages,
+        "traces": list(state.traces),
+        "kernel": {
+            key: value
+            for key, value in kernel.__dict__.items()
+            if key not in ("run", "algorithm")
+        },
+        "halted": run.halted,
+        "wake": run.wake,
+        "outputs": run.outputs,
+        "failures": run.failures,
+        "rng": (
+            None
+            if rng is None
+            else {"words": rng.words, "pos": rng.pos}
+        ),
+    }
+
+
+def restore_vector_state(state: _VectorState, payload: Dict[str, Any]) -> None:
+    """``Backend.restore_state`` for the vectorized engine: applied to
+    a freshly constructed kernel *in place of* ``setup()``."""
+    kernel = state.kernel
+    run = kernel.run
+    state.rounds = int(payload["rounds"])
+    state.messages = int(payload["messages"])
+    state.traces[:] = payload["traces"]
+    for key, value in payload["kernel"].items():
+        setattr(kernel, key, value)
+    run.halted[:] = payload["halted"]
+    run.wake[:] = payload["wake"]
+    run.outputs[:] = payload["outputs"]
+    run.failures.clear()
+    run.failures.update(payload["failures"])
+    rng_state = payload["rng"]
+    if rng_state is not None:
+        # min_words sizes the regenerated buffer to the snapshot's depth
+        # up front (one refill instead of grow-and-replay); a smaller
+        # REPRO_VECTOR_WORD_CAP may clamp it, which stays correct —
+        # outrun cursors regrow transparently on the next draw.
+        rng = run.vector_rng(min_words=int(rng_state["words"]))
+        rng.restore_positions(rng_state["pos"])
 
 
 # ---------------------------------------------------------------------------
@@ -530,12 +624,17 @@ def run_local_vectorized(
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
     fault_plan: Optional[Any] = None,
+    checkpoint: Optional[CheckpointSession] = None,
 ) -> RunResult:
     """Entry point of the ``"vectorized"`` backend (same signature and
     same RunResult as every other backend)."""
     _ensure_kernels()
 
     def fall_back() -> RunResult:
+        # The checkpoint session rides along: the fallback decision is
+        # deterministic for a fixed configuration, so a resumed run
+        # falls back exactly when the interrupted run did and the
+        # per-node engine consumes the (scalar-format) snapshot.
         return _run_local_fast(
             graph,
             algorithm,
@@ -550,6 +649,7 @@ def run_local_vectorized(
             trace=trace,
             observers=observers,
             fault_plan=fault_plan,
+            checkpoint=checkpoint,
         )
 
     kernel_cls = _KERNELS.get(type(algorithm))
@@ -604,7 +704,6 @@ def run_local_vectorized(
         if not kernel_cls.supports(algorithm, run):
             return fall_back()
         kernel = kernel_cls(run, algorithm)
-        kernel.setup()
     except ReproError:
         raise
     except Exception:
@@ -614,22 +713,48 @@ def run_local_vectorized(
         # scalar engine re-raises its own — contractual — error.
         return fall_back()
 
-    if observing:
-        # Observable events start only after setup succeeded: had the
-        # harness fallen back above, the per-node engine would have
-        # emitted the whole stream itself (no double run_start).
-        for obs in attached:
-            obs.on_run_start(meta)
-        kernel_name = type(kernel).__name__
-        for obs in attached:
-            obs.on_backend_info("vectorized", kernel_name)
-        setup_batch = _build_round_batch(run, SETUP_ROUND)
-        for obs in attached:
-            obs.on_round_batch(setup_batch)
+    state = _VectorState(kernel)
+    resumed = (
+        checkpoint.engine_payload("vector") if checkpoint is not None else None
+    )
+    if resumed is not None:
+        # Mid-run snapshot: restoring replaces setup(), and the
+        # observer streams continue from their restored positions — no
+        # run_start, no backend_info, no setup batch (all of those
+        # happened before the snapshot was taken).
+        checkpoint.restore_engine(state, resumed)
+    else:
+        try:
+            kernel.setup()
+        except ReproError:
+            raise
+        except Exception:
+            # Same contract as the construction fallback above.
+            return fall_back()
+        if observing:
+            # Observable events start only after setup succeeded: had
+            # the harness fallen back above, the per-node engine would
+            # have emitted the whole stream itself (no double
+            # run_start).
+            for obs in attached:
+                obs.on_run_start(meta)
+            kernel_name = type(kernel).__name__
+            for obs in attached:
+                obs.on_backend_info("vectorized", kernel_name)
+            setup_batch = _build_round_batch(run, SETUP_ROUND)
+            for obs in attached:
+                obs.on_round_batch(setup_batch)
 
     n = run.n
+    rounds = state.rounds
+    messages = state.messages
+    traces = state.traces
     alive = ~run.halted
-    parked_mask = alive & (run.wake > 0)
+    # At a round-``rounds`` boundary a non-halted vertex is runnable iff
+    # its wake round is unset (-1) or has arrived (<= rounds); only
+    # strictly later wake rounds park it.  Fresh runs start at rounds=0,
+    # where this is the original post-setup scan.
+    parked_mask = alive & (run.wake > rounds)
     runnable = np.flatnonzero(alive & ~parked_mask)
     #: wake round -> vertices parked until that round (index arrays).
     buckets: Dict[int, np.ndarray] = {}
@@ -647,144 +772,155 @@ def run_local_vectorized(
         for v, at in faults.crashes.items():
             crash_round[v] = at
 
-    rounds = 0
-    messages = 0
     messages_per_round = 2 * run.num_edges
-    traces: List[RoundTrace] = []
     budget = faults.budget if faults is not None else None
 
-    while runnable.size or parked:
-        if budget is not None and rounds >= budget:
-            budget_error = faults.budget_error(rounds)
-            if observing:
-                # Run-level fault: delivered immediately (never part of
-                # a batch), exactly like the scalar engines' vertex-None
-                # ``on_fault`` right before the raise.
-                for obs in attached:
-                    obs.on_run_fault(rounds, budget_error)
-            raise budget_error
-        if rounds >= max_rounds:
-            raise SimulationError(
-                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
-                f"n={n} (likely non-terminating)",
-                round=rounds,
-                run_meta=meta,
-            )
-        if parked:
-            due = buckets.pop(rounds, None)
-            if due is not None and due.size:
-                parked -= int(due.size)
-                runnable = (
-                    np.concatenate([runnable, due])
-                    if runnable.size
-                    else due
+    try:
+        while runnable.size or parked:
+            if checkpoint is not None and checkpoint.due(rounds):
+                state.rounds = rounds
+                state.messages = messages
+                checkpoint.save(state, rounds)
+            if budget is not None and rounds >= budget:
+                budget_error = faults.budget_error(rounds)
+                if observing:
+                    # Run-level fault: delivered immediately (never part of
+                    # a batch), exactly like the scalar engines' vertex-None
+                    # ``on_fault`` right before the raise.
+                    for obs in attached:
+                        obs.on_run_fault(rounds, budget_error)
+                raise budget_error
+            if rounds >= max_rounds:
+                raise SimulationError(
+                    f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                    f"n={n} (likely non-terminating)",
+                    round=rounds,
+                    run_meta=meta,
                 )
-            if not runnable.size:
-                # Bulk-accounted sleeping span, exactly as in the fast
-                # engine: advance round/message counters to the next
-                # wake (clamped by max_rounds and any injected budget)
-                # and synthesize the same trace entries.
-                skip_to = min(min(buckets), max_rounds)
-                if budget is not None and budget < skip_to:
-                    skip_to = budget
-                skip = skip_to - rounds
-                if trace:
-                    traces.extend(
-                        RoundTrace(active=parked, awake=0, halted=0)
-                        for _ in range(skip)
+            if parked:
+                due = buckets.pop(rounds, None)
+                if due is not None and due.size:
+                    parked -= int(due.size)
+                    runnable = (
+                        np.concatenate([runnable, due])
+                        if runnable.size
+                        else due
                     )
-                if observing:
-                    # The scalar engines emit round boundaries for
-                    # bulk-accounted sleeping rounds too: one empty
-                    # batch per skipped round keeps the streams equal.
-                    for r in range(rounds, rounds + skip):
-                        empty = RoundBatch(
-                            r,
-                            active=parked,
-                            messages=messages_per_round,
+                if not runnable.size:
+                    # Bulk-accounted sleeping span, exactly as in the fast
+                    # engine: advance round/message counters to the next
+                    # wake (clamped by max_rounds and any injected budget)
+                    # and synthesize the same trace entries.
+                    skip_to = min(min(buckets), max_rounds)
+                    if budget is not None and budget < skip_to:
+                        skip_to = budget
+                    skip = skip_to - rounds
+                    if trace:
+                        traces.extend(
+                            RoundTrace(active=parked, awake=0, halted=0)
+                            for _ in range(skip)
                         )
-                        for obs in attached:
-                            obs.on_round_batch(empty)
-                rounds += skip
-                messages += skip * messages_per_round
-                continue
-        if observing and runnable.size:
-            # Ascending vertex order, as the scalar engines schedule
-            # when observed; kernels are order-insensitive so this only
-            # normalizes the batch columns.
-            runnable = np.sort(runnable)
-        active_now = int(runnable.size) + parked
-        awake_now = int(runnable.size)
-        run.halted_this_round = 0
-        crashed_verts: Any = ()
-        crash_reasons: List[str] = []
-        crash_faults: List[Tuple[int, FaultEvent]] = []
-        if crash_round is not None:
-            crashed_sel = crash_round[runnable] <= rounds
-            if crashed_sel.any():
-                # Crash-stop semantics mirror the scalar engines: the
-                # vertex counts as awake (it was scheduled) and halted,
-                # never steps again, and its last published value stays
-                # visible.  Output stays None; the failure is recorded.
-                crashed = runnable[crashed_sel]
-                reason = faults.crash_reason(rounds)
-                for v in crashed.tolist():
-                    run.failures[v] = reason
                     if observing:
-                        crash_faults.append(
-                            (v, faults.crash_event(rounds, v))
-                        )
-                        crash_reasons.append(reason)
-                run.halted[crashed] = True
-                run.halted_this_round += int(crashed.size)
-                runnable = runnable[~crashed_sel]
-                if observing:
-                    crashed_verts = crashed
-        run.wake[runnable] = -1
-        if runnable.size:
-            kernel.step(runnable, rounds)
-        survivors = runnable[~run.halted[runnable]]
-        wake = run.wake[survivors]
-        park_sel = wake > rounds + 1
-        if park_sel.any():
-            parking = survivors[park_sel]
-            for wake_round, group in _group_by_wake(
-                wake[park_sel], parking
-            ):
-                previous = buckets.get(wake_round)
-                buckets[wake_round] = (
-                    group
-                    if previous is None
-                    else np.concatenate([previous, group])
+                        # The scalar engines emit round boundaries for
+                        # bulk-accounted sleeping rounds too: one empty
+                        # batch per skipped round keeps the streams equal.
+                        for r in range(rounds, rounds + skip):
+                            empty = RoundBatch(
+                                r,
+                                active=parked,
+                                messages=messages_per_round,
+                            )
+                            for obs in attached:
+                                obs.on_round_batch(empty)
+                    rounds += skip
+                    messages += skip * messages_per_round
+                    continue
+            if observing and runnable.size:
+                # Ascending vertex order, as the scalar engines schedule
+                # when observed; kernels are order-insensitive so this only
+                # normalizes the batch columns.
+                runnable = np.sort(runnable)
+            active_now = int(runnable.size) + parked
+            awake_now = int(runnable.size)
+            run.halted_this_round = 0
+            crashed_verts: Any = ()
+            crash_reasons: List[str] = []
+            crash_faults: List[Tuple[int, FaultEvent]] = []
+            if crash_round is not None:
+                crashed_sel = crash_round[runnable] <= rounds
+                if crashed_sel.any():
+                    # Crash-stop semantics mirror the scalar engines: the
+                    # vertex counts as awake (it was scheduled) and halted,
+                    # never steps again, and its last published value stays
+                    # visible.  Output stays None; the failure is recorded.
+                    crashed = runnable[crashed_sel]
+                    reason = faults.crash_reason(rounds)
+                    for v in crashed.tolist():
+                        run.failures[v] = reason
+                        if observing:
+                            crash_faults.append(
+                                (v, faults.crash_event(rounds, v))
+                            )
+                            crash_reasons.append(reason)
+                    run.halted[crashed] = True
+                    run.halted_this_round += int(crashed.size)
+                    runnable = runnable[~crashed_sel]
+                    if observing:
+                        crashed_verts = crashed
+            run.wake[runnable] = -1
+            if runnable.size:
+                kernel.step(runnable, rounds)
+            survivors = runnable[~run.halted[runnable]]
+            wake = run.wake[survivors]
+            park_sel = wake > rounds + 1
+            if park_sel.any():
+                parking = survivors[park_sel]
+                for wake_round, group in _group_by_wake(
+                    wake[park_sel], parking
+                ):
+                    previous = buckets.get(wake_round)
+                    buckets[wake_round] = (
+                        group
+                        if previous is None
+                        else np.concatenate([previous, group])
+                    )
+                parked += int(parking.size)
+                survivors = survivors[~park_sel]
+            if trace:
+                traces.append(
+                    RoundTrace(
+                        active=active_now,
+                        awake=awake_now,
+                        halted=run.halted_this_round,
+                    )
                 )
-            parked += int(parking.size)
-            survivors = survivors[~park_sel]
-        if trace:
-            traces.append(
-                RoundTrace(
+            if observing:
+                batch = _build_round_batch(
+                    run,
+                    rounds,
                     active=active_now,
                     awake=awake_now,
                     halted=run.halted_this_round,
+                    messages=messages_per_round,
+                    stepped=runnable,
+                    failed=crashed_verts,
+                    fail_reasons=crash_reasons,
+                    faults=crash_faults,
                 )
-            )
+                for obs in attached:
+                    obs.on_round_batch(batch)
+            runnable = survivors
+            rounds += 1
+            messages += messages_per_round
+    except BaseException as exc:
+        # The run died mid-flight (algorithm exception, injected
+        # budget, kill signal surfacing as KeyboardInterrupt):
+        # give buffering observers one flush so partial runs keep
+        # their telemetry, then keep propagating.
         if observing:
-            batch = _build_round_batch(
-                run,
-                rounds,
-                active=active_now,
-                awake=awake_now,
-                halted=run.halted_this_round,
-                messages=messages_per_round,
-                stepped=runnable,
-                failed=crashed_verts,
-                fail_reasons=crash_reasons,
-                faults=crash_faults,
-            )
             for obs in attached:
-                obs.on_round_batch(batch)
-        runnable = survivors
-        rounds += 1
-        messages += messages_per_round
+                obs.on_run_abort(rounds, exc)
+        raise
 
     result = RunResult(
         outputs=run.outputs,

@@ -452,7 +452,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
             os.close(fd)
             cleanup = True
-        observer = JsonlTraceObserver(trace_path)
+        observer = JsonlTraceObserver(
+            trace_path, resume=bool(args.resume)
+        )
         sidecars = []
         if args.progress:
             from .obs import ProgressReporter
@@ -468,12 +470,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 TimingSidecarObserver(args.timing_sidecar)
             )
         try:
+            import contextlib
+
             from .core import observe_runs
 
+            scope = contextlib.nullcontext()
+            if args.checkpoint_dir:
+                from .core.checkpoint import checkpointing
+
+                scope = checkpointing(
+                    args.checkpoint_dir,
+                    every_rounds=args.checkpoint_every,
+                    resume=args.resume,
+                )
             tree = random_tree_bounded_degree(
                 args.n, args.delta, random.Random(args.seed)
             )
-            with observe_runs(observer, *sidecars):
+            with scope, observe_runs(observer, *sidecars):
                 pettie_su_tree_coloring(tree, seed=args.seed)
         finally:
             observer.close()
@@ -544,6 +557,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             retries=args.retries,
             journal=args.journal,
             progress=progress,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     except ValueError as exc:
         print(f"repro faults: {exc}", file=sys.stderr)
@@ -592,6 +607,206 @@ def _warn_skipped_cells(record) -> None:
                 ),
                 file=sys.stderr,
             )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """One checkpointed workload run, optionally supervised.
+
+    Three modes, chosen by flags:
+
+    - plain: no ``--checkpoint-dir`` — just run the workload;
+    - checkpointed: ``--checkpoint-dir`` without supervision flags —
+      run in-process under an ambient checkpointing scope (pair with
+      ``--resume`` to continue a killed run byte-identically);
+    - supervised: any of ``--retries/--deadline/--watchdog/--max-rss``
+      — run in a watched child process via :mod:`repro.supervise`,
+      retrying from the newest snapshot and degrading on memory
+      pressure.
+    """
+    import contextlib
+    import json as _json
+    import os
+
+    if args.n < 2 or args.delta < 2:
+        print(
+            f"repro run: need n >= 2 and delta >= 2, got "
+            f"n={args.n} delta={args.delta}",
+            file=sys.stderr,
+        )
+        return 2
+    supervised = (
+        args.retries > 0
+        or args.deadline is not None
+        or args.watchdog is not None
+        or args.max_rss is not None
+    )
+    if supervised and not args.checkpoint_dir:
+        print(
+            "repro run: supervision flags (--retries/--deadline/"
+            "--watchdog/--max-rss) need --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print(
+            "repro run: --resume needs --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    # Under supervision every retry is a resume, so the trace sink
+    # must never self-truncate; the checkpoint scope's rewind decides
+    # whether the prior bytes survive.
+    trace_resume = supervised or args.resume
+
+    def execute() -> dict:
+        """The workload plus its observers; runs in-process or inside
+        the supervised child.  Observers are created *here* so the
+        child owns them — a forked file handle shared with the parent
+        would interleave writes."""
+        from .core import observe_runs
+
+        observers = []
+        if args.trace:
+            from .obs import JsonlTraceObserver
+
+            Path(args.trace).parent.mkdir(parents=True, exist_ok=True)
+            observers.append(
+                JsonlTraceObserver(args.trace, resume=trace_resume)
+            )
+        if args.timing_sidecar:
+            from .obs import TimingSidecarObserver
+
+            # Append mode: the supervising parent writes supervisor_*
+            # rows to the same sidecar, and each retry keeps the dead
+            # attempt's rows (plane-2 is never rewound).
+            observers.append(
+                TimingSidecarObserver(
+                    open(args.timing_sidecar, "a", encoding="utf-8")
+                )
+            )
+        if args.progress:
+            from .obs import ProgressReporter
+
+            observers.append(ProgressReporter(label="run"))
+        try:
+            rng = random.Random(args.seed)
+            attach = (
+                observe_runs(*observers)
+                if observers
+                else contextlib.nullcontext()
+            )
+            with attach:
+                if args.workload == "coloring":
+                    tree = random_tree_bounded_degree(
+                        args.n, args.delta, rng
+                    )
+                    report = _rand_delta_coloring(
+                        tree, tree.max_degree, args.seed
+                    )
+                else:
+                    g = random_regular_graph(args.n, args.delta, rng)
+                    report = luby_mis(g, seed=args.seed)
+        finally:
+            for obs in observers:
+                if hasattr(obs, "close"):
+                    obs.close()
+        # A summary, not the report: the labeling is n entries and a
+        # supervised child ships this value up a pipe.
+        return {
+            "workload": args.workload,
+            "n": args.n,
+            "delta": args.delta,
+            "seed": args.seed,
+            "rounds": report.rounds,
+            "breakdown": report.breakdown,
+        }
+
+    if args.timing_sidecar:
+        Path(args.timing_sidecar).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        if not args.resume and os.path.exists(args.timing_sidecar):
+            # One truncation up front; everyone appends after this.
+            open(args.timing_sidecar, "w", encoding="utf-8").close()
+
+    if not supervised:
+        scope = contextlib.nullcontext()
+        if args.checkpoint_dir:
+            from .core.checkpoint import checkpointing
+
+            scope = checkpointing(
+                args.checkpoint_dir,
+                every_rounds=args.checkpoint_every,
+                resume=args.resume,
+            )
+        with scope:
+            summary = execute()
+        print(_json.dumps(summary, sort_keys=True))
+        return 0
+
+    from .supervise import supervise_run
+
+    Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    if not args.resume:
+        # A fresh supervised run must not resurrect an older run's
+        # snapshots; the supervisor itself always resumes between its
+        # own retries, so stale slots are cleared up front instead.
+        for name in sorted(os.listdir(args.checkpoint_dir)):
+            if name.endswith((".ckpt", ".done")):
+                os.unlink(os.path.join(args.checkpoint_dir, name))
+    sidecar = None
+    sidecar_stream = None
+    if args.timing_sidecar:
+        from .obs import TimingSidecarObserver
+
+        sidecar_stream = open(
+            args.timing_sidecar, "a", encoding="utf-8"
+        )
+        sidecar = TimingSidecarObserver(sidecar_stream)
+    try:
+        outcome = supervise_run(
+            execute,
+            checkpoint_dir=args.checkpoint_dir,
+            every_rounds=args.checkpoint_every,
+            retries=args.retries,
+            deadline=args.deadline,
+            watchdog=args.watchdog,
+            max_rss_kb=(
+                args.max_rss * 1024
+                if args.max_rss is not None
+                else None
+            ),
+            sidecar=sidecar,
+        )
+    finally:
+        if sidecar is not None:
+            sidecar.close()
+        if sidecar_stream is not None:
+            sidecar_stream.close()
+    if args.audit:
+        from .core.atomicio import atomic_write_text
+
+        Path(args.audit).parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            args.audit,
+            _json.dumps(outcome.to_dict(), sort_keys=True, indent=2)
+            + "\n",
+        )
+        print(f"audit record written to {args.audit}")
+    if outcome.ok:
+        print(
+            _json.dumps(
+                {**outcome.result, "attempts": outcome.attempts},
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"repro run: {outcome.error} "
+        f"(after {outcome.attempts} attempt(s))",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -1043,6 +1258,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="driver mode: render live round progress on stderr",
     )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="driver mode: write round-boundary engine snapshots here",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="ROUNDS",
+        help="snapshot cadence in rounds (default: 256)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="driver mode: resume from the newest snapshot in "
+        "--checkpoint-dir (byte-identical to an uninterrupted run)",
+    )
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
@@ -1098,6 +1331,20 @@ def build_parser() -> argparse.ArgumentParser:
         "journal resumes an interrupted sweep",
     )
     p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="in-run round-boundary snapshots per cell; with "
+        "--journal, a relaunched sweep resumes its in-flight cell "
+        "mid-run instead of from round 0",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="ROUNDS",
+        help="snapshot cadence inside each cell (default: 256)",
+    )
+    p.add_argument(
         "--output",
         metavar="PATH",
         help="also write the rendered record here",
@@ -1114,6 +1361,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a live cells-done ticker on stderr",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "run",
+        help=(
+            "one checkpointed demo workload run; supervision flags "
+            "(--retries/--deadline/--watchdog/--max-rss) move it into "
+            "a watched child process that retries from the newest "
+            "snapshot"
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        choices=("coloring", "mis"),
+        default="coloring",
+        help="coloring = the randomized Δ-coloring driver, "
+        "mis = Luby's MIS (default: coloring)",
+    )
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--delta", type=int, default=9)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write round-boundary engine snapshots here",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="ROUNDS",
+        help="snapshot cadence in rounds (default: 256)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest snapshot in --checkpoint-dir; "
+        "the continued run (and its trace bytes) is identical to an "
+        "uninterrupted one",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="supervised: bounded retries with exponential backoff, "
+        "each resuming from the newest snapshot (default: 0)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised: wall-clock budget across all attempts",
+    )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised: kill and retry a child silent longer than "
+        "this (heartbeats ride the checkpoint cadence)",
+    )
+    p.add_argument(
+        "--max-rss",
+        type=int,
+        default=None,
+        metavar="MIB",
+        help="supervised: RSS ceiling; a child crossing it restarts "
+        "one rung down the degradation ladder (smaller vector "
+        "buffers, then the scalar backend)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the deterministic JSONL trace here",
+    )
+    p.add_argument(
+        "--timing-sidecar",
+        metavar="PATH",
+        help="write the plane-2 timing/resource JSONL sidecar here "
+        "(supervisor lifecycle rows are appended to the same file)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live round progress on stderr",
+    )
+    p.add_argument(
+        "--audit",
+        metavar="PATH",
+        help="supervised: write the RunOutcome audit record here "
+        "(JSON)",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
         "verify",

@@ -1,0 +1,96 @@
+"""Crash-safe writes for durable artifacts.
+
+Every file this project treats as durable — sweep journals, lint and
+bench baselines, metric exports, engine checkpoints — must survive the
+writer dying at any instruction.  The contract here is the classic
+POSIX one: build the complete new contents in a temporary file in the
+*same directory*, ``fsync`` it, then ``os.replace`` it over the target.
+A reader therefore sees either the old complete file or the new
+complete file, never a torn hybrid; the temp file of a crashed writer
+is garbage with a recognizable prefix, not a corrupt artifact.
+
+Append-style artifacts (the sweep journal) cannot be replaced
+wholesale; for those :func:`fsync_stream` pushes each appended record
+through the OS cache so a torn write can only ever be the *trailing*
+line — exactly the case the journal reader already tolerates.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import IO, Any, Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_stream",
+]
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (the rename itself)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform or filesystem without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: _PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    Writes to a same-directory temp file, fsyncs it, and renames it
+    over the target with :func:`os.replace` (atomic on POSIX and
+    Windows).  On any failure the temp file is removed and the
+    original ``path`` is untouched.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(
+    path: _PathLike, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see
+    :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def fsync_stream(stream: IO[Any]) -> None:
+    """Flush ``stream`` and fsync its file descriptor, if it has one.
+
+    Streams without a real descriptor (``io.StringIO``, sockets that
+    refuse ``fileno``) are just flushed — callers use one code path for
+    files and in-memory test doubles alike.
+    """
+    stream.flush()
+    try:
+        fd = stream.fileno()
+    except (AttributeError, OSError, ValueError):
+        return
+    os.fsync(fd)

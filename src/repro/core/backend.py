@@ -59,11 +59,23 @@ class Backend:
     (vectorized: numpy) cost nothing until selected; it must raise
     :class:`ReproError` with installation guidance when the backend's
     dependencies are missing.
+
+    ``capture_state`` / ``restore_state`` form the optional
+    *checkpoint capability* (see :mod:`repro.core.checkpoint`):
+    ``capture_state(handle)`` serializes the engine's mutable
+    round-boundary state to a picklable dict (carrying a ``"format"``
+    key naming the state shape), and ``restore_state(handle, payload)``
+    applies such a dict back onto a freshly built engine.  Backends
+    without the capability leave both ``None``; selecting them under a
+    checkpoint policy fails fast with a
+    :class:`~repro.core.checkpoint.CheckpointError`.
     """
 
     name: str
     description: str
     loader: Callable[[], Runner]
+    capture_state: Optional[Callable[[Any], Dict[str, Any]]] = None
+    restore_state: Optional[Callable[[Any, Dict[str, Any]], None]] = None
 
     def load(self) -> Runner:
         """Resolve the runner (may raise :class:`ReproError`)."""
@@ -90,15 +102,23 @@ def register_backend(
     loader: Callable[[], Runner],
     *,
     description: str = "",
+    capture_state: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    restore_state: Optional[Callable[[Any, Dict[str, Any]], None]] = None,
 ) -> None:
     """Register (or replace) a backend under ``name``.
 
     ``loader`` is called on first use, not at registration — register
     optional backends unconditionally and let the loader raise a
-    :class:`ReproError` explaining what to install.
+    :class:`ReproError` explaining what to install.  Pass both
+    ``capture_state`` and ``restore_state`` to advertise the checkpoint
+    capability (see :class:`Backend`).
     """
     _REGISTRY[name] = Backend(
-        name=name, description=description, loader=loader
+        name=name,
+        description=description,
+        loader=loader,
+        capture_state=capture_state,
+        restore_state=restore_state,
     )
 
 

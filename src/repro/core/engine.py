@@ -76,6 +76,13 @@ from .backend import (
     register_backend,
     use_backend,
 )
+from .checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointSession,
+    current_checkpoint_scope,
+    standalone_scope,
+)
 from .context import Model, NodeContext
 from .errors import DuplicateIDError, ReproError, SimulationError
 from .ids import check_unique_ids, sequential_ids
@@ -225,6 +232,14 @@ class _ObserverHub:
     def run_end(self, result: "RunResult") -> None:
         for obs in self.observers:
             obs.on_run_end(result)
+
+    def run_abort(self, round_index: int, error: BaseException) -> None:
+        """The run died (algorithm exception, injected budget, kill
+        signal surfacing as ``KeyboardInterrupt``) before ``run_end``.
+        Observers that buffer output flush here so partial runs keep
+        their telemetry; the exception keeps propagating afterwards."""
+        for obs in self.observers:
+            obs.on_run_abort(round_index, error)
 
 
 #: Ambiently attached observers (see :func:`observe_runs`).
@@ -450,6 +465,7 @@ def run_local(
     observers: Optional[Sequence[Any]] = None,
     fault_plan: Optional[Any] = None,
     backend: Optional[str] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` under ``model``.
 
@@ -488,6 +504,16 @@ def run_local(
         ``"fast"``.  Every backend returns the identical
         :class:`RunResult` — selection is a performance choice, never a
         semantic one.
+    checkpoint:
+        A :class:`~repro.core.checkpoint.CheckpointPolicy` — snapshot
+        the run's complete resumable state at round boundaries, and
+        (with ``resume=True``) restore from an existing snapshot so
+        the run reproduces the uninterrupted execution byte-for-byte.
+        Overrides any ambient :func:`~repro.core.checkpoint.checkpointing`
+        scope; requires a backend with the
+        ``capture_state``/``restore_state`` capability and
+        checkpoint-capable observers.  ``None`` (the default) keeps the
+        engine on the no-checkpoint hot path.
 
     Returns
     -------
@@ -498,8 +524,70 @@ def run_local(
     # Resolve every name — including the default — through the
     # registry, so register_backend("fast", ...) replacements are
     # honored exactly as the registry API documents.
-    runner: Runner = get_backend(name).load()
-    return runner(
+    be = get_backend(name)
+    runner: Runner = be.load()
+    session: Optional[CheckpointSession] = None
+    if checkpoint is not None:
+        session = standalone_scope(checkpoint).next_session()
+    else:
+        scope = current_checkpoint_scope()
+        if scope is not None:
+            session = scope.next_session()
+    if session is None:
+        # No checkpointing anywhere in scope: call the runner exactly
+        # as before (custom-registered backends need not know the
+        # ``checkpoint`` keyword exists).
+        return runner(
+            graph,
+            algorithm,
+            model,
+            ids=ids,
+            seed=seed,
+            node_inputs=node_inputs,
+            global_params=global_params,
+            max_rounds=max_rounds,
+            rng_factory=rng_factory,
+            allow_duplicate_ids=allow_duplicate_ids,
+            trace=trace,
+            observers=observers,
+            fault_plan=fault_plan,
+        )
+    plan = fault_plan if fault_plan is not None else _ACTIVE_FAULT_PLAN
+    fault_fp: Optional[Dict[str, Any]] = None
+    if plan is not None:
+        # A stable, process-independent plan identity (never repr():
+        # hook callables embed memory addresses).
+        fault_fp = {
+            "seed": getattr(plan, "seed", None),
+            "crash_rate": getattr(plan, "crash_rate", None),
+            "drop_rate": getattr(plan, "drop_rate", None),
+            "duplicate_rate": getattr(plan, "duplicate_rate", None),
+            "corrupt_rate": getattr(plan, "corrupt_rate", None),
+            "round_budget": getattr(plan, "round_budget", None),
+        }
+    session.bind(
+        be,
+        _attached_observers(observers),
+        {
+            "algorithm": algorithm.name,
+            "model": model.value,
+            "n": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": seed,
+            "max_rounds": max_rounds,
+            "trace": trace,
+            "backend": name,
+            "slot": session.slot,
+            "faults": fault_fp,
+        },
+    )
+    if session.begin():
+        # The slot already finished in the interrupted process: replay
+        # its recorded result without re-running the engine (observers
+        # were restored to their end-of-slot positions by begin()).
+        result: RunResult = session.done_result()
+        return result
+    result = runner(
         graph,
         algorithm,
         model,
@@ -513,7 +601,116 @@ def run_local(
         trace=trace,
         observers=observers,
         fault_plan=fault_plan,
+        checkpoint=session,
     )
+    session.record_done(result)
+    return result
+
+
+class _ScalarState:
+    """Checkpoint handle for the scalar engines (fast and reference).
+
+    A thin view over one run's mutable state: the engines construct it
+    at each due round boundary (save) or once at startup (restore); the
+    capture/restore functions below are the ``"fast"`` and
+    ``"reference"`` backends' registered checkpoint capability.
+    """
+
+    __slots__ = ("contexts", "faults", "rounds", "messages", "traces")
+
+    def __init__(
+        self,
+        contexts: List[NodeContext],
+        faults: Optional[Any],
+        rounds: int = 0,
+        messages: int = 0,
+        traces: Optional[List[RoundTrace]] = None,
+    ) -> None:
+        self.contexts = contexts
+        self.faults = faults
+        self.rounds = rounds
+        self.messages = messages
+        self.traces: List[RoundTrace] = traces if traces is not None else []
+
+
+def _capture_scalar_state(state: _ScalarState) -> Dict[str, Any]:
+    """Serialize a round-boundary scalar snapshot (format ``"scalar"``).
+
+    Taken strictly at round boundaries, where the dirty-commit pass has
+    already run: every context has ``_pub_dirty == False`` and the fast
+    engine's ``visible`` list equals ``[ctx._pub ...]``, so published
+    values alone reconstruct the visible plane.  Wake buckets are not
+    stored — they are an index over ``ctx._wake_round``, rebuilt on
+    restore.
+    """
+    nodes: List[Tuple[Any, ...]] = []
+    for ctx in state.contexts:
+        nodes.append(
+            (
+                ctx.state,
+                ctx.input,
+                ctx._pub,
+                ctx._wake_round,
+                ctx.halted,
+                ctx.output,
+                ctx.failure,
+                ctx.failure_round,
+                ctx._rng.getstate() if ctx._rng is not None else None,
+            )
+        )
+    faults = state.faults
+    fault_last = (
+        dict(faults._last)
+        if faults is not None and faults._last is not None
+        else None
+    )
+    return {
+        "format": "scalar",
+        "rounds": state.rounds,
+        "messages": state.messages,
+        "traces": list(state.traces),
+        "nodes": nodes,
+        "fault_last": fault_last,
+    }
+
+
+def _restore_scalar_state(
+    state: _ScalarState, payload: Dict[str, Any]
+) -> None:
+    """Apply a ``"scalar"`` snapshot onto freshly built contexts."""
+    state.rounds = payload["rounds"]
+    state.messages = payload["messages"]
+    state.traces[:] = payload["traces"]
+    nodes = payload["nodes"]
+    if len(nodes) != len(state.contexts):
+        raise CheckpointError(
+            f"snapshot holds {len(nodes)} vertices but the run has "
+            f"{len(state.contexts)} — resume on the same graph"
+        )
+    for ctx, snap in zip(state.contexts, nodes):
+        (
+            ctx.state,
+            ctx.input,
+            pub,
+            ctx._wake_round,
+            ctx.halted,
+            ctx.output,
+            ctx.failure,
+            ctx.failure_round,
+            rng_state,
+        ) = snap
+        ctx._pub = pub
+        ctx._next_pub = pub
+        ctx._pub_dirty = False
+        if rng_state is not None:
+            assert ctx._rng is not None
+            ctx._rng.setstate(rng_state)
+    faults = state.faults
+    if faults is not None and faults._last is not None:
+        faults._last.clear()
+        last = payload.get("fault_last")
+        if last:
+            faults._last.update(last)
 
 
 def _run_local_fast(
@@ -531,6 +728,7 @@ def _run_local_fast(
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
     fault_plan: Optional[Any] = None,
+    checkpoint: Optional[CheckpointSession] = None,
 ) -> RunResult:
     """The ``"fast"`` backend: the production per-node round loop.
 
@@ -569,170 +767,200 @@ def _run_local_fast(
         seed=seed,
         graph=graph,
     )
-    if hub is not None:
-        hub.run_start(meta)
     plan = fault_plan if fault_plan is not None else _ACTIVE_FAULT_PLAN
     faults = plan.activate(meta) if plan is not None else None
     clock = _Clock()
-    _run_setup(contexts, algorithm, clock, hub)
-
-    #: Persistent per-vertex visible values; updated in place by the
-    #: dirty-commit pass instead of being rebuilt every round.
-    visible: List[Any] = [ctx._pub for ctx in contexts]
-    offsets, targets = flat_adjacency(graph)
-
-    rounds = 0
-    messages = 0
-    messages_per_round = 2 * graph.num_edges
-    traces: List[RoundTrace] = []
-
-    #: wake round -> vertices parked until that round.
-    buckets: Dict[int, List[int]] = {}
-    parked = 0
-    runnable: List[int] = []
-    for v in range(n):
-        ctx = contexts[v]
-        if ctx.halted:
-            continue
-        wake = ctx._wake_round
-        if wake is not None and wake > 0:
-            buckets.setdefault(wake, []).append(v)
-            parked += 1
-        else:
-            runnable.append(v)
-
-    step = algorithm.step
-    budget = faults.budget if faults is not None else None
-    deliver = (
-        faults.deliver
-        if faults is not None and faults.touches_messages
+    state = _ScalarState(contexts, faults)
+    resumed = (
+        checkpoint.engine_payload("scalar")
+        if checkpoint is not None
         else None
     )
-    while runnable or parked:
-        if budget is not None and rounds >= budget:
-            budget_error = faults.budget_error(rounds)
+    rounds = 0
+    messages = 0
+    try:
+        if resumed is not None:
+            # Resume: the snapshot replaces run_start + setup — the
+            # restored observers already emitted those events in the
+            # interrupted process, and restored contexts already carry
+            # their post-setup state.
+            checkpoint.restore_engine(state, resumed)
+            for ctx in contexts:
+                ctx._clock = clock
+            clock.now = state.rounds
+        else:
             if hub is not None:
-                hub.fault(rounds, None, budget_error)
-            raise budget_error
-        if rounds >= max_rounds:
-            raise SimulationError(
-                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
-                f"n={n} (likely non-terminating)",
-                round=rounds,
-                run_meta=meta,
-            )
-        if parked:
-            due = buckets.pop(rounds, None)
-            if due:
-                parked -= len(due)
-                runnable.extend(due)
-            if not runnable:
-                # Every live vertex sleeps: advance the round and
-                # message accounting in bulk up to the next wake (or the
-                # cap, where the guard above raises), scanning nobody.
-                # The skipped span is still fully observable: each
-                # bulk-accounted round gets a synthesized trace entry
-                # and round-start/round-end events carrying the same
-                # active/awake/halted counts the reference engine
-                # reports for it (all parked vertices active, nobody
-                # awake, nobody halting).  An injected round budget
-                # clamps the skip so the budget check above fires at
-                # exactly the same round as in the reference engine.
-                skip_to = min(min(buckets), max_rounds)
-                if budget is not None and budget < skip_to:
-                    skip_to = budget
-                skip = skip_to - rounds
-                if trace:
-                    traces.extend(
-                        RoundTrace(active=parked, awake=0, halted=0)
-                        for _ in range(skip)
-                    )
-                if hub is not None:
-                    for r in range(rounds, rounds + skip):
-                        hub.round_start(r, parked)
-                        hub.round_end(r, 0, 0, messages_per_round)
-                rounds += skip
-                messages += skip * messages_per_round
-                continue
-        clock.now = rounds
-        if hub is not None:
-            # Canonical event order: the reference engine scans
-            # vertices ascending, so the observed fast engine does too
-            # (per-round vertex steps are order-independent under
-            # double buffering — RunResult is unchanged).
-            runnable.sort()
-            hub.round_start(rounds, len(runnable) + parked)
-        active_now = len(runnable) + parked
-        awake_now = len(runnable)
-        halted_this_round = 0
-        dirty: List[int] = []
-        next_runnable: List[int] = []
-        for v in runnable:
+                hub.run_start(meta)
+            _run_setup(contexts, algorithm, clock, hub)
+
+        #: Persistent per-vertex visible values; updated in place by the
+        #: dirty-commit pass instead of being rebuilt every round.
+        visible: List[Any] = [ctx._pub for ctx in contexts]
+        offsets, targets = flat_adjacency(graph)
+
+        rounds = state.rounds
+        messages = state.messages
+        messages_per_round = 2 * graph.num_edges
+        traces: List[RoundTrace] = state.traces
+
+        #: wake round -> vertices parked until that round.  Rebuilt from
+        #: ``ctx._wake_round`` on resume: entries due at or before the
+        #: current round boundary are runnable (the original run would
+        #: pop them at this round's start), later ones re-park.
+        buckets: Dict[int, List[int]] = {}
+        parked = 0
+        runnable: List[int] = []
+        for v in range(n):
             ctx = contexts[v]
-            ctx._wake_round = None
-            if faults is not None and faults.crashed(rounds, v):
-                # Crash-stop: the vertex never steps this round (or
-                # again).  It counts as awake (it was scheduled) and
-                # halted; its last published value stays visible, like
-                # a halted processor's.  No delivery happens, so the
-                # stale-duplicate bookkeeping stays engine-identical.
-                reason = faults.crash_reason(rounds)
-                ctx.fail(reason)
-                halted_this_round += 1
-                if hub is not None:
-                    hub.fault(rounds, v, faults.crash_event(rounds, v))
-                    hub.failure(rounds, v, reason)
-                continue
-            lo = offsets[v]
-            hi = offsets[v + 1]
-            inbox = [visible[u] for u in targets[lo:hi]]
-            if deliver is not None:
-                events = deliver(rounds, v, inbox, hub is not None)
-                if events and hub is not None:
-                    for injected in events:
-                        hub.fault(rounds, v, injected)
-            step(ctx, inbox)
-            if ctx._pub_dirty:
-                dirty.append(v)
             if ctx.halted:
-                halted_this_round += 1
+                continue
+            wake = ctx._wake_round
+            if wake is not None and wake > rounds:
+                buckets.setdefault(wake, []).append(v)
+                parked += 1
             else:
-                wake = ctx._wake_round
-                if wake is not None and wake > rounds + 1:
-                    buckets.setdefault(wake, []).append(v)
-                    parked += 1
-                else:
-                    next_runnable.append(v)
-            if hub is not None:
-                hub.node_step(rounds, v, ctx)
-                if ctx._pub_dirty:
-                    hub.publish(rounds, v, ctx._next_pub)
-                if ctx.failure is not None:
-                    hub.failure(rounds, v, ctx.failure)
-                elif ctx.halted:
-                    hub.halt(rounds, v, ctx.output)
-        # Deferred dirty-commit pass: no publish became visible before
-        # every step of this round finished (double buffering).
-        for v in dirty:
-            ctx = contexts[v]
-            ctx._pub = ctx._next_pub
-            ctx._pub_dirty = False
-            visible[v] = ctx._pub
-        if trace:
-            traces.append(
-                RoundTrace(
-                    active=active_now,
-                    awake=awake_now,
-                    halted=halted_this_round,
+                runnable.append(v)
+
+        step = algorithm.step
+        budget = faults.budget if faults is not None else None
+        deliver = (
+            faults.deliver
+            if faults is not None and faults.touches_messages
+            else None
+        )
+        while runnable or parked:
+            if checkpoint is not None and checkpoint.due(rounds):
+                state.rounds = rounds
+                state.messages = messages
+                checkpoint.save(state, rounds)
+            if budget is not None and rounds >= budget:
+                budget_error = faults.budget_error(rounds)
+                if hub is not None:
+                    hub.fault(rounds, None, budget_error)
+                raise budget_error
+            if rounds >= max_rounds:
+                raise SimulationError(
+                    f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                    f"n={n} (likely non-terminating)",
+                    round=rounds,
+                    run_meta=meta,
                 )
-            )
+            if parked:
+                due = buckets.pop(rounds, None)
+                if due:
+                    parked -= len(due)
+                    runnable.extend(due)
+                if not runnable:
+                    # Every live vertex sleeps: advance the round and
+                    # message accounting in bulk up to the next wake (or the
+                    # cap, where the guard above raises), scanning nobody.
+                    # The skipped span is still fully observable: each
+                    # bulk-accounted round gets a synthesized trace entry
+                    # and round-start/round-end events carrying the same
+                    # active/awake/halted counts the reference engine
+                    # reports for it (all parked vertices active, nobody
+                    # awake, nobody halting).  An injected round budget
+                    # clamps the skip so the budget check above fires at
+                    # exactly the same round as in the reference engine.
+                    skip_to = min(min(buckets), max_rounds)
+                    if budget is not None and budget < skip_to:
+                        skip_to = budget
+                    skip = skip_to - rounds
+                    if trace:
+                        traces.extend(
+                            RoundTrace(active=parked, awake=0, halted=0)
+                            for _ in range(skip)
+                        )
+                    if hub is not None:
+                        for r in range(rounds, rounds + skip):
+                            hub.round_start(r, parked)
+                            hub.round_end(r, 0, 0, messages_per_round)
+                    rounds += skip
+                    messages += skip * messages_per_round
+                    continue
+            clock.now = rounds
+            if hub is not None:
+                # Canonical event order: the reference engine scans
+                # vertices ascending, so the observed fast engine does too
+                # (per-round vertex steps are order-independent under
+                # double buffering — RunResult is unchanged).
+                runnable.sort()
+                hub.round_start(rounds, len(runnable) + parked)
+            active_now = len(runnable) + parked
+            awake_now = len(runnable)
+            halted_this_round = 0
+            dirty: List[int] = []
+            next_runnable: List[int] = []
+            for v in runnable:
+                ctx = contexts[v]
+                ctx._wake_round = None
+                if faults is not None and faults.crashed(rounds, v):
+                    # Crash-stop: the vertex never steps this round (or
+                    # again).  It counts as awake (it was scheduled) and
+                    # halted; its last published value stays visible, like
+                    # a halted processor's.  No delivery happens, so the
+                    # stale-duplicate bookkeeping stays engine-identical.
+                    reason = faults.crash_reason(rounds)
+                    ctx.fail(reason)
+                    halted_this_round += 1
+                    if hub is not None:
+                        hub.fault(rounds, v, faults.crash_event(rounds, v))
+                        hub.failure(rounds, v, reason)
+                    continue
+                lo = offsets[v]
+                hi = offsets[v + 1]
+                inbox = [visible[u] for u in targets[lo:hi]]
+                if deliver is not None:
+                    events = deliver(rounds, v, inbox, hub is not None)
+                    if events and hub is not None:
+                        for injected in events:
+                            hub.fault(rounds, v, injected)
+                step(ctx, inbox)
+                if ctx._pub_dirty:
+                    dirty.append(v)
+                if ctx.halted:
+                    halted_this_round += 1
+                else:
+                    wake = ctx._wake_round
+                    if wake is not None and wake > rounds + 1:
+                        buckets.setdefault(wake, []).append(v)
+                        parked += 1
+                    else:
+                        next_runnable.append(v)
+                if hub is not None:
+                    hub.node_step(rounds, v, ctx)
+                    if ctx._pub_dirty:
+                        hub.publish(rounds, v, ctx._next_pub)
+                    if ctx.failure is not None:
+                        hub.failure(rounds, v, ctx.failure)
+                    elif ctx.halted:
+                        hub.halt(rounds, v, ctx.output)
+            # Deferred dirty-commit pass: no publish became visible before
+            # every step of this round finished (double buffering).
+            for v in dirty:
+                ctx = contexts[v]
+                ctx._pub = ctx._next_pub
+                ctx._pub_dirty = False
+                visible[v] = ctx._pub
+            if trace:
+                traces.append(
+                    RoundTrace(
+                        active=active_now,
+                        awake=awake_now,
+                        halted=halted_this_round,
+                    )
+                )
+            if hub is not None:
+                hub.round_end(
+                    rounds, awake_now, halted_this_round, messages_per_round
+                )
+            runnable = next_runnable
+            rounds += 1
+            messages += messages_per_round
+    except BaseException as exc:
         if hub is not None:
-            hub.round_end(
-                rounds, awake_now, halted_this_round, messages_per_round
-            )
-        runnable = next_runnable
-        rounds += 1
-        messages += messages_per_round
+            hub.run_abort(rounds, exc)
+        raise
 
     failures = {
         v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
@@ -785,6 +1013,7 @@ def run_local_reference(
     trace: bool = False,
     observers: Optional[Sequence[Any]] = None,
     fault_plan: Optional[Any] = None,
+    checkpoint: Optional[CheckpointSession] = None,
 ) -> RunResult:
     """The kept-simple engine: full snapshot and full scan every round.
 
@@ -823,98 +1052,124 @@ def run_local_reference(
         seed=seed,
         graph=graph,
     )
-    if hub is not None:
-        hub.run_start(meta)
     plan = fault_plan if fault_plan is not None else _ACTIVE_FAULT_PLAN
     faults = plan.activate(meta) if plan is not None else None
     clock = _Clock()
-    _run_setup(contexts, algorithm, clock, hub)
-
-    rounds = 0
-    messages = 0
-    messages_per_round = 2 * graph.num_edges
-    traces: List[RoundTrace] = []
-    active = [v for v in range(n) if not contexts[v].halted]
-    budget = faults.budget if faults is not None else None
-    deliver = (
-        faults.deliver
-        if faults is not None and faults.touches_messages
+    state = _ScalarState(contexts, faults)
+    resumed = (
+        checkpoint.engine_payload("scalar")
+        if checkpoint is not None
         else None
     )
-    while active:
-        if budget is not None and rounds >= budget:
-            budget_error = faults.budget_error(rounds)
+    rounds = 0
+    messages = 0
+    try:
+        if resumed is not None:
+            # Resume: the snapshot replaces run_start + setup (see the
+            # fast engine); the active list below is an index over the
+            # restored halt flags, so it needs no stored counterpart.
+            checkpoint.restore_engine(state, resumed)
+            for ctx in contexts:
+                ctx._clock = clock
+            clock.now = state.rounds
+        else:
             if hub is not None:
-                hub.fault(rounds, None, budget_error)
-            raise budget_error
-        if rounds >= max_rounds:
-            raise SimulationError(
-                f"{algorithm.name!r} exceeded {max_rounds} rounds on "
-                f"n={n} (likely non-terminating)",
-                round=rounds,
-                run_meta=meta,
-            )
-        clock.now = rounds
-        if hub is not None:
-            hub.round_start(rounds, len(active))
-        snapshot = [ctx._pub for ctx in contexts]
-        dirty = False
-        awake = 0
-        halted_this_round = 0
-        for v in active:
-            ctx = contexts[v]
-            wake = ctx._wake_round
-            if wake is not None and wake > rounds:
-                continue
-            ctx._wake_round = None
-            awake += 1
-            if faults is not None and faults.crashed(rounds, v):
-                # Mirror of the fast engine's crash-stop block: counts
-                # as awake + halted, never steps, delivery skipped.
-                reason = faults.crash_reason(rounds)
-                ctx.fail(reason)
-                dirty = True
-                halted_this_round += 1
+                hub.run_start(meta)
+            _run_setup(contexts, algorithm, clock, hub)
+
+        rounds = state.rounds
+        messages = state.messages
+        messages_per_round = 2 * graph.num_edges
+        traces: List[RoundTrace] = state.traces
+        active = [v for v in range(n) if not contexts[v].halted]
+        budget = faults.budget if faults is not None else None
+        deliver = (
+            faults.deliver
+            if faults is not None and faults.touches_messages
+            else None
+        )
+        while active:
+            if checkpoint is not None and checkpoint.due(rounds):
+                state.rounds = rounds
+                state.messages = messages
+                checkpoint.save(state, rounds)
+            if budget is not None and rounds >= budget:
+                budget_error = faults.budget_error(rounds)
                 if hub is not None:
-                    hub.fault(rounds, v, faults.crash_event(rounds, v))
-                    hub.failure(rounds, v, reason)
-                continue
-            inbox = [snapshot[u] for u in graph.neighbors(v)]
-            if deliver is not None:
-                events = deliver(rounds, v, inbox, hub is not None)
-                if events and hub is not None:
-                    for injected in events:
-                        hub.fault(rounds, v, injected)
-            algorithm.step(ctx, inbox)
-            if ctx.halted:
-                dirty = True
-                halted_this_round += 1
-            if hub is not None:
-                hub.node_step(rounds, v, ctx)
-                if ctx._pub_dirty:
-                    hub.publish(rounds, v, ctx._next_pub)
-                if ctx.failure is not None:
-                    hub.failure(rounds, v, ctx.failure)
-                elif ctx.halted:
-                    hub.halt(rounds, v, ctx.output)
-        for v in active:
-            contexts[v]._commit()
-        if trace:
-            traces.append(
-                RoundTrace(
-                    active=len(active),
-                    awake=awake,
-                    halted=halted_this_round,
+                    hub.fault(rounds, None, budget_error)
+                raise budget_error
+            if rounds >= max_rounds:
+                raise SimulationError(
+                    f"{algorithm.name!r} exceeded {max_rounds} rounds on "
+                    f"n={n} (likely non-terminating)",
+                    round=rounds,
+                    run_meta=meta,
                 )
-            )
+            clock.now = rounds
+            if hub is not None:
+                hub.round_start(rounds, len(active))
+            snapshot = [ctx._pub for ctx in contexts]
+            dirty = False
+            awake = 0
+            halted_this_round = 0
+            for v in active:
+                ctx = contexts[v]
+                wake = ctx._wake_round
+                if wake is not None and wake > rounds:
+                    continue
+                ctx._wake_round = None
+                awake += 1
+                if faults is not None and faults.crashed(rounds, v):
+                    # Mirror of the fast engine's crash-stop block: counts
+                    # as awake + halted, never steps, delivery skipped.
+                    reason = faults.crash_reason(rounds)
+                    ctx.fail(reason)
+                    dirty = True
+                    halted_this_round += 1
+                    if hub is not None:
+                        hub.fault(rounds, v, faults.crash_event(rounds, v))
+                        hub.failure(rounds, v, reason)
+                    continue
+                inbox = [snapshot[u] for u in graph.neighbors(v)]
+                if deliver is not None:
+                    events = deliver(rounds, v, inbox, hub is not None)
+                    if events and hub is not None:
+                        for injected in events:
+                            hub.fault(rounds, v, injected)
+                algorithm.step(ctx, inbox)
+                if ctx.halted:
+                    dirty = True
+                    halted_this_round += 1
+                if hub is not None:
+                    hub.node_step(rounds, v, ctx)
+                    if ctx._pub_dirty:
+                        hub.publish(rounds, v, ctx._next_pub)
+                    if ctx.failure is not None:
+                        hub.failure(rounds, v, ctx.failure)
+                    elif ctx.halted:
+                        hub.halt(rounds, v, ctx.output)
+            for v in active:
+                contexts[v]._commit()
+            if trace:
+                traces.append(
+                    RoundTrace(
+                        active=len(active),
+                        awake=awake,
+                        halted=halted_this_round,
+                    )
+                )
+            if hub is not None:
+                hub.round_end(
+                    rounds, awake, halted_this_round, messages_per_round
+                )
+            if dirty:
+                active = [v for v in active if not contexts[v].halted]
+            rounds += 1
+            messages += messages_per_round
+    except BaseException as exc:
         if hub is not None:
-            hub.round_end(
-                rounds, awake, halted_this_round, messages_per_round
-            )
-        if dirty:
-            active = [v for v in active if not contexts[v].halted]
-        rounds += 1
-        messages += messages_per_round
+            hub.run_abort(rounds, exc)
+        raise
 
     failures = {
         v: ctx.failure for v, ctx in enumerate(contexts) if ctx.failure
@@ -932,15 +1187,45 @@ def run_local_reference(
     return result
 
 
+def _capture_vectorized_state(handle: Any) -> Dict[str, Any]:
+    """Checkpoint capability for the ``"vectorized"`` backend.
+
+    Dispatches on the handle shape: drivers without a registered kernel
+    fall back to the fast per-node loop, whose handle is a
+    :class:`_ScalarState` — those snapshots are scalar-format so a
+    resume lands back on the identical fallback path.  Imported lazily
+    so the capability can register without numpy installed.
+    """
+    if isinstance(handle, _ScalarState):
+        return _capture_scalar_state(handle)
+    from ..backends.vectorized import capture_vector_state
+
+    result: Dict[str, Any] = capture_vector_state(handle)
+    return result
+
+
+def _restore_vectorized_state(handle: Any, payload: Dict[str, Any]) -> None:
+    if isinstance(handle, _ScalarState):
+        _restore_scalar_state(handle, payload)
+        return
+    from ..backends.vectorized import restore_vector_state
+
+    restore_vector_state(handle, payload)
+
+
 register_backend(
     "fast",
     lambda: _run_local_fast,
     description="production per-node loop (dirty-commit, wake buckets)",
+    capture_state=_capture_scalar_state,
+    restore_state=_restore_scalar_state,
 )
 register_backend(
     "reference",
     lambda: run_local_reference,
     description="kept-simple oracle loop (full snapshot, full scan)",
+    capture_state=_capture_scalar_state,
+    restore_state=_restore_scalar_state,
 )
 register_backend(
     "vectorized",
@@ -948,4 +1233,6 @@ register_backend(
     description="numpy whole-round kernels over the CSR adjacency "
     "(requires the [perf] extra; per-node fallback for drivers "
     "without a kernel)",
+    capture_state=_capture_vectorized_state,
+    restore_state=_restore_vectorized_state,
 )

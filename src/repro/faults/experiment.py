@@ -130,6 +130,8 @@ def failure_rate_experiment(
     journal: Optional[str] = None,
     record: Optional[ExperimentRecord] = None,
     progress=None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 256,
 ) -> ExperimentRecord:
     """Run the fault-rate sweep and package it as an ExperimentRecord.
 
@@ -139,6 +141,11 @@ def failure_rate_experiment(
     reproduces a cell exactly.  Pass ``record`` to fill a caller-owned
     :class:`ExperimentRecord` (benchmarks declare their own id/title);
     by default one is created under :data:`EXPERIMENT_ID`.
+
+    ``checkpoint_dir``/``checkpoint_every`` add in-run round-boundary
+    snapshots beneath the journal's cell-level recovery — a killed
+    sweep relaunched with the same journal *and* checkpoint dir
+    resumes its in-flight cell mid-run instead of from round 0.
     """
     if kind not in KINDS:
         raise ValueError(f"unknown fault kind {kind!r}; choose from {KINDS}")
@@ -160,6 +167,8 @@ def failure_rate_experiment(
         journal=journal,
         observer_factory=MetricsObserver,
         progress=progress,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     if record is None:
         record = ExperimentRecord(

@@ -24,6 +24,7 @@ import json
 import re
 from typing import Any, Dict, Optional
 
+from ..core.atomicio import atomic_write_text
 from .metrics import SUMMARY_VERSION
 
 EXPORT_SCHEMA = "repro.obs.export"
@@ -157,8 +158,7 @@ def write_metrics_export(
             f"unknown export format {fmt!r}; "
             "expected 'prometheus' or 'json'"
         )
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(text)
+    atomic_write_text(path, text)
     return fmt
 
 

@@ -202,6 +202,25 @@ class MetricsObserver(BatchRunObserver):
     reduction per round — same numbers, no per-vertex Python work.
     """
 
+    checkpoint_capable = True
+
+    def checkpoint_state(self) -> Any:
+        """Resumable position: the whole accumulated-metrics state.
+
+        Everything mutable lives in ``__dict__`` (registry, curves,
+        per-run locality arrays), and all of it is plain data or numpy
+        arrays — picklable by construction.  The snapshot is taken at a
+        round boundary, so no partially-assembled batch exists.
+        """
+        return dict(self.__dict__)
+
+    def restore_checkpoint(self, state: Any) -> None:
+        if state is None:
+            self.__init__()  # type: ignore[misc]
+            return
+        self.__dict__.clear()
+        self.__dict__.update(state)
+
     def __init__(self) -> None:
         super().__init__()
         self.registry = MetricsRegistry()

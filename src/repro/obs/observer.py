@@ -20,7 +20,9 @@ equivalence suite pins it):
    live vertex sleeps are bulk-accounted by the fast engine but still
    emit ``on_round_start``/``on_round_end`` (awake = halted = 0).
 4. ``on_run_end(result)`` — once, unless the run raised (e.g. the
-   ``max_rounds`` guard), in which case the stream simply stops.
+   ``max_rounds`` guard), in which case ``on_run_abort(round, error)``
+   fires instead and the stream stops; flush-style observers finalize
+   there so partial runs keep their telemetry.
 
 Under fault injection (see :mod:`repro.faults`) the per-vertex slot in
 step 3 gains ``on_fault`` events, still engine-identical: a vertex's
@@ -82,6 +84,38 @@ class RunObserver:
     :func:`repro.core.observe_runs`); ``on_run_start`` marks each new
     run's boundary.
     """
+
+    #: Whether this observer participates in in-run checkpointing (see
+    #: :mod:`repro.core.checkpoint`).  A capable observer implements
+    #: :meth:`checkpoint_state` / :meth:`restore_checkpoint` so a
+    #: resumed run reproduces its output stream byte-for-byte;
+    #: attaching a non-capable observer to a checkpointed run fails
+    #: fast with a ``CheckpointError``.
+    checkpoint_capable = False
+
+    def checkpoint_state(self) -> Any:
+        """This observer's resumable position, captured at a round
+        boundary.  Must be picklable; ``None`` is a valid state for
+        observers with nothing to rewind (e.g. plane-2 sidecars)."""
+        return None
+
+    def restore_checkpoint(self, state: Any) -> None:
+        """Rewind to a position captured by :meth:`checkpoint_state`.
+
+        Called with ``state=None`` when a resume finds no usable
+        snapshot and the run restarts from the top: the observer must
+        reset to its just-constructed state (truncating any partial
+        output the killed process left) so the fresh run's stream is
+        reproduced from the first byte."""
+
+    def on_run_abort(
+        self, round_index: int, error: BaseException
+    ) -> None:
+        """The run is dying at round ``round_index`` with ``error``
+        (algorithm exception, injected budget, ``KeyboardInterrupt``)
+        before ``on_run_end`` could fire.  Observers that buffer
+        output flush here so partial runs keep their telemetry; the
+        exception propagates as soon as every observer returns."""
 
     def on_run_start(self, meta: RunMeta) -> None:
         """A run is starting; ``meta`` holds its static facts."""

@@ -83,7 +83,24 @@ class TimingSidecarObserver(BatchRunObserver):
     (``time.perf_counter`` deltas, monotonic) — never absolute wall
     dates, so sidecars diff cleanly even though they are not
     byte-stable.
+
+    The sidecar survives dying runs: ``on_run_abort`` writes a final
+    ``timing_run_abort`` line and flushes, so a run killed by a
+    failure, an injected fault budget, or ``KeyboardInterrupt`` keeps
+    its timing plane up to the fatal round.  Supervisor layers (see
+    :mod:`repro.supervise`) append their own lifecycle rows — retry,
+    degradation, resume — through :meth:`record_event`.
+
+    Being plane-2, the sidecar is excluded from the resume
+    byte-identity contract: it is ``checkpoint_capable`` with a trivial
+    (``None``) resumable position, and a resumed run simply *appends*
+    to the sidecar — the interrupted rows remain, annotated by the
+    supervisor's ``resume`` event, rather than being rewound.
     """
+
+    #: Plane-2: participates in checkpointed runs without rewinding
+    #: (see class docstring).
+    checkpoint_capable = True
 
     def __init__(
         self,
@@ -203,6 +220,38 @@ class TimingSidecarObserver(BatchRunObserver):
             }
         )
 
+    def restore_checkpoint(self, state: Any) -> None:
+        # Plane-2: nothing to rewind — a resumed (or restarted) run
+        # appends.  Only the scalar-shim batch buffer is reset.
+        self._batch_pending = None
+
+    def on_run_abort(
+        self, round_index: int, error: BaseException
+    ) -> None:
+        """Finalize the sidecar for a dying run: one terminal line with
+        the fatal round and error type, then a flush so the bytes
+        survive the process (the engine re-raises right after)."""
+        line = {
+            "event": "timing_run_abort",
+            "run": self._run,
+            "round": round_index,
+            "error": type(error).__name__,
+            "t": round(self._now(), 6),
+        }
+        line.update(self._resource_fields())
+        self._emit(line)
+        self._stream.flush()
+
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Append a supervisor lifecycle row (retry, degradation,
+        resume, outcome) and flush.  ``kind`` lands in the ``event``
+        column prefixed ``supervisor_``; extra fields pass through."""
+        line: Dict[str, Any] = dict(fields)
+        line["event"] = f"supervisor_{kind}"
+        line["t"] = round(self._now(), 6)
+        self._emit(line)
+        self._stream.flush()
+
     def on_run_end(self, result: RunResult) -> None:
         super().on_run_end(result)
         now = self._now()
@@ -267,6 +316,13 @@ class ProgressReporter(BatchRunObserver):
     writes is machine-read, and it never touches the deterministic
     plane.
     """
+
+    #: Nothing durable to rewind — a checkpointed run may keep its
+    #: progress ticker attached.
+    checkpoint_capable = True
+
+    def restore_checkpoint(self, state: Any) -> None:
+        self._batch_pending = None
 
     def __init__(
         self,

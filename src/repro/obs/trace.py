@@ -44,6 +44,7 @@ newer than it understands.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
 from ..core.engine import RunMeta, RunResult, SETUP_ROUND
@@ -135,7 +136,21 @@ class JsonlTraceObserver(BatchRunObserver):
     node_steps:
         Emit a ``step`` line per vertex step (off by default; traces
         grow by n × rounds lines when enabled).
+    resume:
+        Open an existing ``target`` path without truncating it, so a
+        checkpointed run (see :mod:`repro.core.checkpoint`) can rewind
+        the stream to its snapshot position and continue — the resumed
+        trace is byte-identical to an uninterrupted run's.  Ignored for
+        stream targets (the caller owns their position).
+
+    The observer is checkpoint-capable: its resumable position is the
+    (run counter, event counter, stream offset) triple, and restoring
+    it truncates everything the killed process wrote past the
+    snapshot.  ``restore_checkpoint(None)`` rewinds to a brand-new
+    trace (offset 0).
     """
+
+    checkpoint_capable = True
 
     def __init__(
         self,
@@ -144,10 +159,14 @@ class JsonlTraceObserver(BatchRunObserver):
         payload_values: bool = False,
         topology: bool = True,
         node_steps: bool = False,
+        resume: bool = False,
     ) -> None:
         super().__init__()
         if isinstance(target, str):
-            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            mode = "r+" if resume and os.path.exists(target) else "w"
+            self._stream: TextIO = open(target, mode, encoding="utf-8")
+            if mode == "r+":
+                self._stream.seek(0, os.SEEK_END)
             self._owns_stream = True
         else:
             self._stream = target
@@ -167,6 +186,40 @@ class JsonlTraceObserver(BatchRunObserver):
     def close(self) -> None:
         if self._owns_stream and not self._stream.closed:
             self._stream.close()
+
+    # -- checkpoint protocol -------------------------------------------
+    def checkpoint_state(self) -> Any:
+        """Resumable position: everything needed to continue the
+        stream byte-identically from this round boundary."""
+        self._stream.flush()
+        return {
+            "run": self._run,
+            "events": self.events_written,
+            "pos": self._stream.tell(),
+        }
+
+    def restore_checkpoint(self, state: Any) -> None:
+        """Rewind to a snapshot position (``None``: rewind to a brand
+        new, empty trace).
+
+        A positional restore seeks without truncating: any bytes the
+        killed process wrote past the snapshot are — by the determinism
+        contract — a byte-identical prefix of what the resumed run will
+        rewrite in place, and a multi-slot resume restores *forward*
+        (done slot after done slot, then the in-flight snapshot), so
+        truncating here would chop positions a later slot still needs.
+        Only the fresh-start reset truncates."""
+        self._batch_pending = None
+        self._stream.flush()
+        if state is None:
+            self._run = -1
+            self.events_written = 0
+            self._stream.seek(0)
+            self._stream.truncate()
+        else:
+            self._run = state["run"]
+            self.events_written = state["events"]
+            self._stream.seek(state["pos"])
 
     def __enter__(self) -> "JsonlTraceObserver":
         return self

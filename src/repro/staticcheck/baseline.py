@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.atomicio import atomic_write_text
 from .analyzer import AnalysisResult
 from .diagnostics import Diagnostic, Severity
 from .sarif import _relative_uri, fingerprint
@@ -109,9 +110,9 @@ def write_baseline(
         )],
     }
     Path(path).parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(document, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
     return len(entries)
 
 

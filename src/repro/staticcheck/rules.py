@@ -30,6 +30,9 @@ LM010     error     inferred information radius exceeds the declared
 LM011     error     DetLOCAL output depends on a laundered seed or on
                     unordered-set iteration order (dataflow pass,
                     :mod:`.dataflow.effects`)
+LM012     warning   non-serializable value stored in ``ctx.state``
+                    (open files, sockets, locks, generators, lambdas
+                    cannot be checkpoint-pickled)
 ========  ========  ====================================================
 
 LM010/LM011 are produced by the dataflow passes in
@@ -160,6 +163,16 @@ RULES: Dict[str, RuleSpec] = {
             "output makes two runs diverge, voiding the deterministic "
             "round-count claims (Theorems 3-5).",
         ),
+        RuleSpec(
+            "LM012",
+            Severity.WARNING,
+            "non-serializable value stored in ctx.state",
+            "checkpoint snapshots pickle every node's ctx.state "
+            "(repro.core.checkpoint); an open file, socket, lock, "
+            "generator, or lambda stored there makes the first "
+            "save() raise CheckpointError mid-run instead of "
+            "snapshotting (docs/robustness.md).",
+        ),
     )
 }
 
@@ -229,6 +242,46 @@ _NONDET_MODULES = {
     "os": {"urandom", "getrandom"},
     "uuid": {"uuid1", "uuid4"},
     "datetime": {"now", "utcnow", "today"},
+}
+
+#: Constructors whose return values cannot be pickled into a
+#: checkpoint snapshot (rule LM012), keyed by module; the paired string
+#: names the resource class in the diagnostic.
+_UNPICKLABLE_CALLS: Dict[str, Tuple[Set[str], str]] = {
+    "socket": (
+        {"socket", "socketpair", "create_connection", "create_server"},
+        "a socket",
+    ),
+    "threading": (
+        {
+            "Lock",
+            "RLock",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Event",
+            "Barrier",
+        },
+        "a lock/synchronization primitive",
+    ),
+    "multiprocessing": (
+        {
+            "Lock",
+            "RLock",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Event",
+            "Barrier",
+        },
+        "a lock/synchronization primitive",
+    ),
+}
+
+#: Builtin calls whose return values cannot be checkpoint-pickled.
+_UNPICKLABLE_BUILTINS = {
+    "open": "an open file handle",
+    "iter": "an iterator",
 }
 
 #: Dotted module prefixes whose contents are randomness sources.  The
@@ -367,6 +420,7 @@ class RuleEngine:
                 diagnostics.extend(self._check_lm006(site))
                 diagnostics.extend(self._check_lm007(site))
                 diagnostics.extend(self._check_lm009(site))
+                diagnostics.extend(self._check_lm012(site))
         # LM008 ranges over observer classes, not algorithm bindings.
         diagnostics.extend(self._check_lm008())
         # One finding per (rule, path, line): a helper shared by several
@@ -734,6 +788,42 @@ class RuleEngine:
                 )
 
     # ------------------------------------------------------------------
+    # LM012 — non-serializable values stored in ctx.state
+    # ------------------------------------------------------------------
+    def _check_lm012(self, site: _Site) -> Iterator[Diagnostic]:
+        if not site.ctx_names:
+            return
+        algo = site.binding.name
+        hint = (
+            "ctx.state must hold plain data (numbers, strings, "
+            "tuples, lists, dicts) so checkpoint snapshots can pickle "
+            "it; open resources in the driver or rebuild them in "
+            "step() instead of storing the handle"
+        )
+        tainted = _unpicklable_locals(site.node, site.module)
+        for node in ast.walk(site.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                _is_ctx_state_target(t, site.ctx_names)
+                for t in node.targets
+            ):
+                continue
+            reason = _unpicklable_reason(node.value, site.module)
+            if reason is None and isinstance(node.value, ast.Name):
+                reason = tainted.get(node.value.id)
+            if reason is not None:
+                yield self._emit(
+                    "LM012",
+                    site,
+                    node,
+                    f"ctx.state receives {reason} in code reachable "
+                    f"from algorithm {algo!r}; the first checkpoint "
+                    "save() will fail to pickle it (CheckpointError)",
+                    hint,
+                )
+
+    # ------------------------------------------------------------------
     # LM008 — observer callbacks must not mutate engine state
     # ------------------------------------------------------------------
     def _check_lm008(self) -> Iterator[Diagnostic]:
@@ -992,6 +1082,99 @@ def _set_valued_locals(fn: FunctionNode) -> Set[str]:
                 else:
                     other_names.add(target.id)
     return set_names - other_names
+
+
+def _is_ctx_state_target(
+    target: ast.expr, ctx_names: Set[str]
+) -> bool:
+    """True for ``ctx.state[...]`` subscript-assignment targets (and
+    the rarer whole-dict rebind ``ctx.state = ...``)."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return (
+        isinstance(target, ast.Attribute)
+        and target.attr == "state"
+        and isinstance(target.value, ast.Name)
+        and target.value.id in ctx_names
+    )
+
+
+def _unpicklable_reason(
+    node: ast.expr, module: ModuleInfo
+) -> Optional[str]:
+    """Why ``node``'s value cannot be checkpoint-pickled, or None.
+
+    Recognizes the LM012 taxonomy: lambdas, generator expressions,
+    ``open()``/``iter()`` calls, and constructor calls into the socket
+    and lock modules (:data:`_UNPICKLABLE_CALLS`)."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        origin = module.import_origin(func.id)
+        if origin is None:
+            if func.id in _UNPICKLABLE_BUILTINS:
+                return _UNPICKLABLE_BUILTINS[func.id]
+            return None
+        dotted = origin
+    else:
+        dotted = _resolved_dotted(func, module)
+        if dotted is None:
+            return None
+    mod = _matches_module(dotted, _UNPICKLABLE_CALLS)
+    if mod is None:
+        return None
+    leaves, reason = _UNPICKLABLE_CALLS[mod]
+    leaf = dotted.rpartition(".")[2]
+    return reason if leaf in leaves else None
+
+
+def _unpicklable_locals(
+    fn: FunctionNode, module: ModuleInfo
+) -> Dict[str, str]:
+    """Local names unambiguously bound to an unpicklable value in
+    ``fn`` (conservative: a name also assigned something innocuous
+    elsewhere is dropped), mapped to the reason string."""
+    reasons: Dict[str, str] = {}
+    clean: Set[str] = set()
+    for node in ast.walk(fn):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.With):
+            # `with open(...) as fh:` binds fh to the handle too.
+            for item in node.items:
+                if item.optional_vars is not None:
+                    reason = (
+                        _unpicklable_reason(item.context_expr, module)
+                        if item.context_expr is not None
+                        else None
+                    )
+                    if reason is not None and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        reasons.setdefault(
+                            item.optional_vars.id, reason
+                        )
+            continue
+        if value is None:
+            continue
+        reason = _unpicklable_reason(value, module)
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if reason is not None:
+                reasons.setdefault(target.id, reason)
+            else:
+                clean.add(target.id)
+    return {
+        name: why for name, why in reasons.items() if name not in clean
+    }
 
 
 def _now_tainted_names(

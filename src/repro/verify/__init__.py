@@ -39,6 +39,7 @@ from .harness import (
     write_counterexamples,
 )
 from .relations import (
+    CheckpointResume,
     EngineEquivalence,
     FaultPlanDeterminism,
     IdRelabeling,
@@ -62,6 +63,7 @@ __all__ = [
     "CERTIFICATE_VERSION",
     "CellResult",
     "Certificate",
+    "CheckpointResume",
     "Counterexample",
     "EngineEquivalence",
     "FaultPlanDeterminism",

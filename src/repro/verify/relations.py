@@ -21,6 +21,10 @@ observer-neutrality   be unchanged by attaching a ``MetricsObserver``
 fault-determinism     under a fixed ``FaultPlan``, be a deterministic
                       function of the plan — same perturbed outcome on
                       every run and on every backend
+checkpoint-resume     reproduce the uninterrupted run byte-for-byte
+                      (outcome, metrics summary, JSONL trace) when
+                      killed at a derived round and resumed from its
+                      checkpoint, on every backend, faults included
 order-invariance      (opt-in) depend only on the relative order of
                       IDs, not their values
 ====================  ================================================
@@ -57,6 +61,7 @@ from ..faults.runtime import mix64
 from ..graphs.graph import Graph
 from ..lcl.problem import LCLProblem
 from ..obs import JsonlTraceObserver, MetricsObserver
+from ..obs.observer import BatchRunObserver
 from ..transforms.order_invariance import order_preserving_remap
 from .gen import (
     Instance,
@@ -670,6 +675,208 @@ class FaultPlanDeterminism(Relation):
         return None
 
 
+class _CheckpointKill(Exception):
+    """Deterministic mid-run death injected by :class:`CheckpointResume`."""
+
+
+class _KillSwitch(BatchRunObserver):
+    """Batch-capable observer that raises after N delivered round
+    batches (setup excluded).  With ``kill_after=None`` it only counts
+    — the baseline leg uses that to learn the run's total length, and
+    the resume leg to keep the observer arity identical to the kill
+    leg's snapshot."""
+
+    checkpoint_capable = True
+
+    def __init__(self, kill_after: Optional[int] = None) -> None:
+        super().__init__()
+        self.kill_after = kill_after
+        self.seen = 0
+
+    def checkpoint_state(self) -> Any:
+        return self.seen
+
+    def restore_checkpoint(self, state: Any) -> None:
+        self.seen = 0 if state is None else int(state)
+
+    def on_round_batch(self, batch: Any) -> None:
+        if batch.round_index < 0:
+            return
+        self.seen += 1
+        if self.kill_after is not None and self.seen >= self.kill_after:
+            raise _CheckpointKill(
+                f"injected kill after {self.seen} round batches"
+            )
+
+
+class CheckpointResume(Relation):
+    """Killing a checkpointed run at a splitmix64-chosen round and
+    resuming it must reproduce the uninterrupted run **byte-for-byte**:
+    the same outcome, the same metrics summary, and the same JSONL
+    trace bytes — on every registered backend, bare and under nonzero
+    :class:`FaultPlan`\\ s.
+
+    Three legs per backend/plan: (1) an uninterrupted baseline that
+    also counts delivered round batches; (2) a checkpointed run killed
+    after ``1 + mix64(seed, …) % total`` batches; (3) a resumed run
+    (fresh observer instances, the trace sink pre-seeded with the kill
+    leg's partial bytes) that must land exactly on the baseline.  The
+    crash plan runs on every backend; a duplicate-rate plan runs on the
+    vectorized backend only, pinning the checkpoint hand-off through
+    its silent fallback to the per-node engine.
+    """
+
+    name = "checkpoint-resume"
+    description = "kill at a derived round + resume == uninterrupted run"
+
+    kill_salt: int = 0xC4EC
+    crash_rate: float = 0.05
+    crash_round: int = 1
+    duplicate_rate: float = 0.05
+    round_budget: int = 512
+
+    def applies_to(self, subject: Subject) -> bool:
+        return True
+
+    def _plans(
+        self, instance: Instance, backend: str
+    ) -> List[Optional[FaultPlan]]:
+        plans: List[Optional[FaultPlan]] = [
+            None,
+            FaultPlan(
+                seed=mix64(instance.seed, 0xC4EC01),
+                crash_rate=self.crash_rate,
+                crash_round=self.crash_round,
+                round_budget=self.round_budget,
+            ),
+        ]
+        if backend == "vectorized":
+            plans.append(
+                FaultPlan(
+                    seed=mix64(instance.seed, 0xC4EC02),
+                    duplicate_rate=self.duplicate_rate,
+                    round_budget=self.round_budget,
+                )
+            )
+        return plans
+
+    def check(
+        self, subject: Subject, instance: Instance
+    ) -> Optional[RelationViolation]:
+        for index, backend in enumerate(available_backend_names()):
+            for plan_index, plan in enumerate(self._plans(instance, backend)):
+                violation = self._check_leg(
+                    subject, instance, backend, plan, index * 8 + plan_index
+                )
+                if violation is not None:
+                    return violation
+        return None
+
+    def _observed(
+        self, subject: Subject, instance: Instance, kill: _KillSwitch
+    ) -> Tuple[Outcome, "io.StringIO", MetricsObserver]:
+        import io
+
+        metrics = MetricsObserver()
+        sink = io.StringIO()
+        trace = JsonlTraceObserver(sink)
+        with observe_runs(metrics, trace, kill):
+            outcome = run_outcome(subject, instance)
+        return outcome, sink, metrics
+
+    def _check_leg(
+        self,
+        subject: Subject,
+        instance: Instance,
+        backend: str,
+        plan: Optional[FaultPlan],
+        salt: int,
+    ) -> Optional[RelationViolation]:
+        import contextlib
+        import io
+        import shutil
+        import tempfile
+
+        from ..core.checkpoint import checkpointing
+
+        label = f"backend {backend!r}" + (
+            "" if plan is None else " under a nonzero FaultPlan"
+        )
+
+        def scoped(extra: Any = None) -> Any:
+            stack = contextlib.ExitStack()
+            stack.enter_context(use_backend(backend))
+            if plan is not None:
+                stack.enter_context(inject_faults(plan))
+            if extra is not None:
+                stack.enter_context(extra)
+            return stack
+
+        # Leg 1: uninterrupted baseline, counting delivered batches.
+        counter = _KillSwitch(None)
+        with scoped():
+            baseline, base_sink, base_metrics = self._observed(
+                subject, instance, counter
+            )
+        total = counter.seen
+        if total < 1:
+            return None  # nothing to kill mid-flight
+        kill_at = 1 + mix64(instance.seed, self.kill_salt, salt) % total
+
+        workdir = tempfile.mkdtemp(prefix="repro-ckpt-verify-")
+        try:
+            # Leg 2: checkpoint every round boundary, die at kill_at.
+            with scoped(checkpointing(workdir, every_rounds=1)):
+                killed, kill_sink, _ = self._observed(
+                    subject, instance, _KillSwitch(kill_at)
+                )
+            if killed[0] != "error" or "_CheckpointKill" not in killed[1]:
+                return self._violation(
+                    subject,
+                    instance,
+                    f"{label}: injected kill at batch {kill_at}/{total} "
+                    f"did not surface: {_summarize(killed)}",
+                )
+
+            # Leg 3: resume; the trace sink continues from the partial
+            # bytes the killed process left behind.
+            resume_sink = io.StringIO()
+            resume_sink.write(kill_sink.getvalue())
+            metrics = MetricsObserver()
+            trace = JsonlTraceObserver(resume_sink)
+            probe = _KillSwitch(None)
+            with scoped(
+                checkpointing(workdir, every_rounds=1, resume=True)
+            ), observe_runs(metrics, trace, probe):
+                resumed = run_outcome(subject, instance)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+        if resumed != baseline:
+            return self._violation(
+                subject,
+                instance,
+                f"{label}: resume after a kill at batch {kill_at}/"
+                f"{total} diverges: baseline={_summarize(baseline)}, "
+                f"resumed={_summarize(resumed)}",
+            )
+        if resume_sink.getvalue() != base_sink.getvalue():
+            return self._violation(
+                subject,
+                instance,
+                f"{label}: resumed JSONL trace bytes differ from the "
+                f"uninterrupted run's (kill at batch {kill_at}/{total})",
+            )
+        if baseline[0] == "ok" and metrics.summary() != base_metrics.summary():
+            return self._violation(
+                subject,
+                instance,
+                f"{label}: resumed metrics summary differs from the "
+                f"uninterrupted run's (kill at batch {kill_at}/{total})",
+            )
+        return None
+
+
 class OrderInvariance(Relation):
     """Subjects declared ``order_invariant`` must produce identical
     outputs under any order-preserving remap of their IDs (the
@@ -717,11 +924,13 @@ def standard_relations() -> List[Relation]:
         EngineEquivalence(),
         ObserverNeutrality(),
         FaultPlanDeterminism(),
+        CheckpointResume(),
         OrderInvariance(),
     ]
 
 
 __all__ = [
+    "CheckpointResume",
     "EngineEquivalence",
     "FaultPlanDeterminism",
     "IdRelabeling",

@@ -1,0 +1,67 @@
+"""Seeded LM012 violations: non-serializable values in ctx.state.
+
+Never imported — analyzed as source by tests/test_staticcheck.py.
+Each seeded line stores something into ``ctx.state`` that
+``pickle.dumps`` rejects, so the first checkpoint ``save()`` of a run
+under ``repro.core.checkpoint`` would die with a CheckpointError.
+"""
+
+import socket
+import threading
+
+from repro.core.algorithm import SyncAlgorithm
+from repro.core.context import Model
+from repro.core.engine import run_local
+
+
+class ResourceHoarder(SyncAlgorithm):
+    """Stashes live OS resources in per-node state."""
+
+    name = "resource-hoarder"
+
+    def setup(self, ctx):
+        ctx.state["log"] = open("/tmp/node.log", "a")  # seeded: file
+        ctx.state["lock"] = threading.Lock()  # seeded: lock
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.state["peer"] = socket.socket()  # seeded: socket
+        ctx.halt(0)
+
+
+class LazyStepper(SyncAlgorithm):
+    """Defers work through state-held callables and iterators."""
+
+    name = "lazy-stepper"
+
+    def setup(self, ctx):
+        ctx.state["scorer"] = lambda m: hash(m) & 7  # seeded: lambda
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.state["feed"] = (m for m in inbox if m)  # seeded: genexp
+        stream = open("/tmp/scratch.txt", "w")
+        ctx.state["stream"] = stream  # seeded: tainted local
+        ctx.halt(0)
+
+
+class PlainKeeper(SyncAlgorithm):
+    """Clean control: ctx.state holds only plain data."""
+
+    name = "plain-keeper"
+
+    def setup(self, ctx):
+        ctx.state["round_seen"] = 0
+        ctx.state["history"] = []
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        ctx.state["round_seen"] += 1
+        ctx.state["history"].append(tuple(inbox))
+        ctx.halt(len(ctx.state["history"]))
+
+
+def driver(graph):
+    run_local(graph, ResourceHoarder(), Model.DET)
+    run_local(graph, LazyStepper(), Model.DET)
+    return run_local(graph, PlainKeeper(), Model.DET)

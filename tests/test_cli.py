@@ -123,3 +123,70 @@ class TestFaultsCli:
         err = capsys.readouterr().err
         assert "1 cell(s) skipped" in err
         assert "[crashed] worker died" in err
+
+
+class TestRunCli:
+    def test_plain_run_prints_summary(self, capsys):
+        assert main(["run", "--n", "120", "--delta", "9", "--seed", "2"]) == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["workload"] == "coloring"
+        assert summary["n"] == 120 and summary["rounds"] >= 1
+
+    def test_checkpointed_run_leaves_snapshots(self, capsys, tmp_path):
+        import os
+
+        code = main(
+            [
+                "run", "--workload", "mis", "--n", "80", "--delta", "4",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--checkpoint-every", "2",
+                "--trace", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = os.listdir(tmp_path / "ck")
+        assert any(n.endswith(".done") for n in names)
+        assert (tmp_path / "t.jsonl").stat().st_size > 0
+
+    def test_resume_replays_to_identical_result(self, capsys, tmp_path):
+        argv = [
+            "run", "--n", "100", "--delta", "9", "--seed", "4",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_supervised_run_writes_audit(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            [
+                "run", "--workload", "mis", "--n", "80", "--delta", "4",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--retries", "1", "--watchdog", "30",
+                "--audit", str(tmp_path / "audit.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attempts" in out
+        audit = json.loads((tmp_path / "audit.json").read_text())
+        assert audit["ok"] and audit["attempts"] == 1
+        assert [e["kind"] for e in audit["events"]][-1] == "done"
+
+    def test_supervision_flags_need_checkpoint_dir(self, capsys):
+        assert main(["run", "--retries", "2"]) == 2
+        assert "need --checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_needs_checkpoint_dir(self, capsys):
+        assert main(["run", "--resume"]) == 2
+        assert "--resume needs" in capsys.readouterr().err
+
+    def test_rejects_degenerate_sizes(self, capsys):
+        assert main(["run", "--n", "1"]) == 2
+        assert "need n >= 2" in capsys.readouterr().err

@@ -366,3 +366,96 @@ class TestJournal:
                 # int keys become strings in JSON: silently different
                 # on resume, so the journal must refuse them.
                 journal.record(0, outcome, {1: "x"})
+
+
+def hang_on_first_attempt(x, seed):
+    # retry_seed(seed, 0) == seed, so attempt 0 of every cell hangs
+    # past the deadline; the retried attempt (seed >= 2**32) succeeds.
+    if seed < 2**32:
+        time.sleep(60)
+    return x * 10
+
+
+def run_under_checkpoint(x, seed):
+    # A real engine run, so the in-run checkpoint scope has something
+    # to snapshot.
+    import random
+
+    from repro.algorithms import luby_mis
+    from repro.graphs.generators import random_regular_graph
+
+    g = random_regular_graph(40, 3, random.Random(seed))
+    return float(luby_mis(g, seed=seed).rounds) + x
+
+
+class TestTimeoutRetry:
+    """A cell that times out on attempt 0 and succeeds on attempt 1:
+    the settled outcome records both attempts, and the journal resumes
+    byte-identically."""
+
+    def test_timeout_then_success_records_both_attempts(self, tmp_path):
+        journal = str(tmp_path / "flaky.jsonl")
+        start = time.monotonic()
+        series = run_sweep(
+            "flaky", [1.0, 2.0], hang_on_first_attempt,
+            seeds=(0,), workers=2, retries=1, timeout=1.0,
+            journal=journal,
+        )
+        assert time.monotonic() - start < 30
+        assert series.skipped == []
+        for outcome in series.cell_outcomes:
+            assert outcome.status == "ok"
+            assert outcome.attempts == 2
+            assert outcome.effective_seed == retry_seed(outcome.seed, 1)
+        assert [p.values for p in series.points] == [[10.0], [20.0]]
+        # Re-running with the same journal replays the settled cells —
+        # the measure must never be called again — byte-identically.
+        replayed = run_sweep(
+            "flaky", [1.0, 2.0], raise_zero_division,
+            seeds=(0,), workers=2, retries=1, timeout=1.0,
+            journal=journal,
+        )
+        assert pickle.dumps(series) == pickle.dumps(replayed)
+
+
+class TestSweepCheckpointComposition:
+    """checkpoint_dir adds in-run recovery beneath the journal's
+    cell-level recovery without changing any aggregate."""
+
+    def test_checkpointed_sweep_matches_plain(self, tmp_path):
+        plain = run_sweep(
+            "ck", [1.0, 2.0], run_under_checkpoint, seeds=(0, 1)
+        )
+        checked = run_sweep(
+            "ck", [1.0, 2.0], run_under_checkpoint, seeds=(0, 1),
+            checkpoint_dir=str(tmp_path / "cells"),
+        )
+        assert pickle.dumps(plain) == pickle.dumps(checked)
+        assert (tmp_path / "cells" / "cell-0000").is_dir()
+        assert any(
+            name.endswith(".done")
+            for name in os.listdir(tmp_path / "cells" / "cell-0000")
+        )
+
+    def test_pooled_checkpointed_sweep_matches_plain(self, tmp_path):
+        plain = run_sweep(
+            "ckp", [1.0, 2.0], run_under_checkpoint, seeds=(0, 1)
+        )
+        checked = run_sweep(
+            "ckp", [1.0, 2.0], run_under_checkpoint, seeds=(0, 1),
+            workers=2, checkpoint_dir=str(tmp_path / "cells"),
+        )
+        assert pickle.dumps(plain) == pickle.dumps(checked)
+
+    def test_checkpoint_config_is_part_of_the_fingerprint(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        run_sweep(
+            "fpck", [1.0], well_behaved, seeds=(0,), journal=journal,
+            checkpoint_dir=str(tmp_path / "cells"),
+        )
+        with pytest.raises(
+            ValueError, match="different sweep configuration"
+        ):
+            run_sweep(
+                "fpck", [1.0], well_behaved, seeds=(0,), journal=journal
+            )

@@ -55,6 +55,7 @@ class TestRuleTruePositives:
             ("lm009_bad.py", "LM009", 4),
             ("lm010_bad.py", "LM010", 2),
             ("lm011_bad.py", "LM011", 2),
+            ("lm012_bad.py", "LM012", 6),
         ],
     )
     def test_rule_catches_seeded_violation(self, fixture, rule, count):

@@ -1,0 +1,206 @@
+"""Supervised execution: heartbeat watchdog, deadline, bounded
+retries, and the RSS degradation ladder.
+
+These tests fork real child processes through
+:func:`repro.supervise.supervise_run` and exercise genuine
+pathologies — mid-run crashes resumed from snapshots, hung children,
+memory ceilings — so workloads are kept deliberately small.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import observe_runs
+from repro.supervise import RunOutcome, SupervisorEvent, supervise_run
+from repro.supervise import DEGRADED_WORD_CAP, _rss_kb
+from tests.test_checkpoint import KillSwitch, run_noisy
+
+
+class Recorder:
+    """Duck-typed sidecar: collects the supervisor's lifecycle rows."""
+
+    def __init__(self):
+        self.rows = []
+
+    def record_event(self, kind, **fields):
+        self.rows.append((kind, fields))
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="retries"):
+        supervise_run(lambda: 1, checkpoint_dir="x", retries=-1)
+
+
+def test_success_first_attempt(tmp_path):
+    def target():
+        return run_noisy().rounds
+
+    rec = Recorder()
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        every_rounds=1,
+        retries=0,
+        sidecar=rec,
+    )
+    assert outcome.ok
+    assert outcome.result == run_noisy().rounds
+    assert outcome.attempts == 1
+    assert outcome.error is None
+    kinds = [e.kind for e in outcome.events]
+    assert kinds[0] == "start" and kinds[-1] == "done"
+    # The child's checkpoint scope audit rides home in the done event.
+    done = outcome.events[-1]
+    assert [s["action"] for s in done.detail["slots"]] == ["fresh"]
+    # Every event is mirrored into the sidecar, in order.
+    assert [k for k, _ in rec.rows] == kinds
+    # The audit record is JSON-ready.
+    json.dumps(outcome.to_dict())
+
+
+def test_crash_is_retried_and_resumed_from_snapshot(tmp_path):
+    marker = tmp_path / "first-attempt"
+    ck = str(tmp_path / "ck")
+
+    def target():
+        first = not marker.exists()
+        if first:
+            marker.write_text("x")
+        with observe_runs(KillSwitch(4 if first else None)):
+            result = run_noisy()
+        return result.rounds
+
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=ck,
+        every_rounds=1,
+        retries=2,
+        backoff=0.01,
+    )
+    assert outcome.ok
+    assert outcome.result == run_noisy().rounds
+    assert outcome.attempts == 2
+    kinds = [e.kind for e in outcome.events]
+    assert "error" in kinds and "retry" in kinds
+    # Attempt 1 resumed mid-run from attempt 0's snapshot — it did not
+    # start over.
+    done = next(e for e in outcome.events if e.kind == "done")
+    actions = [s["action"] for s in done.detail["slots"]]
+    assert actions == ["restored"]
+
+
+def test_retries_exhausted_reports_last_error(tmp_path):
+    def target():
+        raise RuntimeError("always broken")
+
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        retries=1,
+        backoff=0.01,
+    )
+    assert not outcome.ok
+    assert outcome.attempts == 2
+    assert "always broken" in outcome.error
+    assert [e.kind for e in outcome.events].count("error") == 2
+
+
+def test_silent_child_death_is_a_verdict_not_a_hang(tmp_path):
+    def target():
+        os._exit(3)
+
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        retries=0,
+    )
+    assert not outcome.ok
+    assert "without a result" in outcome.error
+    died = next(e for e in outcome.events if e.kind == "child_died")
+    assert died.detail["exitcode"] == 3
+
+
+def test_watchdog_kills_hung_child(tmp_path):
+    def target():
+        time.sleep(60)
+
+    start = time.monotonic()
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        retries=0,
+        watchdog=0.4,
+    )
+    assert time.monotonic() - start < 30
+    assert not outcome.ok
+    assert "no heartbeat" in outcome.error
+    assert "watchdog_kill" in [e.kind for e in outcome.events]
+
+
+def test_deadline_bounds_all_attempts(tmp_path):
+    def target():
+        time.sleep(60)
+
+    start = time.monotonic()
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        retries=5,
+        backoff=0.01,
+        deadline=0.6,
+    )
+    assert time.monotonic() - start < 30
+    assert not outcome.ok
+    assert "deadline" in outcome.error
+    assert "deadline" in [e.kind for e in outcome.events]
+
+
+def test_rss_ceiling_walks_the_degradation_ladder(tmp_path):
+    """Three RSS kills: stage 1 shrinks the vector buffers, stage 2
+    falls back to the scalar backend and discards the (now foreign-
+    format) snapshots, then the attempts run out."""
+    base = _rss_kb(os.getpid())
+    if base is None:
+        pytest.skip("no /proc RSS readings on this platform")
+    ceiling = base + 150_000  # the 400 MiB ballast sails past this
+
+    def target():
+        ballast = bytearray(400 * 1024 * 1024)
+        time.sleep(60)
+        return len(ballast)
+
+    outcome = supervise_run(
+        target,
+        checkpoint_dir=str(tmp_path / "ck"),
+        retries=2,
+        backoff=0.01,
+        max_rss_kb=ceiling,
+    )
+    assert not outcome.ok
+    assert "over ceiling" in outcome.error
+    kinds = [e.kind for e in outcome.events]
+    assert kinds.count("rss_kill") == 3
+    stages = [
+        e.detail["stage"] for e in outcome.events if e.kind == "degrade"
+    ]
+    assert stages == [1, 2]
+    assert "checkpoint_discarded" in kinds
+    assert outcome.env["REPRO_VECTOR_WORD_CAP"] == str(DEGRADED_WORD_CAP)
+    assert outcome.env["REPRO_BACKEND"] == "fast"
+
+
+def test_event_and_outcome_dict_shapes():
+    event = SupervisorEvent(
+        kind="start", attempt=0, t=0.1234567, detail={"pid": 1}
+    )
+    data = event.to_dict()
+    assert data == {"kind": "start", "attempt": 0, "t": 0.123457, "pid": 1}
+    outcome = RunOutcome(
+        ok=True, result=5, error=None, attempts=1, events=[event], env={}
+    )
+    data = outcome.to_dict()
+    assert data["ok"] and data["attempts"] == 1
+    assert "result" not in data  # the caller owns the result's shape

@@ -19,6 +19,7 @@ from repro.core.context import Model
 from repro.graphs.generators import cycle_graph, path_graph
 from repro.lcl import KColoring
 from repro.verify import (
+    CheckpointResume,
     EngineEquivalence,
     FaultPlanDeterminism,
     IdRelabeling,
@@ -143,6 +144,27 @@ class FaultPanicColoring(SyncAlgorithm):
             ctx.halt(0)
 
 
+class AmnesiacColoring(SyncAlgorithm):
+    """Tracks progress in a class-level (process-global) counter
+    instead of ``ctx.state``.  A checkpoint cannot see it, so a
+    killed-and-resumed run finds the counter already advanced past the
+    snapshot's round and halts early with different outputs — exactly
+    the hidden-state bug the checkpoint-resume relation exists to
+    catch."""
+
+    name = "amnesiac-coloring"
+    #: Process-global step clock — the bug.
+    clock = 0
+
+    def setup(self, ctx):
+        ctx.publish(0)
+
+    def step(self, ctx, inbox):
+        AmnesiacColoring.clock += 1
+        if AmnesiacColoring.clock >= 3 * ctx.n:
+            ctx.halt(AmnesiacColoring.clock % 5)
+
+
 class ParityColoring(SyncAlgorithm):
     """Declared order-invariant, but outputs ``ID mod 2`` — the parity
     of an ID is not determined by its rank."""
@@ -242,6 +264,17 @@ BROKEN = {
         lambda: subject_from_algorithm(
             FaultPanicColoring,
             name="fault-panic-coloring",
+            model=Model.DET,
+            max_rounds=50,
+        ),
+        _cycle,
+        3,
+    ),
+    "checkpoint-resume": (
+        CheckpointResume(),
+        lambda: subject_from_algorithm(
+            AmnesiacColoring,
+            name="amnesiac-coloring",
             model=Model.DET,
             max_rounds=50,
         ),
