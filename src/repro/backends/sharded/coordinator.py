@@ -1,0 +1,829 @@
+"""The sharded backend's parent side: fork, route, barrier, merge.
+
+:func:`run_local_sharded` is the entry point registered as the
+``"sharded"`` backend (same signature and same :class:`RunResult` as
+every other backend).  It mirrors the fast engine's round loop exactly
+— same checkpoint/budget/max-rounds guard order, same wake-bucket
+bulk-skip accounting, same trace entries — but delegates the per-vertex
+stepping of each round to N forked shard workers and exchanges only
+boundary messages at the round barrier:
+
+1. the parent builds contexts and runs setup (or restores a
+   checkpoint) exactly as the serial engines do, then forks one worker
+   per shard — the workers inherit everything through the copied
+   address space;
+2. each round, the parent broadcasts ``("step", r, ghosts)`` where
+   ``ghosts`` are the boundary publishes committed at the previous
+   barrier, routed through the partition's ghost-consumer map;
+3. each worker steps its owned vertices (crash/drop/duplicate/corrupt
+   decisions recomputed shard-locally from the placement-independent
+   splitmix64 hashes), runs its local dirty-commit pass, and replies
+   with its activity counts, its next wake round, its boundary
+   publishes, and (when observing) its batch segment;
+4. the parent sums the counts, takes the global bulk-skip as the
+   minimum over shard wake rounds, merges the per-shard batch segments
+   into one :class:`~repro.obs.RoundBatch` in canonical vertex order,
+   and routes the boundary values for the next barrier.
+
+Determinism contract: the RunResult *and* the JSONL trace bytes equal
+the serial fast engine's for every driver, every shard count, and
+every fault plan — pinned by the ``PartitionInvariance`` relation in
+:mod:`repro.verify` and the sharded equivalence suite.
+
+Checkpoint snapshots are written in the ``"scalar"`` format (the
+parent gathers each worker's owned-vertex state and merges it in
+vertex order), so a snapshot taken at one shard count resumes at any
+other — or on the fast engine — byte-identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ...core.engine import (
+    DEFAULT_MAX_ROUNDS,
+    RoundTrace,
+    RunMeta,
+    RunResult,
+    SETUP_ROUND,
+    _attached_observers,
+    _Clock,
+    _run_local_fast,
+    _run_setup,
+    active_fault_plan,
+    build_contexts,
+    flat_adjacency,
+)
+from ...core.errors import ReproError, SimulationError
+from ...graphs.graph import Graph
+from ...obs.observer import RoundBatch
+from .partition import (
+    CONTIGUOUS,
+    PARTITION_MODES,
+    Partition,
+    partition_graph,
+)
+from .worker import CRASH_MARKER, shard_worker
+
+#: Environment knobs (the CLI's ``--shards`` writes the first one).
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+SHARD_MODE_ENV_VAR = "REPRO_SHARD_MODE"
+SHARD_SEED_ENV_VAR = "REPRO_SHARD_SEED"
+
+#: Shard count used when neither :func:`use_shards` nor the
+#: environment says otherwise.
+DEFAULT_SHARD_COUNT = 2
+
+
+class WorkerCrashError(ReproError):
+    """A shard worker died mid-run (SIGKILL, OOM, hard crash).
+
+    The run fails loudly instead of returning partial results; with
+    in-run checkpointing enabled, resuming from the latest snapshot
+    reproduces the uninterrupted execution byte-for-byte (the recovery
+    path ``repro.supervise`` drives automatically).
+    """
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Resolved sharding parameters for one run."""
+
+    n_shards: int
+    mode: str
+    seed: int
+
+
+_AMBIENT_CONFIG: Optional[ShardConfig] = None
+
+
+@contextmanager
+def use_shards(
+    n_shards: int, *, mode: str = CONTIGUOUS, seed: int = 0
+) -> Iterator[None]:
+    """Pin the sharded backend's partition for every run in scope.
+
+    Takes precedence over the ``REPRO_SHARDS`` family of environment
+    variables; scopes nest (innermost wins) and the previous
+    configuration is restored on exit even when the run raises.
+    """
+    config = ShardConfig(n_shards=n_shards, mode=mode, seed=seed)
+    _validate_config(config)
+    global _AMBIENT_CONFIG
+    previous = _AMBIENT_CONFIG
+    _AMBIENT_CONFIG = config
+    try:
+        yield
+    finally:
+        _AMBIENT_CONFIG = previous
+
+
+def _validate_config(config: ShardConfig) -> None:
+    if config.n_shards < 1:
+        raise ReproError(
+            f"shard count must be a positive integer, "
+            f"got {config.n_shards}"
+        )
+    if config.mode not in PARTITION_MODES:
+        raise ReproError(
+            f"unknown partition mode {config.mode!r}; "
+            f"expected one of {', '.join(PARTITION_MODES)}"
+        )
+
+
+def current_shard_config() -> ShardConfig:
+    """The sharding parameters the next sharded run will use.
+
+    Precedence: the innermost :func:`use_shards` scope, then the
+    ``REPRO_SHARDS`` / ``REPRO_SHARD_MODE`` / ``REPRO_SHARD_SEED``
+    environment variables, then ``DEFAULT_SHARD_COUNT`` contiguous.
+    """
+    if _AMBIENT_CONFIG is not None:
+        return _AMBIENT_CONFIG
+    raw = os.environ.get(SHARDS_ENV_VAR)
+    if raw is None:
+        n_shards = DEFAULT_SHARD_COUNT
+    else:
+        try:
+            n_shards = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"{SHARDS_ENV_VAR} must be a positive integer, "
+                f"got {raw!r}"
+            ) from None
+    mode = os.environ.get(SHARD_MODE_ENV_VAR, CONTIGUOUS)
+    raw_seed = os.environ.get(SHARD_SEED_ENV_VAR)
+    try:
+        seed = int(raw_seed) if raw_seed is not None else 0
+    except ValueError:
+        raise ReproError(
+            f"{SHARD_SEED_ENV_VAR} must be an integer, got {raw_seed!r}"
+        ) from None
+    config = ShardConfig(n_shards=n_shards, mode=mode, seed=seed)
+    _validate_config(config)
+    return config
+
+
+#: Live worker pids of the most recently started coordinator — the
+#: hook the worker-death tests use to SIGKILL a real worker mid-run.
+_ACTIVE_PIDS: Tuple[int, ...] = ()
+
+
+def active_worker_pids() -> Tuple[int, ...]:
+    """Pids of the shard workers of the currently running sharded
+    execution (empty outside one)."""
+    return _ACTIVE_PIDS
+
+
+class _ShardedState:
+    """Checkpoint handle for the sharded backend.
+
+    Deliberately *not* a subclass of the engine's ``_ScalarState``:
+    the registered capture/restore capability dispatches on that type
+    to route fallback runs, so the sharded handle must stay distinct.
+    It carries the same attribute shape (``contexts`` / ``faults`` /
+    ``rounds`` / ``messages`` / ``traces``) plus the live coordinator,
+    which gathers the authoritative per-vertex state from the workers
+    at capture time.
+    """
+
+    __slots__ = (
+        "contexts",
+        "faults",
+        "rounds",
+        "messages",
+        "traces",
+        "coordinator",
+    )
+
+    def __init__(
+        self, contexts: List[Any], faults: Optional[Any]
+    ) -> None:
+        self.contexts = contexts
+        self.faults = faults
+        self.rounds = 0
+        self.messages = 0
+        self.traces: List[RoundTrace] = []
+        self.coordinator: Optional[_ShardCoordinator] = None
+
+
+class _ShardCoordinator:
+    """Owns the worker processes and the barrier protocol."""
+
+    def __init__(
+        self,
+        part: Partition,
+        contexts: List[Any],
+        visible: List[Any],
+        offsets: List[int],
+        targets: List[int],
+        algorithm: Any,
+        clock: _Clock,
+        faults: Optional[Any],
+        observing: bool,
+        start_round: int,
+    ) -> None:
+        self.part = part
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ReproError(
+                "the sharded backend requires the 'fork' start method"
+            )
+        mp = multiprocessing.get_context("fork")
+        # All pipes are created before any worker starts, so every
+        # worker can close every inherited end that is not its own —
+        # the fd hygiene that turns a SIGKILLed sibling into a clean
+        # EOF at the parent instead of a hang.
+        pairs = [mp.Pipe(duplex=True) for _ in range(part.n_shards)]
+        self.conns = [parent_end for parent_end, _ in pairs]
+        child_ends = [child_end for _, child_end in pairs]
+        self.procs = []
+        for s in range(part.n_shards):
+            siblings = [
+                end for t, end in enumerate(child_ends) if t != s
+            ] + list(self.conns)
+            proc = mp.Process(
+                target=shard_worker,
+                args=(
+                    child_ends[s],
+                    siblings,
+                    s,
+                    part.shards[s],
+                    part.consumers,
+                    contexts,
+                    visible,
+                    offsets,
+                    targets,
+                    algorithm,
+                    clock,
+                    faults,
+                    observing,
+                    start_round,
+                ),
+                daemon=True,
+                name=f"repro-shard-{s}",
+            )
+            proc.start()
+            self.procs.append(proc)
+        for child_end in child_ends:
+            child_end.close()
+        global _ACTIVE_PIDS
+        _ACTIVE_PIDS = tuple(
+            proc.pid for proc in self.procs if proc.pid is not None
+        )
+
+    # -- the barrier ---------------------------------------------------
+    def step(
+        self,
+        rounds: int,
+        ghosts: List[List[Tuple[int, Any]]],
+    ) -> List[Dict[str, Any]]:
+        """One synchronized round: broadcast, then gather every reply."""
+        for s, conn in enumerate(self.conns):
+            try:
+                conn.send(("step", rounds, ghosts[s]))
+            except (BrokenPipeError, OSError) as exc:
+                self._death(s, rounds, exc)
+        return [self._recv(s, rounds) for s in range(len(self.conns))]
+
+    def _recv(self, s: int, rounds: int) -> Any:
+        try:
+            message = self.conns[s].recv()
+        except (EOFError, OSError) as exc:
+            self._death(s, rounds, exc)
+        if message[0] == "error":
+            raise message[1]
+        return message[1]
+
+    def _death(self, s: int, rounds: int, exc: BaseException) -> None:
+        proc = self.procs[s]
+        proc.join(timeout=1.0)
+        raise WorkerCrashError(
+            f"shard worker {s} (pid {proc.pid}) died mid-run at round "
+            f"{rounds} (exit code {proc.exitcode}); the run cannot "
+            f"continue — resume from the latest checkpoint to recover"
+        ) from exc
+
+    # -- checkpoint capture -------------------------------------------
+    def capture(self, state: _ShardedState) -> Dict[str, Any]:
+        """Gather a ``"scalar"``-format snapshot from the workers.
+
+        Each worker owns its vertices' authoritative contexts (and the
+        receiver-keyed slice of the duplicate-delivery buffer), so the
+        merge in vertex order reproduces exactly what the serial
+        engines' ``_capture_scalar_state`` would record — which is why
+        a sharded snapshot resumes at any shard count, or on any other
+        backend.
+        """
+        for s, conn in enumerate(self.conns):
+            try:
+                conn.send(("capture",))
+            except (BrokenPipeError, OSError) as exc:
+                self._death(s, state.rounds, exc)
+        n = len(state.contexts)
+        nodes: List[Any] = [None] * n
+        merged_last: Dict[Tuple[int, int], Any] = {}
+        have_last = False
+        owner = self.part.owner
+        for s in range(len(self.conns)):
+            shard_nodes, fault_last = self._recv(s, state.rounds)
+            for v, snap in zip(self.part.shards[s], shard_nodes):
+                nodes[v] = snap
+            if fault_last is not None:
+                # Every worker inherited the full (restored) buffer;
+                # only the entries keyed by a vertex this shard owns
+                # are authoritative.
+                have_last = True
+                for key, value in fault_last.items():
+                    if owner[key[0]] == s:
+                        merged_last[key] = value
+        return {
+            "format": "scalar",
+            "rounds": state.rounds,
+            "messages": state.messages,
+            "traces": list(state.traces),
+            "nodes": nodes,
+            "fault_last": merged_last if have_last else None,
+        }
+
+    # -- run completion ------------------------------------------------
+    def finish(
+        self, n: int, rounds: int
+    ) -> Tuple[List[Any], Dict[int, str]]:
+        """Collect every shard's outputs and failures, vertex-ordered."""
+        for s, conn in enumerate(self.conns):
+            try:
+                conn.send(("finish",))
+            except (BrokenPipeError, OSError) as exc:
+                self._death(s, rounds, exc)
+        outputs: List[Any] = [None] * n
+        failure_by_vertex: List[Optional[str]] = [None] * n
+        for s in range(len(self.conns)):
+            pairs = self._recv(s, rounds)
+            for v, (output, failure) in zip(self.part.shards[s], pairs):
+                outputs[v] = output
+                failure_by_vertex[v] = failure
+        failures = {
+            v: reason
+            for v, reason in enumerate(failure_by_vertex)
+            if reason
+        }
+        return outputs, failures
+
+    def shutdown(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("exit",))
+            except Exception:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for proc in self.procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        global _ACTIVE_PIDS
+        _ACTIVE_PIDS = ()
+
+
+class _SetupRecorder:
+    """Captures the setup pass's observable events (publish / failure /
+    halt, per vertex ascending) so the parent can synthesize the same
+    setup batch the scalar shim assembles — ``_run_setup`` only ever
+    calls these three hub methods."""
+
+    __slots__ = ("publishes", "halts", "failures")
+
+    def __init__(self) -> None:
+        self.publishes: List[Tuple[int, Any]] = []
+        self.halts: List[Tuple[int, Any]] = []
+        self.failures: List[Tuple[int, str]] = []
+
+    def publish(self, round_index: int, vertex: int, value: Any) -> None:
+        self.publishes.append((vertex, value))
+
+    def failure(
+        self, round_index: int, vertex: int, reason: str
+    ) -> None:
+        self.failures.append((vertex, reason))
+
+    def halt(self, round_index: int, vertex: int, output: Any) -> None:
+        self.halts.append((vertex, output))
+
+    def setup_batch(self) -> RoundBatch:
+        return RoundBatch(
+            SETUP_ROUND,
+            published=[v for v, _ in self.publishes],
+            publish_values=[value for _, value in self.publishes],
+            halted_verts=[v for v, _ in self.halts],
+            halt_values=[value for _, value in self.halts],
+            failed=[v for v, _ in self.failures],
+            fail_reasons=[reason for _, reason in self.failures],
+        )
+
+
+def _merge_round_batch(
+    rounds: int,
+    active: int,
+    awake: int,
+    halted: int,
+    messages: int,
+    segments: Sequence[Tuple[Any, ...]],
+    faults: Optional[Any],
+) -> RoundBatch:
+    """Merge per-shard batch segments in canonical vertex order.
+
+    Each segment's columns are ascending over a disjoint vertex set, so
+    a stable sort by vertex both interleaves the shards and preserves
+    every vertex's intra-column event order (a vertex's delivery
+    faults, in port order, all live in one segment).  Crash markers are
+    materialized here into the parent's own
+    :class:`~repro.core.errors.CrashStopFault` events — the parent
+    activated the identical plan, and the event's ``run_meta`` carries
+    the graph handle, which never crosses a pipe.
+    """
+    stepped: List[int] = []
+    publishes: List[Tuple[int, Any]] = []
+    halts: List[Tuple[int, Any]] = []
+    failures: List[Tuple[int, str]] = []
+    fault_entries: List[Tuple[int, Any]] = []
+    for segment in segments:
+        seg_stepped, seg_pub, seg_halt, seg_fail, seg_fault = segment
+        stepped.extend(seg_stepped)
+        publishes.extend(seg_pub)
+        halts.extend(seg_halt)
+        failures.extend(seg_fail)
+        fault_entries.extend(seg_fault)
+    stepped.sort()
+    publishes.sort(key=lambda pair: pair[0])
+    halts.sort(key=lambda pair: pair[0])
+    failures.sort(key=lambda pair: pair[0])
+    fault_entries.sort(key=lambda pair: pair[0])
+    fault_column: List[Tuple[int, Any]] = []
+    for v, event in fault_entries:
+        if event is CRASH_MARKER:
+            assert faults is not None
+            event = faults.crash_event(rounds, v)
+        fault_column.append((v, event))
+    return RoundBatch(
+        rounds,
+        active=active,
+        awake=awake,
+        halted=halted,
+        messages=messages,
+        stepped=stepped,
+        published=[v for v, _ in publishes],
+        publish_values=[value for _, value in publishes],
+        halted_verts=[v for v, _ in halts],
+        halt_values=[value for _, value in halts],
+        failed=[v for v, _ in failures],
+        fail_reasons=[reason for _, reason in failures],
+        faults=fault_column,
+    )
+
+
+def run_local_sharded(
+    graph: Graph,
+    algorithm: Any,
+    model: Any,
+    *,
+    ids: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    node_inputs: Optional[Sequence[Dict[str, Any]]] = None,
+    global_params: Optional[Dict[str, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    rng_factory: Optional[Any] = None,
+    allow_duplicate_ids: bool = False,
+    trace: bool = False,
+    observers: Optional[Sequence[Any]] = None,
+    fault_plan: Optional[Any] = None,
+    checkpoint: Optional[Any] = None,
+) -> RunResult:
+    """Entry point of the ``"sharded"`` backend (same signature and
+    same RunResult as every other backend)."""
+    config = current_shard_config()
+
+    def fall_back() -> RunResult:
+        # The checkpoint session rides along: the fallback decision is
+        # deterministic for a fixed configuration, so a resumed run
+        # falls back exactly when the interrupted run did and the
+        # per-node engine consumes the (scalar-format) snapshot.
+        return _run_local_fast(
+            graph,
+            algorithm,
+            model,
+            ids=ids,
+            seed=seed,
+            node_inputs=node_inputs,
+            global_params=global_params,
+            max_rounds=max_rounds,
+            rng_factory=rng_factory,
+            allow_duplicate_ids=allow_duplicate_ids,
+            trace=trace,
+            observers=observers,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
+
+    attached = _attached_observers(observers)
+    if attached and not all(
+        getattr(obs, "batch_capable", False) for obs in attached
+    ):
+        # Legacy per-event observers need per-node stepping in one
+        # process; batch-capable ones consume the merged
+        # ``on_round_batch`` deliveries and keep the run sharded.
+        return fall_back()
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return fall_back()
+    if multiprocessing.current_process().daemon:
+        # Daemonic pool workers (resilient sweeps) may not fork
+        # children of their own; the per-node engine is bit-identical.
+        return fall_back()
+    observing = bool(attached)
+
+    contexts = build_contexts(
+        graph,
+        model,
+        ids=ids,
+        seed=seed,
+        node_inputs=node_inputs,
+        global_params=global_params,
+        rng_factory=rng_factory,
+        allow_duplicate_ids=allow_duplicate_ids,
+    )
+    n = graph.num_vertices
+    meta = RunMeta(
+        algorithm=algorithm.name,
+        model=model,
+        n=n,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        max_rounds=max_rounds,
+        seed=seed,
+        graph=graph,
+    )
+    plan = fault_plan if fault_plan is not None else active_fault_plan()
+    faults = plan.activate(meta) if plan is not None else None
+    clock = _Clock()
+    state = _ShardedState(contexts, faults)
+    part = partition_graph(
+        graph, config.n_shards, mode=config.mode, seed=config.seed
+    )
+    resumed = (
+        checkpoint.engine_payload("scalar")
+        if checkpoint is not None
+        else None
+    )
+    coordinator: Optional[_ShardCoordinator] = None
+    rounds = 0
+    messages = 0
+    try:
+        if resumed is not None:
+            # Resume: the snapshot replaces run_start + setup — the
+            # restored observers already emitted those events in the
+            # interrupted process, and restored contexts already carry
+            # their post-setup state.
+            checkpoint.restore_engine(state, resumed)
+            for ctx in contexts:
+                ctx._clock = clock
+            clock.now = state.rounds
+        else:
+            recorder = _SetupRecorder() if observing else None
+            _run_setup(contexts, algorithm, clock, recorder)
+            if observing:
+                # Observable events start only after setup succeeded,
+                # in the vectorized backend's order: run_start, the
+                # backend announcement, then the setup batch.
+                for obs in attached:
+                    obs.on_run_start(meta)
+                for obs in attached:
+                    obs.on_backend_info("sharded", None)
+                assert recorder is not None
+                setup_batch = recorder.setup_batch()
+                for obs in attached:
+                    obs.on_round_batch(setup_batch)
+
+        visible: List[Any] = [ctx._pub for ctx in contexts]
+        offsets, targets = flat_adjacency(graph)
+
+        rounds = state.rounds
+        messages = state.messages
+        messages_per_round = 2 * graph.num_edges
+        traces: List[RoundTrace] = state.traces
+
+        # Global scheduling counts; the per-shard wake buckets live in
+        # the workers, the parent only tracks their aggregates.
+        runnable_total = 0
+        parked_total = 0
+        wakes: List[int] = []
+        for ctx in contexts:
+            if ctx.halted:
+                continue
+            wake = ctx._wake_round
+            if wake is not None and wake > rounds:
+                parked_total += 1
+                wakes.append(wake)
+            else:
+                runnable_total += 1
+        next_wake: Optional[int] = min(wakes) if wakes else None
+
+        budget = faults.budget if faults is not None else None
+
+        if runnable_total or parked_total:
+            coordinator = _ShardCoordinator(
+                part,
+                contexts,
+                visible,
+                offsets,
+                targets,
+                algorithm,
+                clock,
+                faults,
+                observing,
+                rounds,
+            )
+            state.coordinator = coordinator
+
+        pending: List[List[Tuple[int, Any]]] = [
+            [] for _ in range(part.n_shards)
+        ]
+        while runnable_total or parked_total:
+            if checkpoint is not None and checkpoint.due(rounds):
+                state.rounds = rounds
+                state.messages = messages
+                checkpoint.save(state, rounds)
+            if budget is not None and rounds >= budget:
+                budget_error = faults.budget_error(rounds)
+                if observing:
+                    # Run-level fault: delivered immediately (never
+                    # part of a batch), exactly like the scalar
+                    # engines' vertex-None ``on_fault`` before the
+                    # raise.
+                    for obs in attached:
+                        obs.on_run_fault(rounds, budget_error)
+                raise budget_error
+            if rounds >= max_rounds:
+                raise SimulationError(
+                    f"{algorithm.name!r} exceeded {max_rounds} rounds "
+                    f"on n={n} (likely non-terminating)",
+                    round=rounds,
+                    run_meta=meta,
+                )
+            if (
+                runnable_total == 0
+                and next_wake is not None
+                and next_wake > rounds
+            ):
+                # Every live vertex sleeps on every shard: the global
+                # bulk-skip is the minimum over shard wake rounds
+                # (clamped by max_rounds and any injected budget),
+                # with the same synthesized trace entries and empty
+                # round batches the serial engines emit.
+                skip_to = min(next_wake, max_rounds)
+                if budget is not None and budget < skip_to:
+                    skip_to = budget
+                skip = skip_to - rounds
+                if trace:
+                    traces.extend(
+                        RoundTrace(active=parked_total, awake=0, halted=0)
+                        for _ in range(skip)
+                    )
+                if observing:
+                    for r in range(rounds, rounds + skip):
+                        empty = RoundBatch(
+                            r,
+                            active=parked_total,
+                            messages=messages_per_round,
+                        )
+                        for obs in attached:
+                            obs.on_round_batch(empty)
+                rounds += skip
+                messages += skip * messages_per_round
+                continue
+            assert coordinator is not None
+            replies = coordinator.step(rounds, pending)
+            pending = [[] for _ in range(part.n_shards)]
+            active_now = 0
+            awake_now = 0
+            halted_this_round = 0
+            runnable_total = 0
+            parked_total = 0
+            shard_wakes: List[int] = []
+            for reply in replies:
+                active_now += reply["active"]
+                awake_now += reply["awake"]
+                halted_this_round += reply["halted"]
+                runnable_total += reply["runnable"]
+                parked_total += reply["parked"]
+                if reply["next_wake"] is not None:
+                    shard_wakes.append(reply["next_wake"])
+                for v, value in reply["boundary"]:
+                    for s in part.consumers[v]:
+                        pending[s].append((v, value))
+            next_wake = min(shard_wakes) if shard_wakes else None
+            if trace:
+                traces.append(
+                    RoundTrace(
+                        active=active_now,
+                        awake=awake_now,
+                        halted=halted_this_round,
+                    )
+                )
+            if observing:
+                batch = _merge_round_batch(
+                    rounds,
+                    active_now,
+                    awake_now,
+                    halted_this_round,
+                    messages_per_round,
+                    [reply["batch"] for reply in replies],
+                    faults,
+                )
+                for obs in attached:
+                    obs.on_round_batch(batch)
+            rounds += 1
+            messages += messages_per_round
+
+        if coordinator is not None:
+            outputs, failures = coordinator.finish(n, rounds)
+        else:
+            # Zero live vertices after setup/restore: nothing was ever
+            # forked; the parent contexts are authoritative.
+            outputs = [ctx.output for ctx in contexts]
+            failures = {
+                v: ctx.failure
+                for v, ctx in enumerate(contexts)
+                if ctx.failure
+            }
+    except BaseException as exc:
+        # The run died mid-flight (algorithm exception surfaced from a
+        # worker, injected budget, a killed worker): give buffering
+        # observers one flush so partial runs keep their telemetry,
+        # then keep propagating.
+        if observing:
+            for obs in attached:
+                obs.on_run_abort(rounds, exc)
+        raise
+    finally:
+        if coordinator is not None:
+            state.coordinator = None
+            coordinator.shutdown()
+
+    result = RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        messages=messages,
+        failures=failures,
+        trace=traces,
+    )
+    if observing:
+        for obs in attached:
+            obs.on_run_end(result)
+    return result
+
+
+def capture_sharded_state(handle: _ShardedState) -> Dict[str, Any]:
+    """The ``"sharded"`` backend's checkpoint capture capability.
+
+    Snapshots are written in the ``"scalar"`` format: resumable at any
+    shard count and on any scalar-compatible backend.
+    """
+    coordinator = handle.coordinator
+    if coordinator is not None:
+        return coordinator.capture(handle)
+    # Pre-fork (or post-shutdown) capture: the parent contexts are
+    # authoritative — identical merge, no pipes involved.
+    from ...core.engine import _capture_scalar_state
+
+    result: Dict[str, Any] = _capture_scalar_state(handle)  # type: ignore[arg-type]
+    return result
+
+
+def restore_sharded_state(
+    handle: _ShardedState, payload: Dict[str, Any]
+) -> None:
+    """The ``"sharded"`` backend's checkpoint restore capability.
+
+    Restores happen in the parent before the workers are forked, so
+    the engine's scalar restore applies verbatim (the handle carries
+    the same attribute shape).
+    """
+    from ...core.engine import _restore_scalar_state
+
+    _restore_scalar_state(handle, payload)  # type: ignore[arg-type]

@@ -1,0 +1,265 @@
+"""The shard worker loop — the child side of the barrier protocol.
+
+Each worker is forked by the coordinator *after* the parent has built
+every :class:`~repro.core.context.NodeContext` and completed the setup
+pass (or restored a checkpoint), so the worker inherits the contexts,
+the CSR adjacency, the algorithm, and the activated
+:class:`~repro.faults.runtime.FaultRuntime` through the copied address
+space — nothing is pickled at startup (the shared read-only
+``ctx.globals`` mapping could not be).
+
+From then on the worker owns its shard's slice of the run exclusively:
+
+- it steps only its owned vertices, reading inboxes from its private
+  ``visible`` list (kept current for owned vertices by its own
+  dirty-commit pass, and for foreign *neighbor* vertices by the ghost
+  updates the coordinator routes in with each ``step`` command);
+- fault decisions are recomputed shard-locally: crash selection was
+  precomputed in the inherited runtime, and drop/duplicate/corrupt
+  decisions are pure splitmix64 hashes of ``(seed, round, vertex,
+  port, stream)`` — placement-independent by construction.  The stale
+  duplicate buffer is keyed by the *receiving* vertex and port, so it
+  too is owned entirely by one shard;
+- wake-bucket bulk-skip state stays local: each barrier reply reports
+  the shard's next wake round so the coordinator can compute the
+  global skip as the minimum over shards.
+
+Protocol (pickled tuples over a duplex pipe; one request, one reply):
+
+- ``("step", round, ghosts)`` -> ``("ok", reply_dict)``
+- ``("capture",)`` -> ``("ok", (node_snapshots, fault_last))``
+- ``("finish",)`` -> ``("ok", [(output, failure), ...])``
+- ``("exit",)`` -> no reply; the worker leaves its loop.
+
+Any exception escaping a command handler is sent back as
+``("error", exc)`` (falling back to a picklable
+:class:`~repro.core.errors.ReproError` summary when the original
+exception cannot cross the pipe) and the worker exits; the coordinator
+re-raises it in the parent so the run fails exactly as the serial
+engines would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...core.errors import ReproError
+
+#: Batch-segment faults column marker for a crash-stop vertex; the
+#: coordinator substitutes the parent-side CrashStopFault (whose
+#: ``run_meta`` carries the graph handle — never shipped over a pipe).
+CRASH_MARKER = None
+
+
+def shard_worker(
+    conn: Any,
+    sibling_conns: List[Any],
+    shard_id: int,
+    owned: Tuple[int, ...],
+    consumers: Dict[int, Tuple[int, ...]],
+    contexts: List[Any],
+    visible: List[Any],
+    offsets: List[int],
+    targets: List[int],
+    algorithm: Any,
+    clock: Any,
+    faults: Optional[Any],
+    observing: bool,
+    start_round: int,
+) -> None:
+    """Run one shard until ``exit`` (or the parent's death)."""
+    # Close every inherited pipe end that is not ours: once each fd has
+    # exactly one owner, a SIGKILLed worker's death surfaces to the
+    # coordinator as a clean EOF instead of a silent hang.
+    for other in sibling_conns:
+        other.close()
+
+    step = algorithm.step
+    deliver = (
+        faults.deliver
+        if faults is not None and faults.touches_messages
+        else None
+    )
+
+    # Rebuild the shard-local scheduling state from the inherited
+    # contexts, with the same rule the serial engines use at (re)start:
+    # strictly-later wake rounds park, everything else is runnable.
+    buckets: Dict[int, List[int]] = {}
+    parked = 0
+    runnable: List[int] = []
+    for v in owned:
+        ctx = contexts[v]
+        if ctx.halted:
+            continue
+        wake = ctx._wake_round
+        if wake is not None and wake > start_round:
+            buckets.setdefault(wake, []).append(v)
+            parked += 1
+        else:
+            runnable.append(v)
+
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "step":
+                rounds = message[1]
+                for v, value in message[2]:
+                    visible[v] = value
+                clock.now = rounds
+                due = buckets.pop(rounds, None)
+                if due:
+                    parked -= len(due)
+                    runnable.extend(due)
+                if observing:
+                    # Canonical vertex order, as the serial engines
+                    # schedule when observed; the merged batch columns
+                    # stay ascending per shard segment.
+                    runnable.sort()
+                active = len(runnable) + parked
+                awake = len(runnable)
+                halted_this_round = 0
+                dirty: List[int] = []
+                next_runnable: List[int] = []
+                stepped: List[int] = []
+                publishes: List[Tuple[int, Any]] = []
+                halts: List[Tuple[int, Any]] = []
+                failures: List[Tuple[int, str]] = []
+                fault_entries: List[Tuple[int, Any]] = []
+                for v in runnable:
+                    ctx = contexts[v]
+                    ctx._wake_round = None
+                    if faults is not None and faults.crashed(rounds, v):
+                        # Crash-stop, exactly as in the fast engine:
+                        # counts as awake + halted, never steps, and
+                        # its last published value stays visible.
+                        reason = faults.crash_reason(rounds)
+                        ctx.fail(reason)
+                        halted_this_round += 1
+                        if observing:
+                            fault_entries.append((v, CRASH_MARKER))
+                            failures.append((v, reason))
+                        continue
+                    lo = offsets[v]
+                    hi = offsets[v + 1]
+                    inbox = [visible[u] for u in targets[lo:hi]]
+                    if deliver is not None:
+                        events = deliver(rounds, v, inbox, observing)
+                        if events:
+                            fault_entries.extend(
+                                (v, event) for event in events
+                            )
+                    step(ctx, inbox)
+                    if ctx._pub_dirty:
+                        dirty.append(v)
+                    if ctx.halted:
+                        halted_this_round += 1
+                    else:
+                        wake = ctx._wake_round
+                        if wake is not None and wake > rounds + 1:
+                            buckets.setdefault(wake, []).append(v)
+                            parked += 1
+                        else:
+                            next_runnable.append(v)
+                    if observing:
+                        stepped.append(v)
+                        if ctx._pub_dirty:
+                            publishes.append((v, ctx._next_pub))
+                        if ctx.failure is not None:
+                            failures.append((v, ctx.failure))
+                        elif ctx.halted:
+                            halts.append((v, ctx.output))
+                # Shard-local dirty-commit pass (double buffering: no
+                # publish became visible before every step of this
+                # round, on any shard, returned — the barrier enforces
+                # the cross-shard half of that invariant).
+                boundary: List[Tuple[int, Any]] = []
+                for v in dirty:
+                    ctx = contexts[v]
+                    ctx._pub = ctx._next_pub
+                    ctx._pub_dirty = False
+                    visible[v] = ctx._pub
+                    if v in consumers:
+                        boundary.append((v, ctx._pub))
+                runnable = next_runnable
+                reply: Dict[str, Any] = {
+                    "active": active,
+                    "awake": awake,
+                    "halted": halted_this_round,
+                    "parked": parked,
+                    "runnable": len(runnable),
+                    "next_wake": min(buckets) if buckets else None,
+                    "boundary": boundary,
+                }
+                if observing:
+                    reply["batch"] = (
+                        stepped,
+                        publishes,
+                        halts,
+                        failures,
+                        fault_entries,
+                    )
+                conn.send(("ok", reply))
+            elif command == "capture":
+                nodes = []
+                for v in owned:
+                    ctx = contexts[v]
+                    nodes.append(
+                        (
+                            ctx.state,
+                            ctx.input,
+                            ctx._pub,
+                            ctx._wake_round,
+                            ctx.halted,
+                            ctx.output,
+                            ctx.failure,
+                            ctx.failure_round,
+                            ctx._rng.getstate()
+                            if ctx._rng is not None
+                            else None,
+                        )
+                    )
+                fault_last = (
+                    dict(faults._last)
+                    if faults is not None and faults._last is not None
+                    else None
+                )
+                conn.send(("ok", (nodes, fault_last)))
+            elif command == "finish":
+                conn.send(
+                    (
+                        "ok",
+                        [
+                            (contexts[v].output, contexts[v].failure)
+                            for v in owned
+                        ],
+                    )
+                )
+            elif command == "exit":
+                break
+            else:  # pragma: no cover - protocol misuse
+                raise ReproError(
+                    f"shard worker {shard_id} received unknown "
+                    f"command {command!r}"
+                )
+    except EOFError:  # pragma: no cover - parent died first
+        pass
+    except BaseException as exc:
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            try:
+                conn.send(
+                    (
+                        "error",
+                        ReproError(
+                            f"shard worker {shard_id} failed with an "
+                            f"unpicklable exception: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+                )
+            except Exception:  # pragma: no cover - pipe already gone
+                pass
+    finally:
+        conn.close()

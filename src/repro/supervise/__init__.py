@@ -59,6 +59,14 @@ __all__ = [
 #: typical kernels rarely regenerate.
 DEGRADED_WORD_CAP = 8
 
+#: Stage-2 degradation: the backend the retry is pinned to — the
+#: serial per-node engine, the smallest-footprint implementation every
+#: install carries (multi-process and vectorized backends both degrade
+#: to it).  Must name a registered backend; the backend-surface
+#: meta-test in ``tests/test_backends.py`` checks it against the
+#: registry so a rename cannot silently break the ladder.
+DEGRADATION_BACKEND = "fast"
+
 
 @dataclass
 class SupervisorEvent:
@@ -311,10 +319,15 @@ def supervise_run(
                     action=f"REPRO_VECTOR_WORD_CAP={DEGRADED_WORD_CAP}",
                 )
             elif degrade_stage == 1:
-                env["REPRO_BACKEND"] = "fast"
+                env["REPRO_BACKEND"] = DEGRADATION_BACKEND
                 degrade_stage = 2
                 removed = discard_slots()
-                emit("degrade", attempt, stage=2, action="REPRO_BACKEND=fast")
+                emit(
+                    "degrade",
+                    attempt,
+                    stage=2,
+                    action=f"REPRO_BACKEND={DEGRADATION_BACKEND}",
+                )
                 emit("checkpoint_discarded", attempt, files=removed)
         else:  # died
             last_error = last_error or "child exited without a result"

@@ -45,6 +45,7 @@ from .relations import (
     IdRelabeling,
     ObserverNeutrality,
     OrderInvariance,
+    PartitionInvariance,
     PortPermutation,
     Relation,
     RelationViolation,
@@ -71,6 +72,7 @@ __all__ = [
     "Instance",
     "ObserverNeutrality",
     "OrderInvariance",
+    "PartitionInvariance",
     "PortPermutation",
     "Relation",
     "RelationViolation",

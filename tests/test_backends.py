@@ -73,6 +73,11 @@ class TestRegistry:
         assert "fast" in names
         assert "reference" in names
         assert "vectorized" in names
+        assert "sharded" in names
+
+    def test_sharded_backend_needs_no_extras(self):
+        # Pure stdlib multiprocessing: available on every install.
+        assert "sharded" in available_backend_names()
 
     def test_fast_and_reference_always_available(self):
         available = available_backend_names()
@@ -668,3 +673,99 @@ class TestSweepBackendThreading:
             workers=2, backend="vectorized",
         )
         assert serial.as_dict() == pooled.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Backend-surface drift: every registered backend on every surface
+# ----------------------------------------------------------------------
+class TestBackendSurfaces:
+    """The meta-test for backend-surface drift: registering a backend
+    must make it appear on every user-facing surface that names
+    backends — the CLI choices, the bench rows, the sweep journal
+    fingerprint, and the supervise degradation ladder.  A backend
+    missing from any of these fails here, not in production."""
+
+    def test_cli_backend_choices_track_the_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        action = next(
+            a
+            for a in parser._actions
+            if "--backend" in getattr(a, "option_strings", ())
+        )
+        assert tuple(action.choices) == tuple(backend_names())
+
+    def test_cli_shards_flag_exports_the_env_var(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro import cli
+        from repro.backends.sharded import SHARDS_ENV_VAR
+
+        monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
+        cli.main(["--shards", "3", "report", str(tmp_path)])
+        assert os.environ.get(SHARDS_ENV_VAR) == "3"
+        monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
+
+    def test_cli_rejects_nonpositive_shards(self, tmp_path):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["--shards", "0", "report", str(tmp_path)])
+
+    def test_bench_rows_cover_every_available_backend(self):
+        from repro.analysis.perf import backend_engine_metrics
+
+        timings = backend_engine_metrics(n=240, repeats=1)
+        assert set(timings) == set(available_backend_names())
+
+    def test_sweep_journal_fingerprint_accepts_every_backend(
+        self, tmp_path
+    ):
+        """The journal fingerprint must round-trip every registered
+        backend name: same backend resumes cleanly, a different one is
+        refused."""
+        from repro.analysis.experiments import run_sweep
+
+        def measure(x, seed):
+            graph = cycle_graph(int(x))
+            result = run_local(
+                graph, LinialColoring(), Model.DET,
+                ids=list(range(int(x))),
+            )
+            return result.rounds + seed
+
+        for name in available_backend_names():
+            journal = str(tmp_path / f"sweep-{name}.jsonl")
+            run_sweep(
+                "s", [6.0], measure, seeds=(0,), journal=journal,
+                backend=name,
+            )
+            run_sweep(  # same backend: clean resume
+                "s", [6.0], measure, seeds=(0,), journal=journal,
+                backend=name,
+            )
+            other = next(
+                n for n in available_backend_names() if n != name
+            )
+            with pytest.raises(ValueError, match="fingerprint"):
+                run_sweep(
+                    "s", [6.0], measure, seeds=(0,), journal=journal,
+                    backend=other,
+                )
+
+    def test_supervise_degradation_backend_is_registered(self):
+        from repro.supervise import DEGRADATION_BACKEND
+
+        assert DEGRADATION_BACKEND in backend_names()
+        assert DEGRADATION_BACKEND in available_backend_names()
+
+    def test_every_backend_supports_checkpoint_capture(self):
+        """The checkpoint/supervise stack requires capture/restore
+        from every registered backend (PR 9's capability contract)."""
+        for name in backend_names():
+            backend = get_backend(name)
+            assert backend.capture_state is not None, name
+            assert backend.restore_state is not None, name
